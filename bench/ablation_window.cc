@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Ablations for the §6/§8.1.3 hybrid-window design decisions:
+ *
+ *  1. Window-size sensitivity: quality (retained softmax mass) and
+ *     GPU-side cost as W grows — "large window sizes of greater than
+ *     1,024 tokens tend to be useful only at the highest accuracy
+ *     targets" (§5.4).
+ *  2. Staging-buffer benefit: bulk KV updates to DReX (groups of 128)
+ *     vs per-token writes over CXL — §6 benefit (3).
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "cxl/link.hh"
+#include "gpu/gpu_model.hh"
+#include "model/model_config.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace longsight;
+    const auto model = ModelConfig::llama3_8b();
+    const size_t context = 16384;
+
+    std::cout << "Building " << fmtTokens(context)
+              << " evaluation corpus...\n";
+    WorkloadConfig wcfg;
+    wcfg.headDim = model.headDim;
+    AlgoEvaluator eval(wcfg, 4, context, 16, 0xAB1A'0001, 0);
+    GpuModel gpu(GpuConfig::h100(), model);
+
+    TextTable t("Ablation: window size W (k=1024, no SCF filtering)");
+    t.setHeader({"W", "LostMass", "dPPL%", "GPU window time/layer [us]",
+                 "Max users (GPU side)"});
+    for (uint32_t w : {0u, 256u, 1024u, 4096u, 16384u}) {
+        EvalConfig cfg;
+        cfg.windowSize = w;
+        cfg.sinkTokens = 16;
+        cfg.topK = 1024;
+        const EvalResult r = eval.evaluate(cfg);
+        t.addRow({std::to_string(w), TextTable::num(r.lostMass, 4),
+                  TextTable::num(r.pplIncreasePct, 2),
+                  TextTable::num(toMicroseconds(
+                      gpu.windowAttentionTime(w + 16, 1))),
+                  std::to_string(gpu.maxUsersWindowed(w + 16 + 128))});
+    }
+    t.print(std::cout);
+
+    // Staging-buffer ablation: CXL cost of shipping 128 new tokens'
+    // KV data (all layers, all heads) to DReX, per token generated.
+    const CxlConfig cxl_cfg;
+    const uint64_t bytes_per_token = model.kvBytesPerToken() +
+        model.kvBytesPerToken() / (8 * model.bytesPerValue * 2); // + signs
+    TextTable s("Ablation: staging buffer (bulk 128-token updates vs "
+                "per-token)");
+    s.setHeader({"Update policy", "CXL ops/token", "us/token",
+                 "Notes"});
+    {
+        // Per-token: one small write per (layer, head) per token.
+        CxlLink link(cxl_cfg);
+        const uint32_t writes = model.numLayers * model.numKvHeads;
+        const uint64_t bytes_each =
+            bytes_per_token / writes;
+        Tick done = 0;
+        for (uint32_t i = 0; i < writes; ++i)
+            done = link.mmioWrite(done,
+                                  static_cast<uint32_t>(bytes_each));
+        s.addRow({"per-token", std::to_string(writes),
+                  TextTable::num(toMicroseconds(done)),
+                  "latency-dominated, on critical path"});
+    }
+    {
+        // Bulk: one large transfer per 128 tokens, off critical path.
+        CxlLink link(cxl_cfg);
+        const Tick done = link.bulkRead(0, bytes_per_token * 128);
+        s.addRow({"bulk x128 (staging)", TextTable::num(1.0 / 128.0, 3),
+                  TextTable::num(toMicroseconds(done) / 128.0),
+                  "bandwidth-dominated, overlapped"});
+    }
+    s.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,44 @@
+#include "bench/bench_util.hh"
+
+#include <sstream>
+
+namespace longsight {
+
+std::optional<TuneResult>
+tuneThresholds(const AlgoEvaluator &eval, EvalConfig base,
+               double ppl_budget_pct, int step, uint32_t max_iters)
+{
+    // Feasibility probe: thresholds all zero.
+    base.thresholds.assign(eval.numHeads(), 0);
+    const EvalResult at_zero = eval.evaluate(base);
+    if (at_zero.pplIncreasePct > ppl_budget_pct)
+        return std::nullopt;
+
+    ThresholdTuner tuner(ppl_budget_pct, step, max_iters);
+    auto evaluate = [&](const std::vector<int> &th) {
+        EvalConfig cfg = base;
+        cfg.thresholds = th;
+        const EvalResult r = eval.evaluate(cfg);
+        ThresholdEval ev;
+        ev.pplIncreasePct = r.pplIncreasePct;
+        ev.overallFilterRatio = r.filterRatio;
+        ev.headFilterRatios = r.headFilterRatios;
+        return ev;
+    };
+    return tuner.tune(evaluate, eval.numHeads(), eval.headDim());
+}
+
+std::string
+fmtTokens(uint64_t tokens)
+{
+    std::ostringstream os;
+    if (tokens >= 1'000'000 && tokens % 1'000'000 == 0)
+        os << tokens / 1'000'000 << "M";
+    else if (tokens >= 1024 && tokens % 1024 == 0)
+        os << tokens / 1024 << "K";
+    else
+        os << tokens;
+    return os.str();
+}
+
+} // namespace longsight

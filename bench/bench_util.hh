@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches: threshold
+ * tuning against an AlgoEvaluator corpus and scaled-context notes.
+ *
+ * Scaling honesty (see DESIGN.md): quality benches run the full
+ * algorithm at reduced context lengths chosen to finish in seconds on
+ * one core; the sweep still spans multiple octaves so the paper's
+ * qualitative shapes are visible. Performance benches simulate one
+ * steady-state decode step in full detail, as the paper's own
+ * framework does.
+ */
+
+#ifndef LONGSIGHT_BENCH_BENCH_UTIL_HH
+#define LONGSIGHT_BENCH_BENCH_UTIL_HH
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "core/threshold_tuner.hh"
+#include "eval/algo_eval.hh"
+
+namespace longsight {
+
+/**
+ * Tune per-head SCF thresholds for one (evaluator, base config) pair
+ * to the given perplexity budget. Returns nullopt when even threshold
+ * zero exceeds the budget (the paper's 'X' cells in Fig. 3).
+ */
+std::optional<TuneResult>
+tuneThresholds(const AlgoEvaluator &eval, EvalConfig base,
+               double ppl_budget_pct, int step, uint32_t max_iters);
+
+/** "32K"-style human-readable token count. */
+std::string fmtTokens(uint64_t tokens);
+
+} // namespace longsight
+
+#endif // LONGSIGHT_BENCH_BENCH_UTIL_HH

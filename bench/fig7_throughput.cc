@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Reproduces Figure 7: decode-phase throughput (across all users) and
+ * per-token latency for 1-GPU, 2-GPU (data-parallel), AttAcc-like,
+ * and LongSight systems at various context lengths, for both Table-1
+ * models. Also prints Table 2 (system configuration).
+ *
+ * As in the paper, missing entries ('-') mean the system's memory
+ * cannot hold the context; entries above 128K carry the 'P' marker
+ * (sparse offload performance projected from the 128K-detail regime —
+ * our simulator runs them directly, the marker is kept for
+ * comparability).
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "model/model_config.hh"
+#include "sim/attacc_system.hh"
+#include "sim/baseline_gpu.hh"
+#include "sim/longsight_system.hh"
+#include "util/table.hh"
+
+namespace longsight {
+namespace {
+
+void
+printTable2()
+{
+    const GpuConfig g = GpuConfig::h100();
+    const LpddrTimings t;
+    const DrexGeometry geom;
+    TextTable tab("Table 2: system configuration");
+    tab.setHeader({"Device", "Description"});
+    tab.addRow({"GPU", "NVIDIA H100 SXM, " +
+                           TextTable::num(g.peakFlops / 1e12, 0) +
+                           " TF/s, 80 GB HBM3 @ " +
+                           TextTable::num(g.hbmBandwidth / 1e12, 2) +
+                           " TB/s"});
+    tab.addRow({"DReX", std::to_string(geom.numPackages) + " NMA, " +
+                            std::to_string(geom.totalPfus()) +
+                            " PFU, 512 GB LPDDR5X, " +
+                            TextTable::num(t.peakBandwidth() *
+                                               geom.totalChannels() / 1e12,
+                                           2) +
+                            " TB/s (NMAs)"});
+    tab.print(std::cout);
+}
+
+struct Cell
+{
+    bool feasible = false;
+    double tput = 0.0;     // tokens/s at max users
+    double lat_us = 0.0;   // per-token latency at max users
+    uint32_t users = 0;
+};
+
+std::string
+fmtCell(const Cell &c, bool projected)
+{
+    if (!c.feasible)
+        return "-";
+    std::string s = TextTable::num(c.tput, 0) + " t/s / " +
+        TextTable::num(c.lat_us / 1000.0, 1) + " ms @" +
+        std::to_string(c.users) + "u";
+    if (projected)
+        s += " P";
+    return s;
+}
+
+template <typename System>
+Cell
+runAtMaxUsers(const System &sys, uint64_t ctx, uint32_t cap)
+{
+    Cell c;
+    const uint32_t users = std::min(cap, 512u);
+    if (users == 0)
+        return c;
+    const ServingResult r = sys.decode(ctx, users);
+    if (!r.feasible)
+        return c;
+    c.feasible = true;
+    c.tput = r.tokensPerSecond;
+    c.lat_us = r.perTokenLatencyUs;
+    c.users = users;
+    return c;
+}
+
+void
+runModel(const ModelConfig &model)
+{
+    const std::vector<uint64_t> contexts = {32768, 65536, 131072, 262144,
+                                            524288, 1'000'000};
+    BaselineGpuSystem gpu1(GpuConfig::h100(), model, 1);
+    BaselineGpuSystem gpu2(GpuConfig::h100(), model, 2);
+    AttAccSystem attacc(GpuConfig::h100(), model);
+    LongSightSystem ls(LongSightSystemConfig{}, model);
+
+    TextTable t("Figure 7 (" + model.name +
+                "): decode throughput / per-token latency at max users");
+    t.setHeader({"Context", "1-GPU", "2-GPU", "AttAcc", "LongSight",
+                 "LS vs 1-GPU"});
+    for (uint64_t ctx : contexts) {
+        const bool projected = ctx > 131072;
+        const Cell c1 = runAtMaxUsers(gpu1, ctx, gpu1.maxUsers(ctx));
+        const Cell c2 = runAtMaxUsers(gpu2, ctx, gpu2.maxUsers(ctx));
+        const Cell ca = runAtMaxUsers(attacc, ctx, attacc.maxUsers(ctx));
+        const Cell cl = runAtMaxUsers(ls, ctx, ls.maxUsers(ctx));
+        std::string speedup = "-";
+        if (c1.feasible && cl.feasible)
+            speedup = TextTable::num(cl.tput / c1.tput, 1) + "x";
+        t.addRow({fmtTokens(ctx), fmtCell(c1, false), fmtCell(c2, false),
+                  fmtCell(ca, false), fmtCell(cl, projected), speedup});
+    }
+    t.print(std::cout);
+
+    // User sweep at a fixed context (the per-context columns of
+    // Fig. 7): "increasing the number of users leads to higher
+    // per-token latency ... the latency increase is substantially
+    // more modest with LongSight" (§9.1).
+    {
+        const uint64_t ctx = 65536;
+        TextTable sweep("Figure 7 (" + model.name + "): latency vs users at " +
+                        fmtTokens(ctx) + " [ms/token]");
+        sweep.setHeader({"Users", "1-GPU", "LongSight",
+                         "LongSight tok/s"});
+        for (uint32_t users : {1u, 2u, 4u, 8u, 16u, 32u, 63u}) {
+            const auto rg = gpu1.decode(ctx, users);
+            const auto rl = ls.decode(ctx, users);
+            if (!rl.feasible)
+                break;
+            sweep.addRow(
+                {std::to_string(users),
+                 rg.feasible
+                     ? TextTable::num(rg.perTokenLatencyUs / 1000.0, 2)
+                     : "-",
+                 TextTable::num(rl.perTokenLatencyUs / 1000.0, 2),
+                 TextTable::num(rl.tokensPerSecond, 0)});
+        }
+        sweep.print(std::cout);
+    }
+
+    // Single-user per-token latency (the latency panel of Fig. 7).
+    TextTable lat("Figure 7 (" + model.name +
+                  "): single-user per-token latency [ms]");
+    lat.setHeader({"Context", "1-GPU", "2-GPU", "AttAcc", "LongSight"});
+    for (uint64_t ctx : contexts) {
+        auto one = [&](auto &sys) -> std::string {
+            const ServingResult r = sys.decode(ctx, 1);
+            return r.feasible
+                ? TextTable::num(r.perTokenLatencyUs / 1000.0, 2)
+                : "-";
+        };
+        lat.addRow({fmtTokens(ctx), one(gpu1), one(gpu2), one(attacc),
+                    one(ls)});
+    }
+    lat.print(std::cout);
+}
+
+} // namespace
+} // namespace longsight
+
+int
+main()
+{
+    using namespace longsight;
+    printTable2();
+    runModel(ModelConfig::llama3_1b());
+    runModel(ModelConfig::llama3_8b());
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Reproduces Figure 8: per-token latency breakdown inside a DReX
+ * offload, for a single user and for a fully utilized device, across
+ * context lengths. Components: address generation, PFU filtering,
+ * bitmap readout, full-precision scoring (dot products), top-k
+ * ranking, value reads from LPDDR, and the CXL value transfer.
+ *
+ * The paper's observations under test: value loading (DRAM + CXL)
+ * dominates short contexts as a fixed per-user cost, the dot-product
+ * phase grows to dominate at long contexts, and under full
+ * utilization the CXL value path can become the pipeline bound while
+ * overlapping NMA compute of later users (§9.2).
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "model/model_config.hh"
+#include "sim/longsight_system.hh"
+#include "util/table.hh"
+
+namespace longsight {
+namespace {
+
+void
+runModel(const ModelConfig &model)
+{
+    LongSightSystem ls(LongSightSystemConfig{}, model);
+    const std::vector<uint64_t> contexts = {8192, 32768, 131072, 524288,
+                                            1'000'000};
+
+    TextTable t("Figure 8 (" + model.name +
+                "): single-offload latency breakdown [us]");
+    t.setHeader({"Context", "AddrGen", "Filter", "BitmapRd", "Score",
+                 "Rank", "ValueRd", "ValueCXL", "Total", "DominatedBy"});
+    for (uint64_t ctx : contexts) {
+        const OffloadObservation o = ls.observeOffload(ctx);
+        const OffloadTiming &b = o.result.timing;
+        const Tick total =
+            o.result.doneTick - o.result.startTick + o.cxlValueTime;
+        const Tick phases[] = {b.addrGen, b.filter,   b.bitmapRead,
+                               b.score,   b.rank,     b.valueRead,
+                               o.cxlValueTime};
+        const char *names[] = {"addr-gen", "filter", "bitmap-read",
+                               "score",    "rank",   "value-read",
+                               "value-CXL"};
+        size_t dom = 0;
+        for (size_t i = 1; i < 7; ++i)
+            if (phases[i] > phases[dom])
+                dom = i;
+        t.addRow({fmtTokens(ctx), TextTable::num(toMicroseconds(b.addrGen)),
+                  TextTable::num(toMicroseconds(b.filter)),
+                  TextTable::num(toMicroseconds(b.bitmapRead)),
+                  TextTable::num(toMicroseconds(b.score)),
+                  TextTable::num(toMicroseconds(b.rank)),
+                  TextTable::num(toMicroseconds(b.valueRead)),
+                  TextTable::num(toMicroseconds(o.cxlValueTime)),
+                  TextTable::num(toMicroseconds(total)), names[dom]});
+    }
+    t.print(std::cout);
+
+    // Full utilization: all NMAs busy with maxUsers offloads per layer.
+    TextTable full("Figure 8 (" + model.name +
+                   "): fully-utilized DReX, per-user offload cost [us]");
+    full.setHeader({"Context", "Users", "NMA busy/user", "CXL/user",
+                    "PipelineBound"});
+    for (uint64_t ctx : contexts) {
+        const uint32_t users = std::min(ls.maxUsers(ctx), 512u);
+        if (users == 0)
+            continue;
+        const OffloadObservation o = ls.observeOffload(ctx);
+        const Tick nma = o.result.doneTick - o.result.startTick;
+        // Every user contributes responses for all KV heads to the
+        // shared link; NMA work per head runs on its own package.
+        const Tick cxl_per_user = transferTime(
+            o.result.valueBytes * model.numKvHeads,
+            LongSightSystemConfig{}.cxl.bandwidthGBps);
+        full.addRow({fmtTokens(ctx), std::to_string(users),
+                     TextTable::num(toMicroseconds(nma)),
+                     TextTable::num(toMicroseconds(cxl_per_user)),
+                     cxl_per_user > nma ? "CXL value path" : "NMA compute"});
+    }
+    full.print(std::cout);
+}
+
+} // namespace
+} // namespace longsight
+
+int
+main()
+{
+    using namespace longsight;
+    runModel(ModelConfig::llama3_1b());
+    runModel(ModelConfig::llama3_8b());
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Reproduces Figure 9: system-level per-token latency breakdown of
+ * LongSight across workloads (context length x user count). Exposed
+ * (non-overlapped) components per decode step: GPU non-attention
+ * (QKV/FFN/projection/LM head), runtime ITQ, GPU window attention,
+ * DReX offload (incl. CXL value path), descriptor submission,
+ * polling, and the combined softmax.
+ *
+ * The §9.2 claims under test: few users -> GPU-bound at any context;
+ * many users + short context -> DReX-bound via per-user value
+ * loading; long contexts -> fewer users fit, GPU utilization drops,
+ * GPU becomes the bottleneck again.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "model/model_config.hh"
+#include "sim/longsight_system.hh"
+#include "util/table.hh"
+
+namespace longsight {
+namespace {
+
+void
+runModel(const ModelConfig &model)
+{
+    LongSightSystem ls(LongSightSystemConfig{}, model);
+    const std::vector<uint64_t> contexts = {32768, 131072, 1'000'000};
+
+    TextTable t("Figure 9 (" + model.name +
+                "): per-token latency breakdown [us]");
+    t.setHeader({"Context", "Users", "GPU-other", "ITQ", "GPU-window",
+                 "DReX", "Submit", "Poll", "Softmax", "Total",
+                 "Bottleneck"});
+    for (uint64_t ctx : contexts) {
+        const uint32_t cap = std::min(ls.maxUsers(ctx), 512u);
+        std::vector<uint32_t> user_counts = {1};
+        if (cap >= 4)
+            user_counts.push_back(cap / 4);
+        if (cap >= 2)
+            user_counts.push_back(cap);
+        for (uint32_t users : user_counts) {
+            const ServingResult r = ls.decode(ctx, users);
+            if (!r.feasible)
+                continue;
+            const StepBreakdown &b = r.breakdown;
+            const Tick gpu_side = b.gpuNonAttention + b.itq +
+                b.gpuWindowExposed + b.softmax;
+            const Tick drex_side = b.drexExposed + b.submit + b.poll;
+            t.addRow({fmtTokens(ctx), std::to_string(users),
+                      TextTable::num(toMicroseconds(b.gpuNonAttention)),
+                      TextTable::num(toMicroseconds(b.itq)),
+                      TextTable::num(toMicroseconds(b.gpuWindowExposed)),
+                      TextTable::num(toMicroseconds(b.drexExposed)),
+                      TextTable::num(toMicroseconds(b.submit)),
+                      TextTable::num(toMicroseconds(b.poll)),
+                      TextTable::num(toMicroseconds(b.softmax)),
+                      TextTable::num(toMicroseconds(r.stepTime)),
+                      gpu_side >= drex_side ? "GPU" : "DReX/CXL"});
+        }
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+} // namespace longsight
+
+int
+main()
+{
+    using namespace longsight;
+    runModel(ModelConfig::llama3_1b());
+    runModel(ModelConfig::llama3_8b());
+    return 0;
+}

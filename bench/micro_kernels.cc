@@ -1,0 +1,184 @@
+/**
+ * @file
+ * google-benchmark micro-kernels for LongSight's hot paths: sign
+ * concordance, SCF filtering, top-k maintenance, ITQ training steps,
+ * PFU block filtering, DRAM channel streaming, striped package reads,
+ * CXL transfers, softmax, and the dense-attention reference kernel.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/attention.hh"
+#include "core/itq.hh"
+#include "core/scf.hh"
+#include "core/topk.hh"
+#include "cxl/link.hh"
+#include "dram/package.hh"
+#include "drex/pfu.hh"
+#include "tensor/softmax.hh"
+#include "util/rng.hh"
+
+namespace longsight {
+namespace {
+
+void
+BM_SignConcordance(benchmark::State &state)
+{
+    const size_t d = static_cast<size_t>(state.range(0));
+    Rng rng(1);
+    const auto a = rng.gaussianVec(d);
+    const auto b = rng.gaussianVec(d);
+    const SignBits sa(a.data(), d), sb(b.data(), d);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sa.concordance(sb));
+}
+BENCHMARK(BM_SignConcordance)->Arg(64)->Arg(128);
+
+void
+BM_ScfFilter4K(benchmark::State &state)
+{
+    const size_t d = static_cast<size_t>(state.range(0));
+    const size_t n = 4096;
+    Rng rng(2);
+    const Matrix keys(n, d, rng.gaussianVec(n * d));
+    const auto signs = packSignRows(keys.data(), n, d);
+    const auto q = rng.gaussianVec(d);
+    const SignBits qs(q.data(), d);
+    for (auto _ : state) {
+        auto survivors = scfFilter(qs, signs, static_cast<int>(d) / 2);
+        benchmark::DoNotOptimize(survivors);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ScfFilter4K)->Arg(64)->Arg(128);
+
+void
+BM_TopKStream(benchmark::State &state)
+{
+    const size_t n = 65536;
+    Rng rng(3);
+    std::vector<float> scores(n);
+    for (auto &s : scores)
+        s = static_cast<float>(rng.gaussian());
+    for (auto _ : state) {
+        TopK acc(static_cast<size_t>(state.range(0)));
+        for (size_t i = 0; i < n; ++i)
+            acc.push(scores[i], static_cast<uint32_t>(i));
+        benchmark::DoNotOptimize(acc.size());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TopKStream)->Arg(128)->Arg(1024);
+
+void
+BM_ItqIteration(benchmark::State &state)
+{
+    const size_t d = static_cast<size_t>(state.range(0));
+    Rng rng(4);
+    const Matrix data(1024, d, rng.gaussianVec(1024 * d));
+    for (auto _ : state) {
+        Rng local(5);
+        benchmark::DoNotOptimize(trainItqRotation(data, 1, local));
+    }
+}
+BENCHMARK(BM_ItqIteration)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void
+BM_PfuFilterBlock(benchmark::State &state)
+{
+    const size_t d = 128;
+    Rng rng(6);
+    const Matrix keys(128, d, rng.gaussianVec(128 * d));
+    const auto signs = packSignRows(keys.data(), 128, d);
+    const auto q = rng.gaussianVec(d);
+    const std::vector<SignBits> qs = {SignBits(q.data(), d)};
+    for (auto _ : state) {
+        auto bm = Pfu::filterBlock(qs, signs.data(), 128, 64);
+        benchmark::DoNotOptimize(bm);
+    }
+    state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_PfuFilterBlock);
+
+void
+BM_DramStreamingReads(benchmark::State &state)
+{
+    const LpddrTimings t;
+    for (auto _ : state) {
+        DramChannel ch(t);
+        Tick done = 0;
+        for (uint32_t i = 0; i < 1024; ++i)
+            done = ch.read(0, i % t.banksPerChannel, i / 64, 256);
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_DramStreamingReads);
+
+void
+BM_PackageStripedRead(benchmark::State &state)
+{
+    const LpddrTimings t;
+    for (auto _ : state) {
+        DramPackage pkg(t, 8);
+        Tick done = 0;
+        for (uint32_t i = 0; i < 512; ++i)
+            done = pkg.readStriped(0, i % 128, i / 128, 256);
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_PackageStripedRead);
+
+void
+BM_CxlBulkRead(benchmark::State &state)
+{
+    for (auto _ : state) {
+        CxlLink link(CxlConfig{});
+        Tick done = 0;
+        for (int i = 0; i < 256; ++i)
+            done = link.bulkRead(0, 4096);
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_CxlBulkRead);
+
+void
+BM_Softmax(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    Rng rng(7);
+    std::vector<float> base(n);
+    for (auto &x : base)
+        x = static_cast<float>(rng.gaussian());
+    for (auto _ : state) {
+        std::vector<float> s = base;
+        softmaxInPlace(s);
+        benchmark::DoNotOptimize(s.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Softmax)->Arg(1024)->Arg(4096);
+
+void
+BM_DenseAttention(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    const size_t d = 64;
+    Rng rng(8);
+    const Matrix keys(n, d, rng.gaussianVec(n * d));
+    const Matrix values(n, d, rng.gaussianVec(n * d));
+    const auto q = rng.gaussianVec(d);
+    for (auto _ : state) {
+        auto r = denseAttention(q.data(), keys, values, 0.125f);
+        benchmark::DoNotOptimize(r.output.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DenseAttention)->Arg(1024)->Arg(8192);
+
+} // namespace
+} // namespace longsight
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reproduces the §9.4 power and area analysis: per-component and
+ * total peak power of a DReX unit, NMA area, and PFU die-area
+ * overhead, plus derived efficiency figures against the H100 the
+ * device is paired with.
+ */
+
+#include <iostream>
+
+#include "drex/drex_device.hh"
+#include "gpu/gpu_model.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace longsight;
+    const DrexGeometry g;
+    const DrexPowerArea pa = DrexDevice::powerArea();
+    const LpddrTimings timings;
+
+    TextTable t("Sec. 9.4: DReX power and area");
+    t.setHeader({"Component", "Count", "Peak power [W]", "Area"});
+    t.addRow({"LPDDR5X package (PIM-enabled)", std::to_string(g.numPackages),
+              TextTable::num(pa.packagePeakWatts, 1), "-"});
+    t.addRow({"NMA (16 nm)", std::to_string(g.numPackages),
+              TextTable::num(pa.nmaPeakWatts, 3),
+              TextTable::num(pa.nmaAreaMm2, 1) + " mm^2"});
+    t.addRow({"PFU array", std::to_string(g.totalPfus()), "(in package)",
+              TextTable::num(100.0 * pa.pfuDieAreaOverhead, 1) +
+                  "% of DRAM die"});
+    t.addRow({"DCC extensions", "1", "negligible", "negligible"});
+    t.addRow({"Total DReX unit", "1",
+              TextTable::num(pa.totalPeakWatts(g), 1), "-"});
+    t.print(std::cout);
+
+    const double total_bw =
+        timings.peakBandwidth() * g.totalChannels() / 1e9; // GB/s
+    TextTable d("Derived efficiency figures");
+    d.setHeader({"Metric", "Value"});
+    d.addRow({"DReX peak power / H100 SXM TDP (700 W)",
+              TextTable::num(100.0 * pa.totalPeakWatts(g) / 700.0, 1) + "%"});
+    d.addRow({"DReX NMA-visible bandwidth",
+              TextTable::num(total_bw / 1000.0, 2) + " TB/s"});
+    d.addRow({"Bandwidth per watt (DReX)",
+              TextTable::num(total_bw / pa.totalPeakWatts(g), 1) +
+                  " GB/s/W"});
+    d.addRow({"Capacity per watt (DReX)",
+              TextTable::num(512.0 / pa.totalPeakWatts(g), 2) + " GB/W"});
+    d.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Trace-driven serving comparison: a Poisson arrival trace of
+ * long-context requests run through the continuous-batching scheduler
+ * on top of the LongSight and 1-GPU system models. Extends Fig. 7's
+ * steady-state points with the dynamic metrics an operator sees:
+ * time-to-first-token, time-between-tokens, and makespan.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "model/model_config.hh"
+#include "sim/baseline_gpu.hh"
+#include "sim/batch_scheduler.hh"
+#include "sim/longsight_system.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+
+namespace longsight {
+namespace {
+
+std::vector<ServingJob>
+makeTrace(uint32_t n, uint64_t prompt, uint32_t out, Tick mean_gap,
+          uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<ServingJob> jobs;
+    Tick at = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+        jobs.push_back({i, at, prompt, out});
+        at += static_cast<Tick>(-std::log(1.0 - rng.uniform()) *
+                                static_cast<double>(mean_gap));
+    }
+    return jobs;
+}
+
+template <typename System>
+EngineModel
+engineFor(System &sys, const GpuModel &gpu, uint32_t max_batch)
+{
+    EngineModel e;
+    e.prefillTime = [&gpu](uint64_t prompt) {
+        return gpu.prefillTime(prompt);
+    };
+    e.stepTime = [&sys](const std::vector<uint64_t> &contexts) {
+        uint64_t max_ctx = 0;
+        for (uint64_t c : contexts)
+            max_ctx = std::max(max_ctx, c);
+        const ServingResult r = sys.decode(
+            max_ctx, static_cast<uint32_t>(contexts.size()));
+        return r.feasible ? r.stepTime : Tick(1) * kSecond;
+    };
+    e.maxBatch = max_batch;
+    return e;
+}
+
+} // namespace
+} // namespace longsight
+
+int
+main()
+{
+    using namespace longsight;
+    const auto model = ModelConfig::llama3_8b();
+    const uint64_t prompt = 65536;
+    GpuModel gpu_model(GpuConfig::h100(), model);
+
+    LongSightSystem ls(LongSightSystemConfig{}, model);
+    BaselineGpuSystem gpu(GpuConfig::h100(), model, 1);
+
+    const auto trace =
+        makeTrace(12, prompt, 256, 2 * kSecond, 77);
+
+    TextTable t("Trace-driven serving: 12 x " + fmtTokens(prompt) +
+                "-token prompts, 256 output tokens each (" + model.name +
+                ")");
+    t.setHeader({"System", "Batch cap", "Makespan [s]", "Throughput t/s",
+                 "TTFT p-mean [ms]", "TBT mean [ms]"});
+
+    {
+        const uint32_t cap = std::min(ls.maxUsers(prompt + 64), 64u);
+        const auto r = runBatchSchedule(
+            trace, engineFor(ls, gpu_model, cap));
+        t.addRow({"LongSight", std::to_string(cap),
+                  TextTable::num(toSeconds(r.makespan), 2),
+                  TextTable::num(r.throughputTokensPerSec, 1),
+                  TextTable::num(r.ttftMs.mean(), 0),
+                  TextTable::num(r.tbtMs.mean(), 1)});
+    }
+    {
+        const uint32_t cap = std::max(gpu.maxUsers(prompt + 64), 1u);
+        const auto r = runBatchSchedule(
+            trace, engineFor(gpu, gpu_model, cap));
+        t.addRow({"1-GPU dense", std::to_string(cap),
+                  TextTable::num(toSeconds(r.makespan), 2),
+                  TextTable::num(r.throughputTokensPerSec, 1),
+                  TextTable::num(r.ttftMs.mean(), 0),
+                  TextTable::num(r.tbtMs.mean(), 1)});
+    }
+    t.print(std::cout);
+    std::cout << "Both systems pay identical (serialized) prefill costs — "
+                 "LongSight does not\naccelerate prefill (§8.1.2) — so the "
+                 "makespan gap is pure decode-phase\nadvantage: the dense "
+                 "box can co-resident only a few contexts, while\n"
+                 "LongSight decodes the whole admitted trace in parallel "
+                 "at a slightly\nhigher per-token time.\n";
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Dense retrieval on DReX — the device's *original* job (§2, [34]),
+ * which LongSight repurposes for attention. Stores a corpus of
+ * document embeddings in the device, trains an ITQ rotation, and
+ * serves top-k similarity queries through the same SCF -> score ->
+ * rank pipeline the attention offloads use. Reports recall against
+ * exhaustive search and the share of the corpus the sign filter
+ * pruned in memory — the RAG workload a LongSight deployment can
+ * co-host on idle DReX capacity.
+ *
+ * Run:  ./build/examples/dense_retrieval
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "core/attention.hh"
+#include "core/itq.hh"
+#include "core/topk.hh"
+#include "drex/drex_device.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace longsight;
+    constexpr uint32_t kDim = 128;
+    constexpr size_t kCorpus = 20000;
+    constexpr uint32_t kTopK = 10;
+
+    // Clustered embeddings: documents group into topics, queries seek
+    // a topic — the geometry dense retrieval actually faces.
+    Rng rng(11);
+    const uint32_t topics = 64;
+    Matrix centers(topics, kDim, rng.gaussianVec(topics * kDim));
+    Matrix corpus(kCorpus, kDim);
+    std::vector<uint32_t> doc_topic(kCorpus);
+    for (size_t i = 0; i < kCorpus; ++i) {
+        const auto topic = static_cast<uint32_t>(rng.below(topics));
+        doc_topic[i] = topic;
+        for (uint32_t d = 0; d < kDim; ++d)
+            corpus(i, d) = centers(topic, d) +
+                0.6f * static_cast<float>(rng.gaussian());
+    }
+
+    // Load the corpus into DReX as one "context" (values unused here;
+    // store the embeddings themselves so the response could return
+    // them).
+    DrexConfig cfg;
+    cfg.numKvHeads = 1;
+    cfg.numLayers = 1;
+    cfg.headDim = kDim;
+    DrexDevice dev(cfg);
+    KvCache &db = dev.writeContext(0, 0, 0, corpus, corpus);
+    db.setItqRotation(trainItqRotation(corpus, 20, rng));
+
+    TextTable t("Dense retrieval on DReX (corpus " +
+                std::to_string(kCorpus) + ", top-" +
+                std::to_string(kTopK) + ")");
+    t.setHeader({"SCF threshold", "Pruned in-DRAM", "Recall@10",
+                 "Keys scored"});
+    for (int th : {0, 72, 80, 86}) {
+        double recall = 0.0, pruned = 0.0;
+        uint64_t scored = 0;
+        const int queries = 20;
+        for (int qi = 0; qi < queries; ++qi) {
+            const auto topic = static_cast<uint32_t>(rng.below(topics));
+            std::vector<float> q(kDim);
+            for (uint32_t d = 0; d < kDim; ++d)
+                q[d] = centers(topic, d) +
+                    0.6f * static_cast<float>(rng.gaussian());
+
+            // Ground truth: exhaustive dot-product search.
+            const auto scores =
+                attentionScores(q.data(), corpus, 0, kCorpus, 1.0f);
+            std::vector<uint32_t> ids(kCorpus);
+            for (uint32_t i = 0; i < kCorpus; ++i)
+                ids[i] = i;
+            const auto truth = topkSelect(scores, ids, kTopK);
+
+            // Device path: one offload over the whole corpus.
+            Matrix qmat(1, kDim);
+            qmat.setRow(0, q.data());
+            const auto qf = db.toFilterSpace(q);
+            Matrix qfmat(1, kDim);
+            qfmat.setRow(0, qf.data());
+            OffloadSpec spec;
+            spec.sparseEnd = kCorpus;
+            spec.numQueries = 1;
+            spec.k = kTopK;
+            spec.threshold = th;
+            spec.cache = &db;
+            spec.queries = &qmat;
+            spec.filterQueries = &qfmat;
+            AttentionRequest req;
+            req.headOffloads.push_back(spec);
+            dev.submit(std::move(req));
+            const auto resp = dev.processAll();
+            const auto &got = resp[0].headResults[0].topk[0];
+            scored += resp[0].headResults[0].survivors;
+            pruned += 1.0 -
+                static_cast<double>(resp[0].headResults[0].survivors) /
+                    kCorpus;
+
+            int hits = 0;
+            for (const auto &g : got)
+                for (const auto &tr : truth)
+                    hits += (g.index == tr.index);
+            recall += static_cast<double>(hits) / kTopK;
+        }
+        t.addRow({std::to_string(th),
+                  TextTable::num(100.0 * pruned / queries, 1) + "%",
+                  TextTable::num(recall / queries, 3),
+                  std::to_string(scored / queries)});
+    }
+    t.print(std::cout);
+    std::cout << "The same PFU/NMA pipeline LongSight uses for attention "
+                 "serves RAG-style\nretrieval: the sign filter prunes most "
+                 "of the corpus in memory while the\nexhaustive rescoring "
+                 "of survivors keeps recall high — DReX's original\n"
+                 "design point, which is why repurposing it for the KV "
+                 "cache works.\n";
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Long-context assistant scenario: a single user whose conversation
+ * (plus retrieved documents) keeps growing — the workload class the
+ * paper's introduction motivates. Simulates steady-state decode at
+ * checkpoints from 16K to 1M tokens on a 1-GPU baseline, a 2-GPU
+ * data-parallel system, and LongSight (1 GPU + 1 DReX), printing
+ * per-token latency, the LongSight latency breakdown, and where each
+ * baseline hits its memory wall.
+ *
+ * Run:  ./build/examples/long_context_chat
+ */
+
+#include <iostream>
+
+#include "model/model_config.hh"
+#include "sim/baseline_gpu.hh"
+#include "sim/longsight_system.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace longsight;
+    const auto model = ModelConfig::llama3_8b();
+    BaselineGpuSystem gpu1(GpuConfig::h100(), model, 1);
+    BaselineGpuSystem gpu2(GpuConfig::h100(), model, 2);
+    LongSightSystem ls(LongSightSystemConfig{}, model);
+
+    TextTable t("Growing conversation, single user (" + model.name + ")");
+    t.setHeader({"Context", "1-GPU [ms/tok]", "2-GPU [ms/tok]",
+                 "LongSight [ms/tok]", "LS offload share"});
+    for (uint64_t ctx : {16384ull, 65536ull, 262144ull, 524288ull,
+                         1'000'000ull}) {
+        auto cell = [&](auto &sys) -> std::string {
+            const ServingResult r = sys.decode(ctx, 1);
+            if (!r.feasible)
+                return "OOM";
+            return TextTable::num(r.perTokenLatencyUs / 1000.0, 2);
+        };
+        const ServingResult r = ls.decode(ctx, 1);
+        const double share = r.feasible
+            ? 100.0 *
+                static_cast<double>(r.breakdown.drexExposed +
+                                    r.breakdown.submit + r.breakdown.poll) /
+                static_cast<double>(r.stepTime)
+            : 0.0;
+        t.addRow({std::to_string(ctx / 1024) + "K", cell(gpu1), cell(gpu2),
+                  cell(ls), TextTable::num(share, 1) + "%"});
+    }
+    t.print(std::cout);
+
+    // Detailed breakdown at the 1M-token checkpoint.
+    const ServingResult r = ls.decode(1'000'000, 1);
+    if (r.feasible) {
+        TextTable b("LongSight per-token breakdown at 1M tokens [us]");
+        b.setHeader({"Component", "Time", "Share"});
+        auto row = [&](const char *name, Tick v) {
+            b.addRow({name, TextTable::num(toMicroseconds(v)),
+                      TextTable::num(100.0 * v / r.stepTime, 1) + "%"});
+        };
+        row("GPU non-attention (QKV/FFN/LM head)",
+            r.breakdown.gpuNonAttention);
+        row("runtime ITQ", r.breakdown.itq);
+        row("GPU window attention (exposed)", r.breakdown.gpuWindowExposed);
+        row("DReX offload (exposed)", r.breakdown.drexExposed);
+        row("descriptor submit", r.breakdown.submit);
+        row("completion polling", r.breakdown.poll);
+        row("combined softmax + SV", r.breakdown.softmax);
+        b.print(std::cout);
+        std::cout << "A single GPU cannot hold this context at all; with "
+                     "DReX the per-token\nlatency stays interactive ("
+                  << TextTable::num(r.perTokenLatencyUs / 1000.0, 1)
+                  << " ms) because only the window plus top-k\nvalues ever "
+                     "cross back over CXL.\n";
+    }
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tail-latency study: users arrive over time and decode concurrently,
+ * so per-token latency varies with instantaneous load (§4: attention
+ * requests sit on the critical path of generation). Runs the
+ * event-driven session simulator against LongSight and the 1-GPU
+ * dense baseline at a 128K context and reports the latency
+ * distribution and SLO attainment.
+ *
+ * Run:  ./build/examples/slo_study
+ */
+
+#include <iostream>
+#include <map>
+
+#include "model/model_config.hh"
+#include "sim/baseline_gpu.hh"
+#include "sim/longsight_system.hh"
+#include "sim/slo_sim.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace longsight;
+    const auto model = ModelConfig::llama3_8b();
+    const uint64_t ctx = 131072;
+
+    LongSightSystem ls(LongSightSystemConfig{}, model);
+    BaselineGpuSystem gpu(GpuConfig::h100(), model, 1);
+
+    SloConfig scfg;
+    scfg.users = 12;
+    scfg.tokensPerUser = 48;
+    scfg.meanInterarrival = 200 * kMillisecond;
+    scfg.sloMs = 40.0;
+
+    // Memoized service-time curves (decode() is deterministic per
+    // user count).
+    // Over-capacity batches are infeasible (KV does not fit); model
+    // the resulting swap/requeue pain as a one-second step so SLO
+    // attainment reflects the admission wall.
+    auto service_for = [](auto &sys, uint64_t context) {
+        auto cache = std::make_shared<std::map<uint32_t, Tick>>();
+        return [&sys, context, cache](uint32_t active) -> Tick {
+            const uint32_t users = std::max(active, 1u);
+            auto it = cache->find(users);
+            if (it != cache->end())
+                return it->second;
+            const ServingResult r = sys.decode(context, users);
+            const Tick t = r.feasible ? r.stepTime : Tick(1) * kSecond;
+            cache->emplace(users, t);
+            return t;
+        };
+    };
+
+    TextTable t("Tail latency at " + std::to_string(ctx / 1024) +
+                "K context, " + std::to_string(scfg.users) +
+                " arriving users (SLO " + TextTable::num(scfg.sloMs, 0) +
+                " ms/token)");
+    t.setHeader({"System", "p50 [ms]", "p99 [ms]", "max [ms]",
+                 "SLO attainment", "Peak users"});
+
+    struct Row
+    {
+        const char *name;
+        SloResult r;
+    };
+    std::vector<Row> rows;
+    rows.push_back(
+        {"LongSight", runSloSimulation(scfg, service_for(ls, ctx))});
+    rows.push_back(
+        {"1-GPU dense", runSloSimulation(scfg, service_for(gpu, ctx))});
+
+    for (const auto &row : rows) {
+        t.addRow({row.name,
+                  TextTable::num(row.r.latencyHist.quantile(0.5), 1),
+                  TextTable::num(row.r.latencyHist.quantile(0.99), 1),
+                  TextTable::num(row.r.tokenLatencyMs.max(), 1),
+                  TextTable::num(100.0 * row.r.sloAttainment, 1) + "%",
+                  std::to_string(row.r.peakConcurrency)});
+    }
+    t.print(std::cout);
+    std::cout << "The dense baseline fits only " << gpu.maxUsers(ctx)
+              << " users' KV at this context — excess arrivals queue and\n"
+                 "blow the tail — while LongSight absorbs the whole burst\n"
+                 "with DReX holding every context.\n";
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Threshold-tuning walkthrough: runs the §8.1.3 loop — start with all
+ * per-KV-head SCF thresholds at zero, repeatedly raise the threshold
+ * of the head filtering worst, stop at the perplexity budget — and
+ * prints the per-head result plus the quality/ratio trajectory.
+ *
+ * Run:  ./build/examples/threshold_tuning
+ */
+
+#include <iostream>
+
+#include "bench/bench_util.hh"
+#include "core/threshold_tuner.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace longsight;
+    constexpr uint32_t kDim = 64;
+    constexpr size_t kContext = 8192;
+
+    std::cout << "Building evaluation corpus (4 KV heads, "
+              << kContext << " tokens)...\n";
+    WorkloadConfig wcfg;
+    wcfg.headDim = kDim;
+    AlgoEvaluator eval(wcfg, 4, kContext, 16, 2024, 20);
+
+    EvalConfig base;
+    base.windowSize = 1024;
+    base.sinkTokens = 16;
+    base.topK = 256;
+    base.useItq = true;
+
+    // Trace the tuner's trajectory by wrapping the evaluator.
+    TextTable trace("Tuning trajectory (budget: +5% perplexity)");
+    trace.setHeader({"Eval#", "Thresholds", "dPPL%", "FilterRatio"});
+    uint32_t calls = 0;
+    auto evaluate = [&](const std::vector<int> &th) {
+        EvalConfig cfg = base;
+        cfg.thresholds = th;
+        const EvalResult r = eval.evaluate(cfg);
+        ++calls;
+        if (calls % 8 == 1) {
+            std::string ths;
+            for (int t : th)
+                ths += std::to_string(t) + " ";
+            trace.addRow({std::to_string(calls), ths,
+                          TextTable::num(r.pplIncreasePct, 2),
+                          TextTable::num(r.filterRatio, 1) + "x"});
+        }
+        ThresholdEval ev;
+        ev.pplIncreasePct = r.pplIncreasePct;
+        ev.overallFilterRatio = r.filterRatio;
+        ev.headFilterRatios = r.headFilterRatios;
+        return ev;
+    };
+
+    ThresholdTuner tuner(5.0, static_cast<int>(kDim) / 16, 72);
+    const TuneResult result = tuner.tune(evaluate, eval.numHeads(), kDim);
+    trace.print(std::cout);
+
+    TextTable t("Tuned per-KV-head thresholds");
+    t.setHeader({"KV head", "Threshold (of " + std::to_string(kDim) + ")"});
+    for (size_t h = 0; h < result.thresholds.size(); ++h)
+        t.addRow({std::to_string(h),
+                  std::to_string(result.thresholds[h])});
+    t.print(std::cout);
+
+    std::cout << "Final: filter ratio "
+              << TextTable::num(result.filterRatio, 1) << "x at +"
+              << TextTable::num(result.pplIncreasePct, 2)
+              << "% perplexity (" << result.iterations
+              << " evaluator calls).\n"
+              << "Per-head thresholds differ because each head's score\n"
+                 "distribution differs — the granularity §5.1 found stable.\n";
+    return 0;
+}

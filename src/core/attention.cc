@@ -1,0 +1,80 @@
+#include "core/attention.hh"
+
+#include <cmath>
+
+#include "tensor/linalg.hh"
+#include "tensor/softmax.hh"
+#include "util/logging.hh"
+
+namespace longsight {
+
+std::vector<float>
+attentionScores(const float *q, const Matrix &keys, size_t begin, size_t end,
+                float scale)
+{
+    LS_ASSERT(begin <= end && end <= keys.rows(),
+              "score range [", begin, ",", end, ") out of ", keys.rows());
+    std::vector<float> scores(end - begin);
+    for (size_t i = begin; i < end; ++i)
+        scores[i - begin] = dot(q, keys.row(i), keys.cols()) * scale;
+    return scores;
+}
+
+std::vector<float>
+attentionScoresAt(const float *q, const Matrix &keys,
+                  const std::vector<uint32_t> &indices, float scale)
+{
+    std::vector<float> scores(indices.size());
+    for (size_t j = 0; j < indices.size(); ++j) {
+        LS_ASSERT(indices[j] < keys.rows(),
+                  "score index ", indices[j], " out of ", keys.rows());
+        scores[j] = dot(q, keys.row(indices[j]), keys.cols()) * scale;
+    }
+    return scores;
+}
+
+AttentionResult
+denseAttention(const float *q, const Matrix &keys, const Matrix &values,
+               float scale)
+{
+    AttentionResult r;
+    r.probs = attentionScores(q, keys, 0, keys.rows(), scale);
+    softmaxInPlace(r.probs);
+    r.output.assign(values.cols(), 0.0f);
+    for (size_t i = 0; i < keys.rows(); ++i) {
+        const float p = r.probs[i];
+        const float *v = values.row(i);
+        for (size_t d = 0; d < values.cols(); ++d)
+            r.output[d] += p * v[d];
+    }
+    return r;
+}
+
+AttentionResult
+subsetAttention(const float *q, const Matrix &keys, const Matrix &values,
+                const std::vector<uint32_t> &indices, float scale)
+{
+    AttentionResult r;
+    r.probs = attentionScoresAt(q, keys, indices, scale);
+    softmaxInPlace(r.probs);
+    r.output = weightedValueSum(values, indices, r.probs);
+    return r;
+}
+
+std::vector<float>
+weightedValueSum(const Matrix &values, const std::vector<uint32_t> &indices,
+                 const std::vector<float> &probs)
+{
+    LS_ASSERT(indices.size() == probs.size(),
+              "weightedValueSum arity mismatch");
+    std::vector<float> out(values.cols(), 0.0f);
+    for (size_t j = 0; j < indices.size(); ++j) {
+        const float *v = values.row(indices[j]);
+        const float p = probs[j];
+        for (size_t d = 0; d < values.cols(); ++d)
+            out[d] += p * v[d];
+    }
+    return out;
+}
+
+} // namespace longsight

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Exact attention primitives: full dense attention (the correctness
+ * and quality baseline for every experiment), attention restricted to
+ * an arbitrary token subset (the hybrid path's combined softmax), and
+ * plain score evaluation. All math is done on post-RoPE vectors with
+ * double-precision accumulation so the software and modelled-hardware
+ * paths can be compared bit-closely.
+ */
+
+#ifndef LONGSIGHT_CORE_ATTENTION_HH
+#define LONGSIGHT_CORE_ATTENTION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace longsight {
+
+/**
+ * Result of one attention evaluation for a single query.
+ */
+struct AttentionResult
+{
+    std::vector<float> output; //!< headDim-long weighted value sum
+    std::vector<float> probs;  //!< softmax weight per attended token
+};
+
+/** q . K[i] * scale for rows [begin, end). */
+std::vector<float> attentionScores(const float *q, const Matrix &keys,
+                                   size_t begin, size_t end, float scale);
+
+/** q . K[idx] * scale for an arbitrary index set. */
+std::vector<float> attentionScoresAt(const float *q, const Matrix &keys,
+                                     const std::vector<uint32_t> &indices,
+                                     float scale);
+
+/**
+ * Full dense attention of one query over rows [0, n) of keys/values.
+ * probs[i] corresponds to token i.
+ */
+AttentionResult denseAttention(const float *q, const Matrix &keys,
+                               const Matrix &values, float scale);
+
+/**
+ * Attention restricted to `indices` (renormalized softmax over the
+ * subset). probs[j] corresponds to indices[j].
+ */
+AttentionResult subsetAttention(const float *q, const Matrix &keys,
+                                const Matrix &values,
+                                const std::vector<uint32_t> &indices,
+                                float scale);
+
+/**
+ * Weighted value accumulation: out += sum_j probs[j] * values[indices[j]].
+ */
+std::vector<float> weightedValueSum(const Matrix &values,
+                                    const std::vector<uint32_t> &indices,
+                                    const std::vector<float> &probs);
+
+} // namespace longsight
+
+#endif // LONGSIGHT_CORE_ATTENTION_HH

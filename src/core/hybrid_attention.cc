@@ -1,0 +1,136 @@
+#include "core/hybrid_attention.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/attention.hh"
+#include "core/scf.hh"
+#include "core/topk.hh"
+#include "tensor/linalg.hh"
+#include "util/logging.hh"
+
+namespace longsight {
+
+LongSightAttn::LongSightAttn(LongSightConfig cfg, uint32_t num_kv_heads)
+    : cfg_(cfg), numKvHeads_(num_kv_heads),
+      thresholds_(num_kv_heads, cfg.defaultThreshold)
+{
+    LS_ASSERT(num_kv_heads > 0, "need at least one KV head");
+    LS_ASSERT(cfg.topK > 0, "top-k must be positive");
+}
+
+void
+LongSightAttn::setThreshold(uint32_t kv_head, int threshold)
+{
+    LS_ASSERT(kv_head < numKvHeads_, "KV head ", kv_head, " out of range");
+    thresholds_[kv_head] = threshold;
+}
+
+void
+LongSightAttn::setAllThresholds(const std::vector<int> &thresholds)
+{
+    LS_ASSERT(thresholds.size() == numKvHeads_,
+              "threshold vector size mismatch");
+    thresholds_ = thresholds;
+}
+
+int
+LongSightAttn::threshold(uint32_t kv_head) const
+{
+    LS_ASSERT(kv_head < numKvHeads_, "KV head ", kv_head, " out of range");
+    return thresholds_[kv_head];
+}
+
+void
+LongSightAttn::densePartition(size_t n, size_t &sinks,
+                              size_t &win_start) const
+{
+    sinks = std::min<size_t>(cfg_.sinkTokens, n);
+    win_start = n > cfg_.windowSize ? n - cfg_.windowSize : 0;
+    // The window never reaches into the sink prefix.
+    win_start = std::max(win_start, sinks);
+}
+
+HeadAttentionResult
+LongSightAttn::computeHead(const std::vector<float> &q, const KvCache &cache,
+                           uint32_t kv_head) const
+{
+    const size_t n = cache.size();
+    LS_ASSERT(n > 0, "attention over an empty context");
+    LS_ASSERT(q.size() == cache.headDim(), "query dim mismatch");
+
+    const float scale =
+        1.0f / std::sqrt(static_cast<float>(cache.headDim()));
+
+    HeadAttentionResult r;
+    size_t sinks, win_start;
+    densePartition(n, sinks, win_start);
+
+    // Dense candidates: sinks plus the sliding window.
+    for (size_t i = 0; i < sinks; ++i)
+        r.attended.push_back(static_cast<uint32_t>(i));
+    for (size_t i = win_start; i < n; ++i)
+        r.attended.push_back(static_cast<uint32_t>(i));
+
+    // Sparse region: the middle of the context.
+    r.sparseRaw = win_start - sinks;
+    if (r.sparseRaw > 0) {
+        r.usedSparse = true;
+        const std::vector<float> qf = cache.toFilterSpace(q);
+        const SignBits q_signs(qf.data(), cache.headDim());
+        const int th = thresholds_[kv_head];
+
+        // Stage 1: SCF over the sparse region (PFU in hardware).
+        std::vector<uint32_t> survivors;
+        const auto &signs = cache.filterSignsAll();
+        for (size_t i = sinks; i < win_start; ++i) {
+            if (q_signs.concordance(signs[i]) >= th)
+                survivors.push_back(static_cast<uint32_t>(i));
+        }
+        r.sparseSurvivors = survivors.size();
+
+        // Stage 2: scores on survivors (NMA scoring) — full precision
+        // or INT8 keys when quantized scoring is enabled.
+        std::vector<float> scores;
+        if (cfg_.quantizedScoring && cache.keysQuantized()) {
+            scores.resize(survivors.size());
+            for (size_t j = 0; j < survivors.size(); ++j)
+                scores[j] =
+                    cache.scoreKey(q.data(), survivors[j]) * scale;
+        } else {
+            scores =
+                attentionScoresAt(q.data(), cache.keys(), survivors, scale);
+        }
+
+        // Stage 3: top-k ranking (NMA ranking + DCC aggregation).
+        const auto selected = topkSelect(scores, survivors, cfg_.topK);
+        r.sparseSelected = selected.size();
+        for (const auto &s : selected)
+            r.attended.push_back(s.index);
+    }
+
+    std::sort(r.attended.begin(), r.attended.end());
+    r.attended.erase(std::unique(r.attended.begin(), r.attended.end()),
+                     r.attended.end());
+
+    // Degenerate guard: nothing survived anywhere (possible only with
+    // W = 0, no sinks, and a maximal threshold) — attend the most
+    // recent token so the softmax stays well-defined.
+    if (r.attended.empty())
+        r.attended.push_back(static_cast<uint32_t>(n - 1));
+
+    // GPU-side combined softmax and SV accumulation (Fig. 2b (5)-(7)).
+    const AttentionResult att = subsetAttention(
+        q.data(), cache.keys(), cache.values(), r.attended, scale);
+    r.output = att.output;
+    return r;
+}
+
+void
+LongSightAttn::recordStats(const HeadAttentionResult &r, FilterStats &fs)
+{
+    if (r.usedSparse)
+        fs.record(r.sparseRaw, r.sparseSurvivors, r.sparseSelected);
+}
+
+} // namespace longsight

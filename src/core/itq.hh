@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Iterative Quantization (ITQ, Gong & Lazebnik 2011) as used in §5.4:
+ * learn an orthogonal rotation R minimizing the one-bit quantization
+ * error of key/query vectors so that sign-concordance becomes a better
+ * proxy for dot-product similarity. Unlike classical ITQ, the data is
+ * *not* centered — the rotation must preserve dot products exactly so
+ * scoring can keep using unrotated keys — and, per the paper, training
+ * happens on post-RoPE vectors because positional rotation prevents
+ * fusing R into the projection weights.
+ */
+
+#ifndef LONGSIGHT_CORE_ITQ_HH
+#define LONGSIGHT_CORE_ITQ_HH
+
+#include <cstdint>
+
+#include "tensor/tensor.hh"
+
+namespace longsight {
+
+class Rng;
+
+/**
+ * Mean per-vector sign-quantization loss ||sign(x R) - x R||^2 of the
+ * rotated data (lower is better for SCF fidelity).
+ */
+double signQuantizationLoss(const Matrix &data, const Matrix &rotation);
+
+/**
+ * Train an ITQ rotation on (samples x dim) training data — typically
+ * ~1K post-RoPE key and query vectors for one KV head (§5.4).
+ *
+ * Alternates B = sign(X R) with the orthogonal-Procrustes update
+ * R = U W^T for svd(X^T B) = U S W^T; the loss is non-increasing.
+ *
+ * @param data training vectors, one per row
+ * @param iterations alternation count (paper-scale data converges <50)
+ * @param rng source for the random orthogonal initialization
+ */
+Matrix trainItqRotation(const Matrix &data, int iterations, Rng &rng);
+
+} // namespace longsight
+
+#endif // LONGSIGHT_CORE_ITQ_HH

@@ -1,0 +1,112 @@
+#include "core/kv_cache.hh"
+
+#include "tensor/linalg.hh"
+#include "util/logging.hh"
+
+namespace longsight {
+
+KvCache::KvCache(uint32_t head_dim)
+    : headDim_(head_dim), keys_(0, head_dim), values_(0, head_dim)
+{
+    LS_ASSERT(head_dim > 0, "KvCache head dim must be positive");
+}
+
+void
+KvCache::append(const std::vector<float> &key, const std::vector<float> &value)
+{
+    LS_ASSERT(key.size() == headDim_ && value.size() == headDim_,
+              "KvCache append dim mismatch");
+    keys_.appendRow(key.data());
+    values_.appendRow(value.data());
+    rawSigns_.emplace_back(key.data(), headDim_);
+    if (quantizeKeys_)
+        quantizedKeys_.push_back(quantizeInt8(key.data(), headDim_));
+    if (rotation_) {
+        const std::vector<float> rk = gemvT(*rotation_, key);
+        rotatedSigns_.emplace_back(rk.data(), headDim_);
+    }
+}
+
+void
+KvCache::appendAll(const Matrix &keys, const Matrix &values)
+{
+    LS_ASSERT(keys.rows() == values.rows() && keys.cols() == headDim_ &&
+                  values.cols() == headDim_,
+              "KvCache appendAll shape mismatch");
+    for (size_t i = 0; i < keys.rows(); ++i)
+        append(keys.rowVec(i), values.rowVec(i));
+}
+
+const SignBits &
+KvCache::filterSigns(size_t i) const
+{
+    LS_ASSERT(i < size(), "filterSigns index out of range");
+    return rotation_ ? rotatedSigns_[i] : rawSigns_[i];
+}
+
+const std::vector<SignBits> &
+KvCache::filterSignsAll() const
+{
+    return rotation_ ? rotatedSigns_ : rawSigns_;
+}
+
+void
+KvCache::setItqRotation(Matrix rotation)
+{
+    LS_ASSERT(rotation.rows() == headDim_ && rotation.cols() == headDim_,
+              "ITQ rotation must be headDim x headDim");
+    rotation_ = std::move(rotation);
+    rotatedSigns_.clear();
+    rotatedSigns_.reserve(size());
+    for (size_t i = 0; i < size(); ++i) {
+        const std::vector<float> rk = gemvT(*rotation_, keys_.rowVec(i));
+        rotatedSigns_.emplace_back(rk.data(), headDim_);
+    }
+}
+
+const Matrix &
+KvCache::itqRotation() const
+{
+    LS_ASSERT(rotation_.has_value(), "no ITQ rotation installed");
+    return *rotation_;
+}
+
+void
+KvCache::enableKeyQuantization()
+{
+    if (quantizeKeys_)
+        return;
+    quantizeKeys_ = true;
+    quantizedKeys_.clear();
+    quantizedKeys_.reserve(size());
+    for (size_t i = 0; i < size(); ++i)
+        quantizedKeys_.push_back(quantizeInt8(keys_.row(i), headDim_));
+}
+
+const QuantizedVector &
+KvCache::quantizedKey(size_t i) const
+{
+    LS_ASSERT(quantizeKeys_, "key quantization not enabled");
+    LS_ASSERT(i < quantizedKeys_.size(), "quantized key out of range");
+    return quantizedKeys_[i];
+}
+
+float
+KvCache::scoreKey(const float *q, size_t i) const
+{
+    LS_ASSERT(i < size(), "scoreKey index out of range");
+    if (quantizeKeys_)
+        return dotQuantized(quantizedKeys_[i], q);
+    return dot(q, keys_.row(i), headDim_);
+}
+
+std::vector<float>
+KvCache::toFilterSpace(const std::vector<float> &q) const
+{
+    LS_ASSERT(q.size() == headDim_, "query dim mismatch");
+    if (!rotation_)
+        return q;
+    return gemvT(*rotation_, q);
+}
+
+} // namespace longsight

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Per-(user, layer, KV-head) Key/Value store. This is the functional
+ * twin of the paper's "vector database" view of the KV cache (§4):
+ * post-RoPE keys and values indexed by token position, with packed
+ * sign bits maintained incrementally for SCF. When an ITQ rotation is
+ * installed, sign bits are taken from the rotated keys while scoring
+ * still uses the original keys (an orthogonal rotation leaves dot
+ * products unchanged, so only the one-bit quantization sees it).
+ */
+
+#ifndef LONGSIGHT_CORE_KV_CACHE_HH
+#define LONGSIGHT_CORE_KV_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "tensor/quantized.hh"
+#include "tensor/signbits.hh"
+#include "tensor/tensor.hh"
+
+namespace longsight {
+
+/**
+ * Growable KV store for one attention head's context.
+ */
+class KvCache
+{
+  public:
+    explicit KvCache(uint32_t head_dim);
+
+    uint32_t headDim() const { return headDim_; }
+    size_t size() const { return keys_.rows(); }
+
+    /** Append one (post-RoPE key, value) pair. */
+    void append(const std::vector<float> &key, const std::vector<float> &value);
+
+    /** Bulk-append rows of two (n x headDim) matrices. */
+    void appendAll(const Matrix &keys, const Matrix &values);
+
+    const Matrix &keys() const { return keys_; }
+    const Matrix &values() const { return values_; }
+
+    /** Sign bits of the raw (unrotated) key i. */
+    const SignBits &rawSigns(size_t i) const { return rawSigns_[i]; }
+
+    /**
+     * Sign bits used for filtering: ITQ-rotated when a rotation is
+     * installed, raw otherwise.
+     */
+    const SignBits &filterSigns(size_t i) const;
+
+    /** All filter sign bits (for handing a block to the PFU model). */
+    const std::vector<SignBits> &filterSignsAll() const;
+
+    /**
+     * Install (or replace) the ITQ rotation; recomputes the rotated
+     * sign bits of every stored key.
+     */
+    void setItqRotation(Matrix rotation);
+
+    bool hasItqRotation() const { return rotation_.has_value(); }
+    const Matrix &itqRotation() const;
+
+    /**
+     * Rotate a query into filter space (x * R); identity copy when no
+     * rotation is installed.
+     */
+    std::vector<float> toFilterSpace(const std::vector<float> &q) const;
+
+    /**
+     * Maintain INT8-quantized copies of the keys (one scale per key)
+     * so scoring can run on half-width fetches; quantizes existing
+     * keys and keeps future appends quantized.
+     */
+    void enableKeyQuantization();
+
+    bool keysQuantized() const { return quantizeKeys_; }
+
+    /** Quantized key i (requires enableKeyQuantization()). */
+    const QuantizedVector &quantizedKey(size_t i) const;
+
+    /**
+     * q . key_i using the INT8 key when quantization is enabled,
+     * full precision otherwise.
+     */
+    float scoreKey(const float *q, size_t i) const;
+
+  private:
+    uint32_t headDim_;
+    Matrix keys_;
+    Matrix values_;
+    std::vector<SignBits> rawSigns_;
+    std::vector<SignBits> rotatedSigns_;
+    std::optional<Matrix> rotation_;
+    bool quantizeKeys_ = false;
+    std::vector<QuantizedVector> quantizedKeys_;
+};
+
+} // namespace longsight
+
+#endif // LONGSIGHT_CORE_KV_CACHE_HH

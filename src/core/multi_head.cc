@@ -1,0 +1,44 @@
+#include "core/multi_head.hh"
+
+#include "util/logging.hh"
+
+namespace longsight {
+
+MultiHeadLongSight::MultiHeadLongSight(const LongSightConfig &cfg,
+                                       uint32_t num_query_heads,
+                                       uint32_t num_kv_heads,
+                                       uint32_t head_dim)
+    : attn_(cfg, num_kv_heads), numQueryHeads_(num_query_heads),
+      headDim_(head_dim)
+{
+    LS_ASSERT(num_query_heads % num_kv_heads == 0,
+              "query heads (", num_query_heads,
+              ") must be a multiple of KV heads (", num_kv_heads, ")");
+}
+
+LayerAttentionResult
+MultiHeadLongSight::compute(const Matrix &queries,
+                            const std::vector<KvCache> &caches) const
+{
+    LS_ASSERT(queries.rows() == numQueryHeads_ &&
+                  queries.cols() == headDim_,
+              "query matrix must be numQueryHeads x headDim");
+    LS_ASSERT(caches.size() == numKvHeads(),
+              "need one KV cache per KV head");
+
+    LayerAttentionResult r;
+    r.outputs.resize(numQueryHeads_, headDim_);
+    r.perQuery.reserve(numQueryHeads_);
+    const uint32_t group = groupSize();
+    for (uint32_t q = 0; q < numQueryHeads_; ++q) {
+        const uint32_t kv_head = q / group;
+        HeadAttentionResult head =
+            attn_.computeHead(queries.rowVec(q), caches[kv_head], kv_head);
+        r.outputs.setRow(q, head.output.data());
+        LongSightAttn::recordStats(head, r.stats);
+        r.perQuery.push_back(std::move(head));
+    }
+    return r;
+}
+
+} // namespace longsight

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Full multi-head hybrid attention for one decoder layer under GQA:
+ * numQueryHeads query vectors attend through numKvHeads KV caches
+ * (each GQA group of groupSize() queries shares one cache and one SCF
+ * threshold). This is the layer-level API a serving integration uses;
+ * LongSightAttn::computeHead is the per-head primitive underneath.
+ */
+
+#ifndef LONGSIGHT_CORE_MULTI_HEAD_HH
+#define LONGSIGHT_CORE_MULTI_HEAD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/filter_stats.hh"
+#include "core/hybrid_attention.hh"
+#include "core/kv_cache.hh"
+#include "tensor/tensor.hh"
+
+namespace longsight {
+
+/**
+ * Result of one layer's multi-head hybrid attention.
+ */
+struct LayerAttentionResult
+{
+    Matrix outputs; //!< numQueryHeads x headDim
+    FilterStats stats;
+    std::vector<HeadAttentionResult> perQuery; //!< one per query head
+};
+
+/**
+ * GQA-grouped hybrid attention across all heads of a layer.
+ */
+class MultiHeadLongSight
+{
+  public:
+    /**
+     * @param cfg hybrid parameters (thresholds are per KV head)
+     * @param num_query_heads query-head count (multiple of KV heads)
+     * @param num_kv_heads KV-head count
+     * @param head_dim per-head dimension
+     */
+    MultiHeadLongSight(const LongSightConfig &cfg, uint32_t num_query_heads,
+                       uint32_t num_kv_heads, uint32_t head_dim);
+
+    uint32_t numQueryHeads() const { return numQueryHeads_; }
+    uint32_t numKvHeads() const { return attn_.numKvHeads(); }
+    uint32_t groupSize() const { return numQueryHeads_ / numKvHeads(); }
+    uint32_t headDim() const { return headDim_; }
+
+    LongSightAttn &attention() { return attn_; }
+    const LongSightAttn &attention() const { return attn_; }
+
+    /**
+     * Compute one decode step's attention for every query head.
+     *
+     * @param queries numQueryHeads x headDim post-RoPE query matrix;
+     *        query head q uses KV head q / groupSize()
+     * @param caches one KvCache per KV head (same layer, same user)
+     */
+    LayerAttentionResult compute(const Matrix &queries,
+                                 const std::vector<KvCache> &caches) const;
+
+  private:
+    LongSightAttn attn_;
+    uint32_t numQueryHeads_;
+    uint32_t headDim_;
+};
+
+} // namespace longsight
+
+#endif // LONGSIGHT_CORE_MULTI_HEAD_HH

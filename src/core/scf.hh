@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Sign-Concordance Filtering (SCF), the paper's §5 filtering stage.
+ *
+ * SCF(Q, K, TH) = (TH <= D - sum_i (SQ[i] XOR SK[i]))
+ *
+ * i.e. a key survives if the number of dimensions where its sign bit
+ * matches the query's meets a threshold. Thresholds are assigned per
+ * KV head (the granularity the paper found stable, §5.1). A threshold
+ * of zero keeps every key; a threshold of D keeps only keys whose sign
+ * pattern is identical to the query's.
+ */
+
+#ifndef LONGSIGHT_CORE_SCF_HH
+#define LONGSIGHT_CORE_SCF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/signbits.hh"
+#include "tensor/tensor.hh"
+
+namespace longsight {
+
+/**
+ * Evaluate SCF for a single query/key pair.
+ */
+bool scfPasses(const SignBits &query, const SignBits &key, int threshold);
+
+/**
+ * Filter a contiguous range of keys: returns the indices (relative to
+ * `begin`... offset by `base_index`) of keys that pass.
+ *
+ * @param query       sign bits of the query
+ * @param keys        sign bits per key
+ * @param threshold   per-KV-head SCF threshold
+ * @param base_index  added to each surviving position (global indexing)
+ */
+std::vector<uint32_t> scfFilter(const SignBits &query,
+                                const std::vector<SignBits> &keys,
+                                int threshold, uint32_t base_index = 0);
+
+/**
+ * Filter directly from float rows (packs signs on the fly). Slower
+ * path used by tests to cross-check the packed implementation.
+ */
+std::vector<uint32_t> scfFilterRows(const float *query, const Matrix &keys,
+                                    size_t begin, size_t end, int threshold);
+
+} // namespace longsight
+
+#endif // LONGSIGHT_CORE_SCF_HH

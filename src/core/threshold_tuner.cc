@@ -1,0 +1,80 @@
+#include "core/threshold_tuner.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace longsight {
+
+ThresholdTuner::ThresholdTuner(double ppl_budget_pct, int step,
+                               uint32_t max_iters)
+    : pplBudgetPct_(ppl_budget_pct), step_(step), maxIters_(max_iters)
+{
+    LS_ASSERT(step > 0, "tuner step must be positive");
+    LS_ASSERT(max_iters > 0, "tuner needs at least one iteration");
+}
+
+TuneResult
+ThresholdTuner::tune(const Evaluator &evaluate, uint32_t num_heads,
+                     uint32_t head_dim) const
+{
+    const int max_threshold = static_cast<int>(head_dim);
+    std::vector<int> current(num_heads, 0);
+    std::vector<int> step(num_heads, step_); //!< halves on failure
+    std::vector<bool> frozen(num_heads, false);
+
+    TuneResult best;
+    best.thresholds = current;
+
+    ThresholdEval ev = evaluate(current);
+    ++best.iterations;
+    best.pplIncreasePct = ev.pplIncreasePct;
+    best.filterRatio = ev.overallFilterRatio;
+    LS_ASSERT(ev.headFilterRatios.size() == num_heads,
+              "evaluator must report one ratio per KV head");
+
+    while (best.iterations < maxIters_) {
+        // Pick the non-frozen head with the lowest filter ratio.
+        int pick = -1;
+        double lowest = 0.0;
+        for (uint32_t h = 0; h < num_heads; ++h) {
+            if (frozen[h] || current[h] >= max_threshold)
+                continue;
+            if (pick < 0 || ev.headFilterRatios[h] < lowest) {
+                pick = static_cast<int>(h);
+                lowest = ev.headFilterRatios[h];
+            }
+        }
+        if (pick < 0)
+            break; // every head frozen or saturated
+
+        std::vector<int> candidate = current;
+        candidate[pick] =
+            std::min(candidate[pick] + step[pick], max_threshold);
+
+        const ThresholdEval cand_ev = evaluate(candidate);
+        ++best.iterations;
+
+        if (cand_ev.pplIncreasePct > pplBudgetPct_) {
+            // Over budget: refine with a smaller step before giving up
+            // on this head — threshold responses can be steep.
+            if (step[pick] > 1) {
+                step[pick] /= 2;
+            } else {
+                frozen[static_cast<size_t>(pick)] = true;
+            }
+            continue;
+        }
+
+        current = candidate;
+        ev = cand_ev;
+        if (cand_ev.overallFilterRatio > best.filterRatio) {
+            best.thresholds = current;
+            best.filterRatio = cand_ev.overallFilterRatio;
+            best.pplIncreasePct = cand_ev.pplIncreasePct;
+        }
+    }
+    return best;
+}
+
+} // namespace longsight

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The §8.1.3 threshold-tuning loop: start with every per-KV-head SCF
+ * threshold at zero (nothing filtered), repeatedly raise the threshold
+ * of the head with the lowest filtering ratio, and stop when the
+ * perplexity increase would exceed the budget — keeping the last
+ * configuration that met it.
+ */
+
+#ifndef LONGSIGHT_CORE_THRESHOLD_TUNER_HH
+#define LONGSIGHT_CORE_THRESHOLD_TUNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace longsight {
+
+/**
+ * One evaluation of a threshold vector.
+ */
+struct ThresholdEval
+{
+    double pplIncreasePct = 0.0;        //!< relative perplexity increase
+    double overallFilterRatio = 0.0;    //!< aggregate Fig-3 ratio
+    std::vector<double> headFilterRatios; //!< per-KV-head ratios
+};
+
+/**
+ * Outcome of a tuning run.
+ */
+struct TuneResult
+{
+    std::vector<int> thresholds;   //!< best thresholds found
+    double pplIncreasePct = 0.0;   //!< quality at those thresholds
+    double filterRatio = 0.0;      //!< overall ratio at those thresholds
+    uint32_t iterations = 0;       //!< evaluator invocations
+};
+
+/**
+ * Iterative per-KV-head threshold tuner.
+ */
+class ThresholdTuner
+{
+  public:
+    /** Evaluate a candidate threshold vector. */
+    using Evaluator = std::function<ThresholdEval(const std::vector<int> &)>;
+
+    /**
+     * @param ppl_budget_pct quality budget (paper: 5 %)
+     * @param step initial threshold increment per move (in sign-bit
+     *        counts); halves per head on over-budget moves so steep
+     *        threshold responses are refined rather than abandoned
+     * @param max_iters evaluator-call cap
+     */
+    ThresholdTuner(double ppl_budget_pct, int step, uint32_t max_iters);
+
+    /**
+     * Run the loop.
+     *
+     * @param evaluate   candidate evaluator (runs the algorithm)
+     * @param num_heads  KV-head count
+     * @param head_dim   maximum meaningful threshold (concordance <= D)
+     */
+    TuneResult tune(const Evaluator &evaluate, uint32_t num_heads,
+                    uint32_t head_dim) const;
+
+  private:
+    double pplBudgetPct_;
+    int step_;
+    uint32_t maxIters_;
+};
+
+} // namespace longsight
+
+#endif // LONGSIGHT_CORE_THRESHOLD_TUNER_HH

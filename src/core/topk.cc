@@ -1,0 +1,110 @@
+#include "core/topk.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace longsight {
+
+std::vector<ScoredIndex>
+topkSelect(const std::vector<float> &scores,
+           const std::vector<uint32_t> &indices, size_t k)
+{
+    LS_ASSERT(scores.size() == indices.size(),
+              "topkSelect parallel array mismatch");
+    std::vector<ScoredIndex> all(scores.size());
+    for (size_t i = 0; i < scores.size(); ++i)
+        all[i] = ScoredIndex{scores[i], indices[i]};
+
+    const size_t keep = std::min(k, all.size());
+    std::partial_sort(all.begin(), all.begin() + keep, all.end(),
+                      [](const ScoredIndex &a, const ScoredIndex &b) {
+                          return a.betterThan(b);
+                      });
+    all.resize(keep);
+    return all;
+}
+
+TopK::TopK(size_t k) : k_(k)
+{
+    LS_ASSERT(k > 0, "TopK capacity must be positive");
+    heap_.reserve(k);
+}
+
+bool
+TopK::worse(const ScoredIndex &a, const ScoredIndex &b)
+{
+    return b.betterThan(a);
+}
+
+void
+TopK::push(float score, uint32_t index)
+{
+    const ScoredIndex cand{score, index};
+    if (heap_.size() < k_) {
+        heap_.push_back(cand);
+        siftUp(heap_.size() - 1);
+        return;
+    }
+    if (cand.betterThan(heap_[0])) {
+        heap_[0] = cand;
+        siftDown(0);
+    }
+}
+
+void
+TopK::merge(const TopK &other)
+{
+    for (const auto &e : other.heap_)
+        push(e.score, e.index);
+}
+
+float
+TopK::worstRetained() const
+{
+    LS_ASSERT(!heap_.empty(), "worstRetained on empty TopK");
+    return heap_[0].score;
+}
+
+std::vector<ScoredIndex>
+TopK::sortedResults() const
+{
+    std::vector<ScoredIndex> out = heap_;
+    std::sort(out.begin(), out.end(),
+              [](const ScoredIndex &a, const ScoredIndex &b) {
+                  return a.betterThan(b);
+              });
+    return out;
+}
+
+void
+TopK::siftUp(size_t i)
+{
+    while (i > 0) {
+        const size_t parent = (i - 1) / 2;
+        if (!worse(heap_[i], heap_[parent]))
+            break;
+        std::swap(heap_[i], heap_[parent]);
+        i = parent;
+    }
+}
+
+void
+TopK::siftDown(size_t i)
+{
+    for (;;) {
+        const size_t l = 2 * i + 1;
+        const size_t r = 2 * i + 2;
+        size_t smallest = i;
+        if (l < heap_.size() && worse(heap_[l], heap_[smallest]))
+            smallest = l;
+        if (r < heap_.size() && worse(heap_[r], heap_[smallest]))
+            smallest = r;
+        if (smallest == i)
+            break;
+        std::swap(heap_[i], heap_[smallest]);
+        i = smallest;
+    }
+}
+
+} // namespace longsight

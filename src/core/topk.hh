@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Top-k selection over attention scores — the paper's §5 ranking
+ * stage. Provides a one-shot selection over a score array and a
+ * streaming accumulator (TopK) matching the NMA hardware behaviour,
+ * which evaluates scores epoch by epoch and keeps a bounded partial
+ * top-k list (hardware cap k <= 1024, §7.2).
+ */
+
+#ifndef LONGSIGHT_CORE_TOPK_HH
+#define LONGSIGHT_CORE_TOPK_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace longsight {
+
+/**
+ * A scored candidate key.
+ */
+struct ScoredIndex
+{
+    float score;
+    uint32_t index;
+
+    /** Ordering: higher score wins; ties break toward lower index. */
+    bool betterThan(const ScoredIndex &o) const
+    {
+        return score > o.score || (score == o.score && index < o.index);
+    }
+};
+
+/**
+ * Select the k best (score, index) pairs from parallel arrays.
+ * Deterministic: ties resolve toward the lower index. Results are
+ * sorted best-first. If k >= scores.size(), returns everything.
+ */
+std::vector<ScoredIndex> topkSelect(const std::vector<float> &scores,
+                                    const std::vector<uint32_t> &indices,
+                                    size_t k);
+
+/**
+ * Streaming bounded top-k accumulator (min-heap of capacity k).
+ */
+class TopK
+{
+  public:
+    explicit TopK(size_t k);
+
+    /** Offer one candidate. */
+    void push(float score, uint32_t index);
+
+    /** Merge another accumulator's contents (DCC aggregation path). */
+    void merge(const TopK &other);
+
+    size_t capacity() const { return k_; }
+    size_t size() const { return heap_.size(); }
+
+    /** Current worst retained score (only valid when size() == k). */
+    float worstRetained() const;
+
+    /** Extract results sorted best-first (accumulator stays intact). */
+    std::vector<ScoredIndex> sortedResults() const;
+
+  private:
+    size_t k_;
+    // Min-heap on betterThan-inverted ordering: heap_[0] is the entry
+    // that the next better candidate evicts.
+    std::vector<ScoredIndex> heap_;
+
+    void siftUp(size_t i);
+    void siftDown(size_t i);
+    static bool worse(const ScoredIndex &a, const ScoredIndex &b);
+};
+
+} // namespace longsight
+
+#endif // LONGSIGHT_CORE_TOPK_HH

@@ -1,0 +1,111 @@
+#include "drex/dcc.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace longsight {
+
+void
+PollingRegister::set(uint32_t bit)
+{
+    LS_ASSERT(bit < kBits, "polling bit out of range");
+    words_[bit >> 6] |= uint64_t{1} << (bit & 63);
+}
+
+void
+PollingRegister::clear(uint32_t bit)
+{
+    LS_ASSERT(bit < kBits, "polling bit out of range");
+    words_[bit >> 6] &= ~(uint64_t{1} << (bit & 63));
+}
+
+bool
+PollingRegister::test(uint32_t bit) const
+{
+    LS_ASSERT(bit < kBits, "polling bit out of range");
+    return (words_[bit >> 6] >> (bit & 63)) & 1;
+}
+
+uint32_t
+PollingRegister::popcount() const
+{
+    uint32_t n = 0;
+    for (uint64_t w : words_)
+        n += static_cast<uint32_t>(__builtin_popcountll(w));
+    return n;
+}
+
+Dcc::Dcc(const DccConfig &cfg, const DataLayout &layout,
+         std::vector<Nma> &nmas)
+    : cfg_(cfg), layout_(layout), nmas_(nmas)
+{
+    LS_ASSERT(!nmas.empty(), "DCC needs at least one NMA");
+}
+
+void
+Dcc::submit(AttentionRequest request)
+{
+    LS_ASSERT(queue_.size() < cfg_.queueDepth,
+              "DCC request queue overflow (depth ", cfg_.queueDepth, ")");
+    queue_.push_back(std::move(request));
+}
+
+uint32_t
+Dcc::responseBufferFor(uint32_t uid)
+{
+    auto it = bufferCam_.find(uid);
+    if (it != bufferCam_.end())
+        return it->second;
+    LS_ASSERT(bufferCam_.size() < cfg_.responseBuffers,
+              "response buffers exhausted (", cfg_.responseBuffers, ")");
+    const auto idx = static_cast<uint32_t>(bufferCam_.size());
+    bufferCam_.emplace(uid, idx);
+    return idx;
+}
+
+AttentionResponse
+Dcc::processNext()
+{
+    LS_ASSERT(!queue_.empty(), "processNext on an empty queue");
+    AttentionRequest req = std::move(queue_.front());
+    queue_.pop_front();
+
+    AttentionResponse resp;
+    resp.uid = req.uid;
+    resp.layer = req.layer;
+    resp.responseBuffer = responseBufferFor(req.uid);
+
+    const Tick dispatch = req.arrivalTick + cfg_.dispatchOverhead;
+    Tick done = dispatch;
+    for (const auto &spec : req.headOffloads) {
+        const uint32_t pkg = layout_.packageFor(spec.user, spec.kvHead);
+        LS_ASSERT(pkg < nmas_.size(), "package ", pkg, " has no NMA");
+        OffloadResult r = nmas_[pkg].process(dispatch, spec);
+        done = std::max(done, r.doneTick);
+        resp.responseBytes += r.valueBytes;
+        resp.headResults.push_back(std::move(r));
+    }
+    resp.readyTick = done + cfg_.aggregationOverhead;
+    pollReg_.set(resp.responseBuffer);
+    return resp;
+}
+
+void
+Dcc::acknowledge(uint32_t uid)
+{
+    auto it = bufferCam_.find(uid);
+    LS_ASSERT(it != bufferCam_.end(), "acknowledge of unknown user ", uid);
+    pollReg_.clear(it->second);
+}
+
+std::vector<AttentionResponse>
+Dcc::processAll()
+{
+    std::vector<AttentionResponse> out;
+    while (hasWork())
+        out.push_back(processNext());
+    return out;
+}
+
+} // namespace longsight

@@ -1,0 +1,129 @@
+#include "drex/descriptors.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace longsight {
+
+namespace {
+
+template <typename T>
+void
+put(std::vector<uint8_t> &out, T v)
+{
+    const size_t at = out.size();
+    out.resize(at + sizeof(T));
+    std::memcpy(out.data() + at, &v, sizeof(T));
+}
+
+template <typename T>
+T
+get(const std::vector<uint8_t> &in, size_t &cursor)
+{
+    LS_ASSERT(cursor + sizeof(T) <= in.size(),
+              "descriptor truncated at byte ", cursor);
+    T v;
+    std::memcpy(&v, in.data() + cursor, sizeof(T));
+    cursor += sizeof(T);
+    return v;
+}
+
+uint16_t
+bf16Bits(float v)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &v, 4);
+    // Round-to-nearest-even on the dropped 16 bits.
+    const uint32_t rounding = 0x7fff + ((bits >> 16) & 1);
+    return static_cast<uint16_t>((bits + rounding) >> 16);
+}
+
+float
+fromBf16Bits(uint16_t b)
+{
+    const uint32_t bits = static_cast<uint32_t>(b) << 16;
+    float v;
+    std::memcpy(&v, &bits, 4);
+    return v;
+}
+
+} // namespace
+
+float
+toBf16(float v)
+{
+    return fromBf16Bits(bf16Bits(v));
+}
+
+uint64_t
+RequestDescriptor::byteSize() const
+{
+    return 5 * 4 + thresholds.size() * 4 +
+        2ULL * numQueryHeads * headDim;
+}
+
+std::vector<uint8_t>
+RequestDescriptor::serialize() const
+{
+    LS_ASSERT(queries.rows() == numQueryHeads &&
+                  queries.cols() == headDim,
+              "query matrix shape does not match descriptor header");
+    std::vector<uint8_t> out;
+    out.reserve(byteSize());
+    put(out, uid);
+    put(out, layer);
+    put(out, k);
+    put(out, numQueryHeads);
+    put(out, headDim);
+    for (int32_t th : thresholds)
+        put(out, th);
+    for (size_t i = 0; i < queries.size(); ++i)
+        put(out, bf16Bits(queries.data()[i]));
+    return out;
+}
+
+RequestDescriptor
+RequestDescriptor::deserialize(const std::vector<uint8_t> &bytes)
+{
+    RequestDescriptor d;
+    size_t cur = 0;
+    d.uid = get<uint32_t>(bytes, cur);
+    d.layer = get<uint32_t>(bytes, cur);
+    d.k = get<uint32_t>(bytes, cur);
+    d.numQueryHeads = get<uint32_t>(bytes, cur);
+    d.headDim = get<uint32_t>(bytes, cur);
+    LS_ASSERT(d.numQueryHeads <= 256 && d.headDim <= 1024,
+              "implausible descriptor header");
+    // Thresholds fill the remainder before the query payload.
+    const uint64_t query_bytes = 2ULL * d.numQueryHeads * d.headDim;
+    LS_ASSERT(bytes.size() >= cur + query_bytes,
+              "descriptor too short for query payload");
+    const size_t th_count = (bytes.size() - cur - query_bytes) / 4;
+    d.thresholds.resize(th_count);
+    for (size_t i = 0; i < th_count; ++i)
+        d.thresholds[i] = get<int32_t>(bytes, cur);
+    d.queries.resize(d.numQueryHeads, d.headDim);
+    for (size_t i = 0; i < d.queries.size(); ++i)
+        d.queries.data()[i] = fromBf16Bits(get<uint16_t>(bytes, cur));
+    LS_ASSERT(cur == bytes.size(), "trailing bytes in descriptor");
+    return d;
+}
+
+bool
+RequestDescriptor::operator==(const RequestDescriptor &o) const
+{
+    if (uid != o.uid || layer != o.layer || k != o.k ||
+        numQueryHeads != o.numQueryHeads || headDim != o.headDim ||
+        thresholds != o.thresholds)
+        return false;
+    if (queries.rows() != o.queries.rows() ||
+        queries.cols() != o.queries.cols())
+        return false;
+    for (size_t i = 0; i < queries.size(); ++i)
+        if (queries.data()[i] != o.queries.data()[i])
+            return false;
+    return true;
+}
+
+} // namespace longsight

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Wire formats of the §7.3.1 MMIO objects exchanged between GPU and
+ * DCC: the Request Descriptor (UID, layer, query vectors) the GPU
+ * pushes into the Request Queue, and the Response Descriptor sizing
+ * (up to 1024 x H top keys/values plus scores) the DCC writes into a
+ * Response Buffer. Serialization is little-endian and byte-exact so
+ * the CXL models can charge real payload sizes and tests can
+ * round-trip the formats.
+ */
+
+#ifndef LONGSIGHT_DREX_DESCRIPTORS_HH
+#define LONGSIGHT_DREX_DESCRIPTORS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace longsight {
+
+/**
+ * The request descriptor the GPU writes to the DCC Request Queue.
+ */
+struct RequestDescriptor
+{
+    uint32_t uid = 0;
+    uint32_t layer = 0;
+    uint32_t k = 1024;
+    uint32_t numQueryHeads = 0;
+    uint32_t headDim = 0;
+    /** Per-KV-head SCF thresholds. */
+    std::vector<int32_t> thresholds;
+    /** numQueryHeads x headDim BF16-rounded query payload. */
+    Matrix queries;
+
+    /** Serialized byte size (header + thresholds + BF16 queries). */
+    uint64_t byteSize() const;
+
+    /** Serialize to bytes (queries rounded to BF16 as on the wire). */
+    std::vector<uint8_t> serialize() const;
+
+    /** Parse a serialized descriptor; dies on malformed input. */
+    static RequestDescriptor deserialize(const std::vector<uint8_t> &bytes);
+
+    bool operator==(const RequestDescriptor &o) const;
+};
+
+/**
+ * Sizing of the Response Descriptor (§7.3.1): a list of up to
+ * 1024 x H top keys and values. Entries carry a 32-bit token ID, a
+ * 32-bit score, and the BF16 value vector.
+ */
+struct ResponseDescriptorLayout
+{
+    uint32_t k = 1024;
+    uint32_t numKvHeads = 8;
+    uint32_t headDim = 128;
+
+    /** Bytes per (id, score, value-vector) entry. */
+    uint64_t entryBytes() const { return 4 + 4 + 2ULL * headDim; }
+
+    /** Maximum response payload for one request. */
+    uint64_t maxBytes() const
+    {
+        return entryBytes() * k * numKvHeads;
+    }
+};
+
+/** Round a float to BF16 precision (truncate mantissa to 8 bits). */
+float toBf16(float v);
+
+} // namespace longsight
+
+#endif // LONGSIGHT_DREX_DESCRIPTORS_HH

@@ -1,0 +1,259 @@
+#include "drex/nma.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/linalg.hh"
+#include "util/logging.hh"
+
+namespace longsight {
+
+Nma::Nma(const NmaConfig &cfg, const DataLayout &layout,
+         DramPackage &package)
+    : cfg_(cfg), layout_(layout), package_(package)
+{
+    LS_ASSERT(cfg.maxTopK > 0 && cfg.maxTopK <= 1024,
+              "hardware top-k must be in (0, 1024]");
+}
+
+std::vector<uint32_t>
+Nma::filterEpochFunctional(const OffloadSpec &spec,
+                           const std::vector<SignBits> &query_signs,
+                           uint64_t epoch_begin, uint64_t epoch_end,
+                           std::vector<std::vector<uint32_t>> &per_query)
+    const
+{
+    const auto &signs = spec.cache->filterSignsAll();
+    std::vector<uint32_t> union_survivors;
+    per_query.assign(query_signs.size(), {});
+
+    // Blocks are 128-key aligned in the slice; filter whole blocks and
+    // mask tokens outside the requested range.
+    const uint64_t block = DataLayout::kKeysPerBlock;
+    const uint64_t first_block = epoch_begin / block;
+    const uint64_t last_block = (epoch_end + block - 1) / block;
+    for (uint64_t b = first_block; b < last_block; ++b) {
+        const uint64_t tok_begin = b * block;
+        const uint64_t tok_end =
+            std::min<uint64_t>(tok_begin + block, spec.cache->size());
+        const uint32_t num_keys = static_cast<uint32_t>(tok_end - tok_begin);
+        if (num_keys == 0)
+            continue;
+        const auto bitmaps = Pfu::filterBlock(
+            query_signs, signs.data() + tok_begin, num_keys,
+            spec.threshold);
+        for (uint32_t i = 0; i < num_keys; ++i) {
+            const uint32_t tok = static_cast<uint32_t>(tok_begin) + i;
+            if (tok < epoch_begin || tok >= epoch_end)
+                continue;
+            bool any = false;
+            for (size_t q = 0; q < bitmaps.size(); ++q) {
+                if (bitmaps[q].test(i)) {
+                    per_query[q].push_back(tok);
+                    any = true;
+                }
+            }
+            if (any)
+                union_survivors.push_back(tok);
+        }
+    }
+    return union_survivors;
+}
+
+uint64_t
+Nma::survivorsModelled(const OffloadSpec &spec, uint64_t epoch_tokens) const
+{
+    return static_cast<uint64_t>(
+        std::llround(spec.survivorFraction *
+                     static_cast<double>(epoch_tokens)));
+}
+
+OffloadResult
+Nma::process(Tick start, const OffloadSpec &spec)
+{
+    LS_ASSERT(spec.sparseEnd >= spec.sparseBegin, "inverted sparse region");
+    LS_ASSERT(spec.numQueries >= 1 && spec.numQueries <= Pfu::kMaxQueries,
+              "query group size out of PFU range");
+    const bool functional = spec.cache != nullptr;
+    if (functional) {
+        LS_ASSERT(spec.queries && spec.filterQueries,
+                  "functional offload needs query matrices");
+        LS_ASSERT(spec.sparseEnd <= spec.cache->size(),
+                  "sparse region beyond cache");
+    }
+
+    OffloadResult r;
+    r.startTick = std::max(start, busyUntil_);
+    r.regionTokens = spec.sparseEnd - spec.sparseBegin;
+
+    const uint32_t d = layout_.headDim();
+    const uint32_t k = std::min(spec.k, cfg_.maxTopK);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+
+    // Pack query sign bits once (done by the DCC when staging the
+    // request; cost is negligible next to addrGen).
+    std::vector<SignBits> query_signs;
+    if (functional) {
+        for (uint32_t q = 0; q < spec.numQueries; ++q)
+            query_signs.emplace_back(spec.filterQueries->row(q), d);
+    }
+
+    std::vector<TopK> rankers;
+    for (uint32_t q = 0; q < spec.numQueries; ++q)
+        rankers.emplace_back(k);
+
+    // Epoch span: every bank filters one 128-key block per epoch, so
+    // one epoch covers up to banks x 128 tokens of the slice.
+    const uint64_t epoch_span =
+        static_cast<uint64_t>(layout_.geometry().banksPerChannel) *
+        layout_.keysPerGroup();
+
+    Tick t = r.startTick;
+    const Tick per_key_dot = static_cast<Tick>(
+        2.0 * d * spec.numQueries / cfg_.dotProductFlops * 1e12);
+
+    uint64_t pos = spec.sparseBegin;
+    while (pos < spec.sparseEnd) {
+        const uint64_t epoch_end =
+            std::min(spec.sparseEnd,
+                     (pos / epoch_span + 1) * epoch_span);
+        const uint64_t epoch_tokens = epoch_end - pos;
+        ++r.epochs;
+
+        // Address generation for the epoch's PFU launch.
+        t += cfg_.addrGenOverhead;
+        r.timing.addrGen += cfg_.addrGenOverhead;
+
+        // In-bank filtering, all banks in parallel.
+        const Tick t_filter = Pfu::bitmapGenTime(d, spec.numQueries);
+        t += t_filter;
+        r.timing.filter += t_filter;
+
+        // Bitmap readout: 16 B per bank per query; banks stream over
+        // their channel back to back after one access latency.
+        const uint32_t groups = static_cast<uint32_t>(
+            (epoch_tokens + layout_.keysPerGroup() - 1) /
+            layout_.keysPerGroup());
+        const Tick t_bitmap = cfg_.bitmapReadLatency +
+            groups * spec.numQueries *
+                package_.channel(0).timings().tBurst;
+        t += t_bitmap;
+        r.timing.bitmapRead += t_bitmap;
+
+        // Survivors of this epoch.
+        std::vector<uint32_t> survivors;
+        std::vector<std::vector<uint32_t>> per_query_survivors;
+        uint64_t survivor_count;
+        if (functional) {
+            survivors = filterEpochFunctional(spec, query_signs, pos,
+                                              epoch_end,
+                                              per_query_survivors);
+            survivor_count = survivors.size();
+        } else {
+            survivor_count = survivorsModelled(spec, epoch_tokens);
+        }
+        r.survivors += survivor_count;
+
+        // Scoring: fetch each survivor's full-precision key, striped
+        // across the package's channels, and dot-product against the
+        // query group. Compute pipelines behind memory; the phase ends
+        // when the slower of the two finishes.
+        const uint32_t fetch_bytes = spec.quantizedScoring
+            ? d + 4 // INT8 payload + per-key scale
+            : layout_.keyBytes();
+        Tick mem_done = t;
+        if (functional) {
+            LS_ASSERT(!spec.quantizedScoring ||
+                          spec.cache->keysQuantized(),
+                      "quantized scoring needs a quantized Key Object");
+            // Union survivors drive memory traffic; each query ranks
+            // only the keys its own bitmap kept.
+            for (uint32_t tok : survivors) {
+                const TokenPlace p = layout_.place(
+                    spec.user, spec.layer, spec.kvHead, tok);
+                mem_done = package_.readStriped(t, p.bank, p.keyRow,
+                                                fetch_bytes);
+            }
+            for (uint32_t q = 0; q < spec.numQueries; ++q) {
+                for (uint32_t tok : per_query_survivors[q]) {
+                    const float s = spec.quantizedScoring
+                        ? spec.cache->scoreKey(spec.queries->row(q),
+                                               tok) * scale
+                        : dot(spec.queries->row(q),
+                              spec.cache->keys().row(tok), d) * scale;
+                    rankers[q].push(s, tok);
+                }
+            }
+        } else {
+            // Timing-only: survivors are spread uniformly over the
+            // epoch's groups; issue representative striped reads.
+            for (uint64_t i = 0; i < survivor_count; ++i) {
+                const uint64_t tok = pos +
+                    i * epoch_tokens / std::max<uint64_t>(survivor_count, 1);
+                const TokenPlace p = layout_.place(
+                    spec.user, spec.layer, spec.kvHead, tok);
+                mem_done = package_.readStriped(t, p.bank, p.keyRow,
+                                                fetch_bytes);
+            }
+        }
+        const Tick compute_done = t + survivor_count * per_key_dot;
+        const Tick score_end = std::max(mem_done, compute_done);
+        r.timing.score += score_end - t;
+        t = score_end;
+
+        // Ranking: pipelined top-k insertion.
+        const Tick t_rank = survivor_count * cfg_.topkInsertTime;
+        t += t_rank;
+        r.timing.rank += t_rank;
+
+        pos = epoch_end;
+    }
+
+    // Collect selections and read the corresponding value vectors.
+    if (functional) {
+        for (uint32_t q = 0; q < spec.numQueries; ++q)
+            r.topk.push_back(rankers[q].sortedResults());
+        for (const auto &list : r.topk)
+            for (const auto &e : list)
+                r.valueTokens.push_back(e.index);
+        std::sort(r.valueTokens.begin(), r.valueTokens.end());
+        r.valueTokens.erase(
+            std::unique(r.valueTokens.begin(), r.valueTokens.end()),
+            r.valueTokens.end());
+    }
+
+    const uint64_t value_count = functional
+        ? r.valueTokens.size()
+        : std::min<uint64_t>(k, r.survivors);
+    Tick value_done = t;
+    for (uint64_t i = 0; i < value_count; ++i) {
+        const uint64_t tok = functional
+            ? r.valueTokens[i]
+            : spec.sparseBegin +
+                i * std::max<uint64_t>(r.regionTokens, 1) /
+                    std::max<uint64_t>(value_count, 1);
+        const TokenPlace p =
+            layout_.place(spec.user, spec.layer, spec.kvHead,
+                          std::min<uint64_t>(tok, spec.sparseEnd - 1));
+        value_done = package_.readStriped(t, p.bank, p.valueRow,
+                                          layout_.keyBytes());
+    }
+    r.timing.valueRead = value_done - t;
+    t = value_done;
+
+    // Score payload (4 B per retained score per query) + values.
+    // Quantized Value Objects halve the CXL payload per value (the
+    // short-context bottleneck); DRAM-side fetches above saw no gain
+    // because scattered survivors pay full burst granularity anyway.
+    const uint64_t value_payload = spec.quantizedScoring
+        ? layout_.headDim() + 4
+        : layout_.keyBytes();
+    r.valueBytes = value_count * value_payload +
+        4ULL * k * spec.numQueries;
+
+    r.doneTick = t;
+    busyUntil_ = t;
+    return r;
+}
+
+} // namespace longsight

@@ -1,0 +1,120 @@
+#include "drex/partition_manager.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace longsight {
+
+PartitionManager::PartitionManager(const DataLayout &layout,
+                                   uint32_t num_kv_heads,
+                                   uint32_t num_layers)
+    : layout_(layout), numKvHeads_(num_kv_heads)
+{
+    const uint64_t rows_per_slot =
+        static_cast<uint64_t>(layout.rowsPerLayerGroup()) * num_layers;
+    const uint64_t rows_per_bank = layout.timings().rowsPerBank();
+    slotsPerPackage_ =
+        static_cast<uint32_t>(rows_per_bank / rows_per_slot);
+    LS_ASSERT(slotsPerPackage_ > 0, "slice slot exceeds bank rows");
+
+    const uint32_t packages = layout.geometry().numPackages;
+    load_.assign(packages, 0);
+    slotUsed_.assign(packages,
+                     std::vector<bool>(slotsPerPackage_, false));
+}
+
+uint32_t
+PartitionManager::totalSlots() const
+{
+    return slotsPerPackage_ * layout_.geometry().numPackages;
+}
+
+uint32_t
+PartitionManager::slotsForContext(uint64_t context_len) const
+{
+    if (context_len == 0)
+        return 0;
+    const uint64_t per_slice = layout_.maxTokensPerSlice();
+    const uint64_t segments = (context_len + per_slice - 1) / per_slice;
+    return static_cast<uint32_t>(segments * numKvHeads_);
+}
+
+bool
+PartitionManager::canAdmit(uint64_t context_len) const
+{
+    return usedSlots_ + slotsForContext(context_len) <= totalSlots();
+}
+
+uint32_t
+PartitionManager::maxUsersExact(uint64_t context_len) const
+{
+    const uint32_t need = slotsForContext(context_len);
+    return need ? totalSlots() / need : 0;
+}
+
+std::optional<UserPartition>
+PartitionManager::allocate(uint32_t user, uint64_t context_len)
+{
+    LS_ASSERT(!hasUser(user), "user ", user, " already has a partition");
+    const uint32_t need = slotsForContext(context_len);
+    if (need == 0 || usedSlots_ + need > totalSlots())
+        return std::nullopt;
+
+    UserPartition part;
+    part.user = user;
+    part.contextLen = context_len;
+
+    const uint64_t per_slice = layout_.maxTokensPerSlice();
+    const uint32_t segments = static_cast<uint32_t>(
+        (context_len + per_slice - 1) / per_slice);
+    const uint32_t packages = layout_.geometry().numPackages;
+
+    for (uint32_t h = 0; h < numKvHeads_; ++h) {
+        for (uint32_t s = 0; s < segments; ++s) {
+            // Least-loaded package, rotating tie-break by (user+head)
+            // so co-scheduled heads land on distinct packages.
+            uint32_t best = 0;
+            uint32_t best_load = UINT32_MAX;
+            for (uint32_t i = 0; i < packages; ++i) {
+                const uint32_t p = (user + h + i) % packages;
+                if (load_[p] < slotsPerPackage_ &&
+                    load_[p] < best_load) {
+                    best = p;
+                    best_load = load_[p];
+                }
+            }
+            LS_ASSERT(best_load != UINT32_MAX,
+                      "slot accounting out of sync");
+            // First free slot in the chosen package.
+            uint32_t slot = 0;
+            while (slotUsed_[best][slot])
+                ++slot;
+            slotUsed_[best][slot] = true;
+            ++load_[best];
+            ++usedSlots_;
+            part.grants.push_back({h, s, best, slot});
+        }
+    }
+    auto [it, inserted] = users_.emplace(user, std::move(part));
+    LS_ASSERT(inserted, "duplicate partition insert");
+    return it->second;
+}
+
+void
+PartitionManager::release(uint32_t user)
+{
+    auto it = users_.find(user);
+    if (it == users_.end())
+        return;
+    for (const SliceGrant &g : it->second.grants) {
+        LS_ASSERT(slotUsed_[g.package][g.slot],
+                  "releasing an unallocated slot");
+        slotUsed_[g.package][g.slot] = false;
+        --load_[g.package];
+        --usedSlots_;
+    }
+    users_.erase(it);
+}
+
+} // namespace longsight

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * User Partition allocation (§7.3.3 "Partition Mapping"): DReX memory
+ * is managed in Multi-Layer-Context-Slice slots — one slot holds one
+ * KV head's keys/signs/values for all layers over up to 131,072
+ * tokens, consuming rowsPerLayerGroup x numLayers rows in every bank
+ * of one package. A user's partition takes numKvHeads slots per
+ * 131K-token segment, spread across packages for head-level
+ * parallelism (spatial multi-tenancy) and across segments for
+ * temporal expansion. This manager performs the actual slot
+ * accounting the capacity formulas approximate: admission control,
+ * balanced placement, and reclamation.
+ */
+
+#ifndef LONGSIGHT_DREX_PARTITION_MANAGER_HH
+#define LONGSIGHT_DREX_PARTITION_MANAGER_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "drex/layout.hh"
+
+namespace longsight {
+
+/**
+ * One allocated slice slot.
+ */
+struct SliceGrant
+{
+    uint32_t kvHead = 0;
+    uint32_t segment = 0; //!< 131K-token span index within the context
+    uint32_t package = 0;
+    uint32_t slot = 0;    //!< row-group index within the package
+};
+
+/**
+ * A user's full partition.
+ */
+struct UserPartition
+{
+    uint32_t user = 0;
+    uint64_t contextLen = 0;
+    std::vector<SliceGrant> grants;
+};
+
+/**
+ * Slot-level allocator over a DReX device's packages.
+ */
+class PartitionManager
+{
+  public:
+    PartitionManager(const DataLayout &layout, uint32_t num_kv_heads,
+                     uint32_t num_layers);
+
+    /** Slice slots one package can hold (row budget / slot rows). */
+    uint32_t slotsPerPackage() const { return slotsPerPackage_; }
+
+    /** Total slots across the device. */
+    uint32_t totalSlots() const;
+
+    /** Slots currently allocated. */
+    uint32_t usedSlots() const { return usedSlots_; }
+
+    double utilization() const
+    {
+        return totalSlots()
+            ? static_cast<double>(usedSlots_) / totalSlots()
+            : 0.0;
+    }
+
+    /** Slots a context of this length needs. */
+    uint32_t slotsForContext(uint64_t context_len) const;
+
+    /** Whether a new user at this context could be admitted now. */
+    bool canAdmit(uint64_t context_len) const;
+
+    /**
+     * Exact admission capacity: how many users of this context fit in
+     * an empty device (the integer truth behind Fig. 7's user counts).
+     */
+    uint32_t maxUsersExact(uint64_t context_len) const;
+
+    /**
+     * Allocate a partition; placement prefers the least-loaded
+     * package, breaking ties by rotating with (user + head) so heads
+     * spread for parallelism. Returns nullopt when slots run out
+     * (no partial allocations are retained).
+     */
+    std::optional<UserPartition> allocate(uint32_t user,
+                                          uint64_t context_len);
+
+    /** Release a user's partition (no-op for unknown users). */
+    void release(uint32_t user);
+
+    /** Per-package used-slot counts (for balance checks). */
+    const std::vector<uint32_t> &packageLoad() const { return load_; }
+
+    bool hasUser(uint32_t user) const { return users_.count(user) > 0; }
+
+  private:
+    const DataLayout &layout_;
+    uint32_t numKvHeads_;
+    uint32_t slotsPerPackage_;
+    std::vector<uint32_t> load_;             //!< used slots per package
+    std::vector<std::vector<bool>> slotUsed_; //!< [package][slot]
+    std::map<uint32_t, UserPartition> users_;
+    uint32_t usedSlots_ = 0;
+};
+
+} // namespace longsight
+
+#endif // LONGSIGHT_DREX_PARTITION_MANAGER_HH

@@ -1,0 +1,67 @@
+#include "drex/pfu.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace longsight {
+
+void
+Bitmap128::set(uint32_t i)
+{
+    LS_ASSERT(i < 128, "bitmap index out of range");
+    words_[i >> 6] |= uint64_t{1} << (i & 63);
+}
+
+bool
+Bitmap128::test(uint32_t i) const
+{
+    LS_ASSERT(i < 128, "bitmap index out of range");
+    return (words_[i >> 6] >> (i & 63)) & 1;
+}
+
+uint32_t
+Bitmap128::popcount() const
+{
+    return static_cast<uint32_t>(std::popcount(words_[0]) +
+                                 std::popcount(words_[1]));
+}
+
+std::vector<uint32_t>
+Bitmap128::setIndices(uint32_t base) const
+{
+    std::vector<uint32_t> out;
+    for (uint32_t i = 0; i < 128; ++i) {
+        if (test(i))
+            out.push_back(base + i);
+    }
+    return out;
+}
+
+std::vector<Bitmap128>
+Pfu::filterBlock(const std::vector<SignBits> &query_signs,
+                 const SignBits *keys, uint32_t num_keys, int threshold)
+{
+    LS_ASSERT(num_keys <= kBlockKeys, "PFU block holds at most 128 keys");
+    LS_ASSERT(!query_signs.empty() && query_signs.size() <= kMaxQueries,
+              "PFU supports 1..16 queries per offload, got ",
+              query_signs.size());
+
+    std::vector<Bitmap128> bitmaps(query_signs.size());
+    for (size_t q = 0; q < query_signs.size(); ++q) {
+        for (uint32_t i = 0; i < num_keys; ++i) {
+            if (query_signs[q].concordance(keys[i]) >= threshold)
+                bitmaps[q].set(i);
+        }
+    }
+    return bitmaps;
+}
+
+Tick
+Pfu::bitmapGenTime(uint32_t head_dim, uint32_t num_queries)
+{
+    // d cycles at 1.25 ns per query (§8.2 RTL synthesis figure).
+    return fromNanoseconds(1.25 * head_dim * num_queries);
+}
+
+} // namespace longsight

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * PIM Filtering Unit (PFU) model (§7.1, §7.4). One PFU sits next to
+ * each LPDDR bank, reads the bit-transposed Key Sign Object through
+ * the 128-bit interconnect between local and global row buffers (one
+ * dimension across 128 keys per cycle), and emits a 128-bit bitmap
+ * per query marking keys whose sign concordance meets the threshold.
+ *
+ * The functional output is bit-exact with software SCF (tested), and
+ * the timing uses the paper's synthesized constant: bitmap generation
+ * takes d x 1.25 ns per query (§8.2).
+ */
+
+#ifndef LONGSIGHT_DREX_PFU_HH
+#define LONGSIGHT_DREX_PFU_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/signbits.hh"
+#include "util/units.hh"
+
+namespace longsight {
+
+/**
+ * A 128-wide filter bitmap (one bit per key in the block).
+ */
+class Bitmap128
+{
+  public:
+    void set(uint32_t i);
+    bool test(uint32_t i) const;
+    uint32_t popcount() const;
+
+    /** Indices of set bits, offset by `base`. */
+    std::vector<uint32_t> setIndices(uint32_t base = 0) const;
+
+    bool operator==(const Bitmap128 &o) const = default;
+
+  private:
+    std::array<uint64_t, 2> words_{0, 0};
+};
+
+/**
+ * Per-bank PIM filtering unit.
+ */
+class Pfu
+{
+  public:
+    /** Hardware block width: keys filtered per epoch per bank. */
+    static constexpr uint32_t kBlockKeys = 128;
+
+    /** Maximum queries per offload the PFU datapath supports (§7.1). */
+    static constexpr uint32_t kMaxQueries = 16;
+
+    /**
+     * Filter one block: for each query, bit i is set iff
+     * concordance(query, keys[i]) >= threshold. keys.size() <= 128.
+     */
+    static std::vector<Bitmap128>
+    filterBlock(const std::vector<SignBits> &query_signs,
+                const SignBits *keys, uint32_t num_keys, int threshold);
+
+    /**
+     * Bitmap generation latency: one 128-wide dimension comparison per
+     * cycle at 1.25 ns, times the number of queries in the group.
+     */
+    static Tick bitmapGenTime(uint32_t head_dim, uint32_t num_queries);
+};
+
+} // namespace longsight
+
+#endif // LONGSIGHT_DREX_PFU_HH

@@ -1,0 +1,81 @@
+#include "drex/sign_block.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace longsight {
+
+SignBlockImage::SignBlockImage(const SignBits *keys, uint32_t num_keys)
+    : dim_(num_keys ? static_cast<uint32_t>(keys[0].dim()) : 0),
+      numKeys_(num_keys)
+{
+    LS_ASSERT(num_keys >= 1 && num_keys <= 128,
+              "sign block holds 1..128 keys");
+    columns_.assign(2ULL * dim_, 0);
+    for (uint32_t k = 0; k < num_keys; ++k) {
+        LS_ASSERT(keys[k].dim() == dim_, "mixed key dimensions");
+        for (uint32_t d = 0; d < dim_; ++d) {
+            if (keys[k].bit(d))
+                columns_[2ULL * d + (k >> 6)] |= uint64_t{1} << (k & 63);
+        }
+    }
+}
+
+const uint64_t *
+SignBlockImage::column(uint32_t d) const
+{
+    LS_ASSERT(d < dim_, "column out of range");
+    return columns_.data() + 2ULL * d;
+}
+
+SignBits
+SignBlockImage::extractKey(uint32_t i) const
+{
+    LS_ASSERT(i < numKeys_, "key out of range");
+    // Rebuild a float vector whose signs match, then repack — keeps
+    // SignBits' constructor the single packing implementation.
+    std::vector<float> v(dim_);
+    for (uint32_t d = 0; d < dim_; ++d) {
+        const bool bit = (columns_[2ULL * d + (i >> 6)] >> (i & 63)) & 1;
+        v[d] = bit ? 1.0f : -1.0f;
+    }
+    return SignBits(v.data(), dim_);
+}
+
+Bitmap128
+SignBlockImage::columnwiseFilter(const SignBits &query,
+                                 int threshold) const
+{
+    LS_ASSERT(query.dim() == dim_, "query dimension mismatch");
+    // Per-key mismatch accumulators, updated one dimension (column)
+    // per iteration — the PFU's d-cycle schedule.
+    std::vector<uint16_t> mismatches(numKeys_, 0);
+    for (uint32_t d = 0; d < dim_; ++d) {
+        const uint64_t qbit = query.bit(d) ? ~uint64_t{0} : 0;
+        const uint64_t *col = column(d);
+        for (uint32_t w = 0; w < 2; ++w) {
+            uint64_t diff = col[w] ^ qbit;
+            // Mask tail keys beyond numKeys_.
+            const uint32_t base = w * 64;
+            while (diff) {
+                const auto bit =
+                    static_cast<uint32_t>(std::countr_zero(diff));
+                diff &= diff - 1;
+                const uint32_t key = base + bit;
+                if (key < numKeys_)
+                    ++mismatches[key];
+            }
+        }
+    }
+    Bitmap128 out;
+    for (uint32_t k = 0; k < numKeys_; ++k) {
+        const int concordance =
+            static_cast<int>(dim_) - mismatches[k];
+        if (concordance >= threshold)
+            out.set(k);
+    }
+    return out;
+}
+
+} // namespace longsight

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The Key Sign Object's physical bit layout (§7.3.3): sign bits of a
+ * 128-key block are stored bit-transposed — each 128-bit DRAM column
+ * holds ONE dimension across all 128 keys — so the PFU can consume
+ * one dimension per cycle through the 128-bit local/global row-buffer
+ * interconnect. SignBlockImage builds and reads that exact image, and
+ * columnwiseFilter() evaluates SCF the way the hardware does: per
+ * dimension, XOR the query's bit against the whole column and
+ * accumulate per-key mismatch counts. Tested bit-exact against the
+ * key-major software path.
+ */
+
+#ifndef LONGSIGHT_DREX_SIGN_BLOCK_HH
+#define LONGSIGHT_DREX_SIGN_BLOCK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "drex/pfu.hh"
+#include "tensor/signbits.hh"
+
+namespace longsight {
+
+/**
+ * Bit-transposed sign storage for up to 128 keys.
+ */
+class SignBlockImage
+{
+  public:
+    /**
+     * Build the image from key-major sign bits.
+     *
+     * @param keys up to 128 SignBits, all of the same dimension
+     */
+    SignBlockImage(const SignBits *keys, uint32_t num_keys);
+
+    uint32_t dim() const { return dim_; }
+    uint32_t numKeys() const { return numKeys_; }
+
+    /** The 128-bit column of dimension d (two 64-bit words). */
+    const uint64_t *column(uint32_t d) const;
+
+    /** Byte size of the stored image (what one bank holds). */
+    size_t byteSize() const { return columns_.size() * 8; }
+
+    /** Reconstruct key i's sign bits (round-trip check). */
+    SignBits extractKey(uint32_t i) const;
+
+    /**
+     * Hardware-order SCF: for each dimension, broadcast the query's
+     * sign bit against the column and count mismatches per key; keys
+     * with dim - mismatches >= threshold set their bitmap bit.
+     */
+    Bitmap128 columnwiseFilter(const SignBits &query, int threshold) const;
+
+  private:
+    uint32_t dim_;
+    uint32_t numKeys_;
+    std::vector<uint64_t> columns_; //!< 2 words per dimension
+};
+
+} // namespace longsight
+
+#endif // LONGSIGHT_DREX_SIGN_BLOCK_HH

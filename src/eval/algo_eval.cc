@@ -1,0 +1,199 @@
+#include "eval/algo_eval.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/attention.hh"
+#include "core/itq.hh"
+#include "core/topk.hh"
+#include "tensor/linalg.hh"
+#include "tensor/signbits.hh"
+#include "tensor/softmax.hh"
+#include "util/logging.hh"
+
+namespace longsight {
+
+AlgoEvaluator::AlgoEvaluator(const WorkloadConfig &cfg, uint32_t num_heads,
+                             size_t context, uint32_t queries_per_head,
+                             uint64_t seed, int itq_iterations)
+    : numHeads_(num_heads), headDim_(cfg.headDim), context_(context)
+{
+    LS_ASSERT(context > 0 && num_heads > 0 && queries_per_head > 0,
+              "degenerate evaluator shape");
+    auto heads = makeHeadWorkloads(cfg, num_heads, seed);
+    Rng itq_rng(seed ^ 0x17ab'99d1ULL);
+
+    samples_.resize(num_heads);
+    for (uint32_t h = 0; h < num_heads; ++h) {
+        HeadWorkload &wl = heads[h];
+        wl.generate(context);
+        const Matrix &keys = wl.keys();
+        const float scale = wl.attentionScale();
+
+        // Per-key sign bits in raw and (optionally) ITQ space.
+        const auto raw_signs = packSignRows(keys.data(), context, headDim_);
+        Matrix rotation;
+        std::vector<SignBits> itq_signs;
+        if (itq_iterations > 0) {
+            // §5.4: train on ~1K post-RoPE keys and queries, sampled
+            // uniformly over the context.
+            const size_t nk = std::min<size_t>(context, 896);
+            const size_t nq = 128;
+            Matrix train(nk + nq, headDim_);
+            for (size_t i = 0; i < nk; ++i)
+                train.setRow(i, keys.row(i * context / nk));
+            for (size_t i = 0; i < nq; ++i) {
+                const auto q = wl.drawQuery();
+                train.setRow(nk + i, q.data());
+            }
+            rotation = trainItqRotation(train, itq_iterations, itq_rng);
+            itq_signs.reserve(context);
+            for (size_t i = 0; i < context; ++i) {
+                const auto rk = gemvT(rotation, keys.rowVec(i));
+                itq_signs.emplace_back(rk.data(), headDim_);
+            }
+        }
+
+        samples_[h].resize(queries_per_head);
+        for (uint32_t qi = 0; qi < queries_per_head; ++qi) {
+            Sample &s = samples_[h][qi];
+            const auto q = wl.drawQuery();
+            s.scores = attentionScores(q.data(), keys, 0, context, scale);
+            s.probs = s.scores;
+            softmaxInPlace(s.probs);
+            s.probOrder.resize(context);
+            for (size_t i = 0; i < context; ++i)
+                s.probOrder[i] = static_cast<uint32_t>(i);
+            std::sort(s.probOrder.begin(), s.probOrder.end(),
+                      [&s](uint32_t a, uint32_t b) {
+                          return s.probs[a] > s.probs[b] ||
+                              (s.probs[a] == s.probs[b] && a < b);
+                      });
+
+            const SignBits q_raw(q.data(), headDim_);
+            s.concordRaw.resize(context);
+            for (size_t i = 0; i < context; ++i)
+                s.concordRaw[i] = q_raw.concordance(raw_signs[i]);
+
+            if (itq_iterations > 0) {
+                const auto qr = gemvT(rotation, q);
+                const SignBits q_itq(qr.data(), headDim_);
+                s.concordItq.resize(context);
+                for (size_t i = 0; i < context; ++i)
+                    s.concordItq[i] = q_itq.concordance(itq_signs[i]);
+            }
+        }
+    }
+}
+
+EvalResult
+AlgoEvaluator::evaluate(const EvalConfig &cfg) const
+{
+    EvalResult out;
+    out.headFilterRatios.resize(numHeads_);
+
+    double lost_total = 0.0;
+    double recall_total = 0.0;
+    size_t evals = 0;
+    size_t recall_evals = 0;
+
+    for (uint32_t h = 0; h < numHeads_; ++h) {
+        FilterStats head_stats;
+        const int threshold =
+            cfg.thresholds.empty() ? 0 : cfg.thresholds[h];
+        for (const Sample &s : samples_[h]) {
+            const size_t n = s.probs.size();
+            const size_t sinks = std::min<size_t>(cfg.sinkTokens, n);
+            size_t win_start =
+                n > cfg.windowSize ? n - cfg.windowSize : 0;
+            win_start = std::max(win_start, sinks);
+
+            double retained = 0.0;
+            for (size_t i = 0; i < sinks; ++i)
+                retained += s.probs[i];
+            for (size_t i = win_start; i < n; ++i)
+                retained += s.probs[i];
+
+            const size_t region = win_start - sinks;
+            if (region > 0) {
+                const auto &concord = cfg.useItq && !s.concordItq.empty()
+                    ? s.concordItq
+                    : s.concordRaw;
+                // Survivors + bounded top-k in one pass.
+                TopK ranker(cfg.topK);
+                uint64_t survivors = 0;
+                for (size_t i = sinks; i < win_start; ++i) {
+                    if (concord[i] >= threshold) {
+                        ++survivors;
+                        ranker.push(s.scores[i],
+                                    static_cast<uint32_t>(i));
+                    }
+                }
+                const auto selected = ranker.sortedResults();
+                std::vector<uint32_t> picked;
+                picked.reserve(selected.size());
+                for (const auto &e : selected) {
+                    retained += s.probs[e.index];
+                    picked.push_back(e.index);
+                }
+                head_stats.record(region, survivors, selected.size());
+
+                // Recall: compare against the region's true top
+                // |selected| tokens by dense probability.
+                if (!picked.empty()) {
+                    std::sort(picked.begin(), picked.end());
+                    size_t truth_seen = 0, hits = 0;
+                    for (uint32_t idx : s.probOrder) {
+                        if (idx < sinks || idx >= win_start)
+                            continue;
+                        ++truth_seen;
+                        hits += std::binary_search(picked.begin(),
+                                                   picked.end(), idx);
+                        if (truth_seen == picked.size())
+                            break;
+                    }
+                    recall_total +=
+                        static_cast<double>(hits) / picked.size();
+                    ++recall_evals;
+                }
+            }
+            lost_total += std::max(0.0, 1.0 - retained);
+            ++evals;
+        }
+        out.headFilterRatios[h] = head_stats.filterRatio();
+        out.stats.merge(head_stats);
+    }
+
+    out.lostMass = lost_total / static_cast<double>(evals);
+    out.pplIncreasePct = 100.0 * (std::exp(out.lostMass) - 1.0);
+    out.filterRatio = out.stats.filterRatio();
+    out.sparsity = out.stats.sparsity();
+    if (recall_evals > 0)
+        out.recallAtK = recall_total / static_cast<double>(recall_evals);
+    return out;
+}
+
+double
+AlgoEvaluator::slidingWindowLostMass(uint32_t window, uint32_t sinks) const
+{
+    double lost = 0.0;
+    size_t evals = 0;
+    for (const auto &head : samples_) {
+        for (const Sample &s : head) {
+            const size_t n = s.probs.size();
+            const size_t sink_n = std::min<size_t>(sinks, n);
+            size_t win_start = n > window ? n - window : 0;
+            win_start = std::max(win_start, sink_n);
+            double retained = 0.0;
+            for (size_t i = 0; i < sink_n; ++i)
+                retained += s.probs[i];
+            for (size_t i = win_start; i < n; ++i)
+                retained += s.probs[i];
+            lost += std::max(0.0, 1.0 - retained);
+            ++evals;
+        }
+    }
+    return lost / static_cast<double>(evals);
+}
+
+} // namespace longsight

@@ -1,0 +1,146 @@
+#include "gpu/gpu_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace longsight {
+
+GpuModel::GpuModel(const GpuConfig &gpu, const ModelConfig &model)
+    : gpu_(gpu), model_(model)
+{
+    LS_ASSERT(model.weightBytes() < gpu.hbmCapacity,
+              model.name, " weights do not fit in GPU HBM");
+}
+
+Tick
+GpuModel::rooflineTime(double flops, double bytes) const
+{
+    const double t_compute = flops / (gpu_.peakFlops * gpu_.flopsEfficiency);
+    const double t_memory = bytes / (gpu_.hbmBandwidth * gpu_.bwEfficiency);
+    return static_cast<Tick>(std::max(t_compute, t_memory) * 1e12);
+}
+
+Tick
+GpuModel::decodeNonAttentionTime(uint32_t users) const
+{
+    const double weight_bytes = static_cast<double>(model_.weightBytes());
+    const double flops =
+        static_cast<double>(model_.decodeFlopsPerTokenNoAttn()) * users;
+    // Activation traffic is negligible next to streaming the weights.
+    return rooflineTime(flops, weight_bytes) + gpu_.kernelLaunchOverhead;
+}
+
+Tick
+GpuModel::prefillTime(uint64_t prompt_len) const
+{
+    if (prompt_len == 0)
+        return 0;
+    // Every prompt token runs the non-attention stack (GEMM-batched
+    // across tokens) plus causal attention: sum_t 4*d*h*t flops ~
+    // 2*d*h*L^2 per layer.
+    const double stack_flops =
+        static_cast<double>(model_.decodeFlopsPerTokenNoAttn()) *
+        static_cast<double>(prompt_len);
+    const double attn_flops = 2.0 * model_.headDim *
+        model_.numQueryHeads * model_.numLayers *
+        static_cast<double>(prompt_len) * static_cast<double>(prompt_len);
+    const double bytes = static_cast<double>(model_.weightBytes()) +
+        static_cast<double>(model_.kvBytesPerToken()) * prompt_len;
+    return rooflineTime(stack_flops + attn_flops, bytes) +
+        gpu_.kernelLaunchOverhead;
+}
+
+Tick
+GpuModel::denseAttentionTime(uint64_t context_len, uint32_t users) const
+{
+    if (context_len == 0 || users == 0)
+        return 0;
+    // Each user's KV cache is streamed once per decode step.
+    const double kv_bytes = static_cast<double>(model_.kvBytesPerToken()) *
+        static_cast<double>(context_len) * users;
+    const double flops =
+        static_cast<double>(model_.attentionFlopsPerToken(context_len)) *
+        users;
+    return rooflineTime(flops, kv_bytes) + gpu_.kernelLaunchOverhead;
+}
+
+Tick
+GpuModel::attentionLayerTime(uint64_t context_len, uint32_t users) const
+{
+    if (context_len == 0 || users == 0)
+        return 0;
+    const double kv_bytes = static_cast<double>(model_.kvBytesPerToken()) /
+        model_.numLayers * static_cast<double>(context_len) * users;
+    const double flops =
+        static_cast<double>(model_.attentionFlopsPerToken(context_len)) /
+        model_.numLayers * users;
+    return rooflineTime(flops, kv_bytes) +
+        gpu_.kernelLaunchOverhead / model_.numLayers;
+}
+
+Tick
+GpuModel::windowAttentionTime(uint64_t window_tokens, uint32_t users) const
+{
+    return attentionLayerTime(window_tokens, users);
+}
+
+Tick
+GpuModel::itqRotationTime(uint32_t users) const
+{
+    // One d x d GEMV per query head and per new key, per layer.
+    const double d = model_.headDim;
+    const double rotations =
+        static_cast<double>(model_.numQueryHeads + model_.numKvHeads) *
+        model_.numLayers * users;
+    const double flops = 2.0 * d * d * rotations;
+    const double bytes = d * d * model_.bytesPerValue *
+        static_cast<double>(model_.numKvHeads) * model_.numLayers;
+    return rooflineTime(flops, bytes);
+}
+
+Tick
+GpuModel::softmaxCombineTime(uint64_t candidates, uint32_t users) const
+{
+    if (candidates == 0 || users == 0)
+        return 0;
+    // Softmax over candidates plus the SV accumulation of the sparse
+    // part's value vectors, for one layer. Compute scales with query
+    // heads; value traffic with KV heads (a GQA group shares its KV
+    // head's value vectors).
+    const double per_head =
+        static_cast<double>(candidates) * (4.0 + 2.0 * model_.headDim);
+    const double flops =
+        per_head * model_.numQueryHeads * static_cast<double>(users);
+    const double bytes = static_cast<double>(candidates) * model_.headDim *
+        model_.bytesPerValue * model_.numKvHeads *
+        static_cast<double>(users);
+    return rooflineTime(flops, bytes);
+}
+
+uint64_t
+GpuModel::kvBudgetBytes() const
+{
+    // Keep ~4 GiB of headroom for activations and workspace.
+    const uint64_t reserve = 4ULL * kGiB;
+    const uint64_t used = model_.weightBytes() + reserve;
+    return gpu_.hbmCapacity > used ? gpu_.hbmCapacity - used : 0;
+}
+
+uint32_t
+GpuModel::maxUsersDense(uint64_t context_len) const
+{
+    if (context_len == 0)
+        return 0;
+    const uint64_t per_user = model_.kvBytesPerToken() * context_len;
+    return static_cast<uint32_t>(kvBudgetBytes() / per_user);
+}
+
+uint32_t
+GpuModel::maxUsersWindowed(uint64_t window_tokens) const
+{
+    return maxUsersDense(window_tokens);
+}
+
+} // namespace longsight

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Analytical (roofline) H100 performance model. The paper combines
+ * real-system GPU measurements with a simulated DReX; this model
+ * substitutes the measurements (see DESIGN.md) while preserving what
+ * decides every crossover in Figs. 7-9: decode-time attention is
+ * memory-bandwidth bound (vector-matrix), non-attention layers are
+ * weight-streaming bound until batching makes them compute bound, and
+ * HBM capacity caps the (context x users) product.
+ */
+
+#ifndef LONGSIGHT_GPU_GPU_MODEL_HH
+#define LONGSIGHT_GPU_GPU_MODEL_HH
+
+#include <cstdint>
+
+#include "model/model_config.hh"
+#include "util/units.hh"
+
+namespace longsight {
+
+/**
+ * GPU hardware parameters (Table 2 H100 SXM values by default).
+ */
+struct GpuConfig
+{
+    double peakFlops = 989e12;      //!< BF16 tensor-core FLOP/s
+    double hbmBandwidth = 3.35e12;  //!< bytes/s
+    uint64_t hbmCapacity = 80ULL * kGiB;
+    double flopsEfficiency = 0.55;  //!< achievable GEMM fraction
+    double bwEfficiency = 0.80;     //!< achievable streaming fraction
+    Tick kernelLaunchOverhead = fromNanoseconds(4000.0); //!< per fused step
+
+    static GpuConfig h100() { return GpuConfig{}; }
+};
+
+/**
+ * Roofline timing for decode-phase transformer execution.
+ */
+class GpuModel
+{
+  public:
+    GpuModel(const GpuConfig &gpu, const ModelConfig &model);
+
+    const GpuConfig &gpu() const { return gpu_; }
+    const ModelConfig &model() const { return model_; }
+
+    /** Roofline time for `flops` touching `bytes` of HBM. */
+    Tick rooflineTime(double flops, double bytes) const;
+
+    /**
+     * One decode step's non-attention work (QKV, projections, FFN,
+     * LM head) for a batch of `users`: weights stream once, compute
+     * scales with the batch.
+     */
+    Tick decodeNonAttentionTime(uint32_t users) const;
+
+    /**
+     * Prefill of a `prompt_len`-token prompt for one user: matrix-
+     * matrix work (compute-bound on tensor cores, §2.1) including the
+     * causal attention over the prompt.
+     */
+    Tick prefillTime(uint64_t prompt_len) const;
+
+    /**
+     * Dense attention over `context_len` tokens for `users`, all
+     * layers and query heads (decode step: one query per user).
+     */
+    Tick denseAttentionTime(uint64_t context_len, uint32_t users) const;
+
+    /**
+     * Dense attention for a single decoder layer (the unit that
+     * overlaps with one DReX offload in the hybrid pipeline).
+     */
+    Tick attentionLayerTime(uint64_t context_len, uint32_t users) const;
+
+    /**
+     * Hybrid-mode GPU-side attention for one layer: dense window
+     * (+ sinks) only.
+     */
+    Tick windowAttentionTime(uint64_t window_tokens, uint32_t users) const;
+
+    /** Runtime ITQ rotation of the new Q/K vectors (§5.4, <3 % of QKV). */
+    Tick itqRotationTime(uint32_t users) const;
+
+    /**
+     * Combine softmax over (window + k) candidates and the hybrid SV
+     * accumulation for the sparse part, for ONE layer (GPU steps 5-7
+     * of Fig. 2b).
+     */
+    Tick softmaxCombineTime(uint64_t candidates, uint32_t users) const;
+
+    /** HBM bytes left for KV after weights. */
+    uint64_t kvBudgetBytes() const;
+
+    /** Max concurrent users whose full KV fits at `context_len`. */
+    uint32_t maxUsersDense(uint64_t context_len) const;
+
+    /** Max users when only window + sinks live in HBM (LongSight). */
+    uint32_t maxUsersWindowed(uint64_t window_tokens) const;
+
+  private:
+    GpuConfig gpu_;
+    ModelConfig model_;
+};
+
+} // namespace longsight
+
+#endif // LONGSIGHT_GPU_GPU_MODEL_HH

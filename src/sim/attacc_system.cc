@@ -1,0 +1,47 @@
+#include "sim/attacc_system.hh"
+
+namespace longsight {
+
+AttAccSystem::AttAccSystem(const GpuConfig &gpu, const ModelConfig &model,
+                           const AttAccConfig &cfg)
+    : gpu_(gpu, model), cfg_(cfg)
+{
+}
+
+uint32_t
+AttAccSystem::maxUsers(uint64_t context_len) const
+{
+    // KV lives in the (PIM-enabled) HBM: same capacity bound as 1-GPU.
+    return gpu_.maxUsersDense(context_len);
+}
+
+ServingResult
+AttAccSystem::decode(uint64_t context_len, uint32_t users) const
+{
+    ServingResult r;
+    r.users = users;
+    if (users == 0 || users > maxUsers(context_len)) {
+        r.limitedBy = "HBM-PIM capacity";
+        return r;
+    }
+    r.feasible = true;
+
+    const Tick non_attn = gpu_.decodeNonAttentionTime(users);
+
+    // Dense attention at PIM bandwidth: the KV stream never crosses
+    // the external HBM interface.
+    const ModelConfig &m = gpu_.model();
+    const double kv_bytes = static_cast<double>(m.kvBytesPerToken()) *
+        static_cast<double>(context_len) * users;
+    const double pim_bw = gpu_.gpu().hbmBandwidth *
+        cfg_.pimBandwidthMultiplier * cfg_.pimEfficiency;
+    const Tick attn = static_cast<Tick>(kv_bytes / pim_bw * 1e12);
+
+    r.stepTime = non_attn + attn;
+    r.breakdown.gpuNonAttention = non_attn;
+    r.breakdown.drexExposed = attn; // PIM-side attention component
+    r.finalize();
+    return r;
+}
+
+} // namespace longsight

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * AttAcc-like baseline (§8.2, [29]): a single GPU paired with
+ * bank-level HBM-PIM units that execute the *dense* attention of the
+ * decode phase at the PIM's much higher internal bandwidth, while the
+ * GPU runs everything else. Capacity remains bounded by the HBM the
+ * KV cache lives in, and attention stays O(context) per token — the
+ * two properties that let LongSight overtake it at long contexts.
+ */
+
+#ifndef LONGSIGHT_SIM_ATTACC_SYSTEM_HH
+#define LONGSIGHT_SIM_ATTACC_SYSTEM_HH
+
+#include <cstdint>
+
+#include "gpu/gpu_model.hh"
+#include "model/model_config.hh"
+#include "sim/serving.hh"
+
+namespace longsight {
+
+/**
+ * AttAcc hardware parameters.
+ */
+struct AttAccConfig
+{
+    /**
+     * Effective bank-level PIM bandwidth for attention. AttAcc reports
+     * roughly an order of magnitude over external HBM bandwidth from
+     * bank parallelism; 4x sustained is a conservative end-to-end
+     * figure once command overheads are included.
+     */
+    double pimBandwidthMultiplier = 4.0;
+    double pimEfficiency = 0.8;
+};
+
+/**
+ * GPU + HBM-PIM dense-attention serving.
+ */
+class AttAccSystem
+{
+  public:
+    AttAccSystem(const GpuConfig &gpu, const ModelConfig &model,
+                 const AttAccConfig &cfg = AttAccConfig{});
+
+    ServingResult decode(uint64_t context_len, uint32_t users) const;
+
+    uint32_t maxUsers(uint64_t context_len) const;
+
+  private:
+    GpuModel gpu_;
+    AttAccConfig cfg_;
+};
+
+} // namespace longsight
+
+#endif // LONGSIGHT_SIM_ATTACC_SYSTEM_HH

@@ -1,0 +1,80 @@
+#include "sim/baseline_gpu.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace longsight {
+
+BaselineGpuSystem::BaselineGpuSystem(const GpuConfig &gpu,
+                                     const ModelConfig &model,
+                                     uint32_t num_gpus)
+    : gpu_(gpu, model), numGpus_(num_gpus)
+{
+    LS_ASSERT(num_gpus >= 1, "need at least one GPU");
+}
+
+uint32_t
+BaselineGpuSystem::maxUsers(uint64_t context_len) const
+{
+    return gpu_.maxUsersDense(context_len) * numGpus_;
+}
+
+ServingResult
+BaselineGpuSystem::decode(uint64_t context_len, uint32_t users) const
+{
+    ServingResult r;
+    r.users = users;
+    if (users == 0 || users > maxUsers(context_len)) {
+        r.limitedBy = "GPU HBM capacity";
+        return r;
+    }
+    r.feasible = true;
+
+    // Data parallelism: each GPU serves ceil(users / numGpus) users;
+    // the step time is the slowest (fullest) GPU.
+    const uint32_t per_gpu = (users + numGpus_ - 1) / numGpus_;
+    const Tick non_attn = gpu_.decodeNonAttentionTime(per_gpu);
+    const Tick attn = gpu_.denseAttentionTime(context_len, per_gpu);
+    r.stepTime = non_attn + attn;
+    r.breakdown.gpuNonAttention = non_attn;
+    r.breakdown.gpuWindowExposed = attn;
+    r.finalize();
+    return r;
+}
+
+SlidingWindowSystem::SlidingWindowSystem(const GpuConfig &gpu,
+                                         const ModelConfig &model,
+                                         uint32_t window, uint32_t sinks)
+    : gpu_(gpu, model), window_(window), sinks_(sinks)
+{
+}
+
+uint32_t
+SlidingWindowSystem::maxUsers() const
+{
+    return gpu_.maxUsersWindowed(window_ + sinks_);
+}
+
+ServingResult
+SlidingWindowSystem::decode(uint64_t context_len, uint32_t users) const
+{
+    ServingResult r;
+    r.users = users;
+    if (users == 0 || users > maxUsers()) {
+        r.limitedBy = "GPU HBM capacity";
+        return r;
+    }
+    r.feasible = true;
+    const uint64_t attended =
+        std::min<uint64_t>(context_len, window_ + sinks_);
+    const Tick non_attn = gpu_.decodeNonAttentionTime(users);
+    const Tick attn = gpu_.denseAttentionTime(attended, users);
+    r.stepTime = non_attn + attn;
+    r.breakdown.gpuNonAttention = non_attn;
+    r.breakdown.gpuWindowExposed = attn;
+    r.finalize();
+    return r;
+}
+
+} // namespace longsight

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * GPU-only dense-attention serving baselines for Figure 7: a 1-GPU
+ * system and a 2-GPU data-parallel system (§8.2: data parallelism
+ * duplicates weights but adds no communication, so each GPU simply
+ * serves half the batch). Also the sliding-window-only baseline of
+ * §9.3 — a GPU that attends to sinks + window and drops the rest.
+ */
+
+#ifndef LONGSIGHT_SIM_BASELINE_GPU_HH
+#define LONGSIGHT_SIM_BASELINE_GPU_HH
+
+#include <cstdint>
+
+#include "gpu/gpu_model.hh"
+#include "model/model_config.hh"
+#include "sim/serving.hh"
+
+namespace longsight {
+
+/**
+ * N-GPU data-parallel dense-attention decoding.
+ */
+class BaselineGpuSystem
+{
+  public:
+    BaselineGpuSystem(const GpuConfig &gpu, const ModelConfig &model,
+                      uint32_t num_gpus);
+
+    /** Steady-state decode for `users` at `context_len`. */
+    ServingResult decode(uint64_t context_len, uint32_t users) const;
+
+    /** Largest user count whose KV caches fit across all GPUs. */
+    uint32_t maxUsers(uint64_t context_len) const;
+
+    uint32_t numGpus() const { return numGpus_; }
+    const GpuModel &gpuModel() const { return gpu_; }
+
+  private:
+    GpuModel gpu_;
+    uint32_t numGpus_;
+};
+
+/**
+ * GPU-only sliding-window attention (§9.3): dense over sinks + the
+ * last W tokens regardless of context length. Quality is evaluated by
+ * the algorithm layer; this models only performance.
+ */
+class SlidingWindowSystem
+{
+  public:
+    SlidingWindowSystem(const GpuConfig &gpu, const ModelConfig &model,
+                        uint32_t window, uint32_t sinks);
+
+    ServingResult decode(uint64_t context_len, uint32_t users) const;
+
+    /** Window KV is all that must fit (context is discarded). */
+    uint32_t maxUsers() const;
+
+  private:
+    GpuModel gpu_;
+    uint32_t window_;
+    uint32_t sinks_;
+};
+
+} // namespace longsight
+
+#endif // LONGSIGHT_SIM_BASELINE_GPU_HH

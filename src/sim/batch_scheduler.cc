@@ -1,0 +1,116 @@
+#include "sim/batch_scheduler.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.hh"
+
+namespace longsight {
+
+namespace {
+
+struct ActiveJob
+{
+    ServingJob job;
+    uint64_t context = 0;   //!< prompt + generated so far
+    uint32_t generated = 0;
+    Tick firstTokenAt = 0;
+    Tick lastTokenAt = 0;
+};
+
+} // namespace
+
+ScheduleResult
+runBatchSchedule(std::vector<ServingJob> jobs, const EngineModel &engine)
+{
+    LS_ASSERT(engine.maxBatch > 0, "engine must admit at least one job");
+    LS_ASSERT(engine.prefillTime && engine.stepTime,
+              "engine callbacks must be set");
+    std::sort(jobs.begin(), jobs.end(),
+              [](const ServingJob &a, const ServingJob &b) {
+                  return a.arrival < b.arrival ||
+                      (a.arrival == b.arrival && a.id < b.id);
+              });
+
+    ScheduleResult result;
+    std::deque<ServingJob> waiting;
+    std::vector<ActiveJob> active;
+    size_t next_arrival = 0;
+    Tick now = 0;
+
+    auto admit_arrivals = [&](Tick t) {
+        while (next_arrival < jobs.size() &&
+               jobs[next_arrival].arrival <= t)
+            waiting.push_back(jobs[next_arrival++]);
+    };
+
+    while (next_arrival < jobs.size() || !waiting.empty() ||
+           !active.empty()) {
+        admit_arrivals(now);
+
+        // Idle engine: jump to the next arrival.
+        if (waiting.empty() && active.empty()) {
+            LS_ASSERT(next_arrival < jobs.size(), "scheduler stuck");
+            now = std::max(now, jobs[next_arrival].arrival);
+            admit_arrivals(now);
+            continue;
+        }
+
+        // Admission first: prefill one waiting job into a free slot.
+        if (!waiting.empty() && active.size() < engine.maxBatch) {
+            ServingJob job = waiting.front();
+            waiting.pop_front();
+            now += engine.prefillTime(job.promptLen);
+            ActiveJob aj;
+            aj.job = job;
+            aj.context = job.promptLen;
+            aj.lastTokenAt = now;
+            active.push_back(aj);
+            continue;
+        }
+
+        // Decode iteration over the whole active batch.
+        std::vector<uint64_t> contexts;
+        contexts.reserve(active.size());
+        for (const auto &aj : active)
+            contexts.push_back(aj.context);
+        const Tick step = engine.stepTime(contexts);
+        now += step;
+
+        for (auto &aj : active) {
+            ++aj.context;
+            ++aj.generated;
+            if (aj.generated == 1) {
+                aj.firstTokenAt = now;
+                result.ttftMs.add(toSeconds(now - aj.job.arrival) * 1e3);
+            } else {
+                result.tbtMs.add(toSeconds(now - aj.lastTokenAt) * 1e3);
+            }
+            aj.lastTokenAt = now;
+            ++result.totalTokens;
+        }
+
+        // Retire finished jobs (stable order for determinism).
+        for (auto it = active.begin(); it != active.end();) {
+            if (it->generated >= it->job.outputTokens) {
+                JobMetrics m;
+                m.id = it->job.id;
+                m.ttft = it->firstTokenAt - it->job.arrival;
+                m.completion = now;
+                m.tokens = it->generated;
+                result.jobs.push_back(m);
+                it = active.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    result.makespan = now;
+    if (now > 0)
+        result.throughputTokensPerSec =
+            static_cast<double>(result.totalTokens) / toSeconds(now);
+    return result;
+}
+
+} // namespace longsight

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Continuous-batching serving scheduler over an abstract decode
+ * engine. Jobs (prompt length, output budget) arrive over time; the
+ * engine alternates prefill work for newly admitted jobs with decode
+ * iterations over the active batch, jobs leaving as they finish —
+ * the dynamic the paper's batched-inference discussion (§2.1, §3)
+ * assumes around the attention kernel. The engine is provided as two
+ * callbacks so the same scheduler drives LongSight, dense-GPU, or any
+ * other system model, and the scheduler itself stays deterministic
+ * and unit-testable.
+ */
+
+#ifndef LONGSIGHT_SIM_BATCH_SCHEDULER_HH
+#define LONGSIGHT_SIM_BATCH_SCHEDULER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/stats.hh"
+#include "util/units.hh"
+
+namespace longsight {
+
+/**
+ * One serving request.
+ */
+struct ServingJob
+{
+    uint32_t id = 0;
+    Tick arrival = 0;
+    uint64_t promptLen = 0;
+    uint32_t outputTokens = 1;
+};
+
+/**
+ * Completion record for one job.
+ */
+struct JobMetrics
+{
+    uint32_t id = 0;
+    Tick ttft = 0;       //!< arrival -> first generated token
+    Tick completion = 0; //!< absolute finish time
+    uint32_t tokens = 0; //!< generated tokens (== outputTokens)
+};
+
+/**
+ * The decode engine the scheduler drives.
+ */
+struct EngineModel
+{
+    /** Prefill cost of admitting a prompt of the given length. */
+    std::function<Tick(uint64_t prompt_len)> prefillTime;
+
+    /**
+     * One decode iteration over the active batch; receives each
+     * active job's current context length.
+     */
+    std::function<Tick(const std::vector<uint64_t> &contexts)> stepTime;
+
+    /** Max jobs resident at once (KV capacity / queue depth). */
+    uint32_t maxBatch = 8;
+};
+
+/**
+ * Aggregate outcome of a schedule.
+ */
+struct ScheduleResult
+{
+    std::vector<JobMetrics> jobs; //!< completion order
+    Tick makespan = 0;
+    uint64_t totalTokens = 0;
+    double throughputTokensPerSec = 0.0;
+    RunningStat ttftMs;
+    RunningStat tbtMs; //!< time-between-tokens samples
+};
+
+/**
+ * Run jobs to completion under continuous batching.
+ *
+ * Policy: at each scheduling point, admit the longest-waiting arrived
+ * job if a batch slot is free (paying its prefill); otherwise run one
+ * decode iteration over the active batch. Deterministic given inputs.
+ */
+ScheduleResult runBatchSchedule(std::vector<ServingJob> jobs,
+                                const EngineModel &engine);
+
+} // namespace longsight
+
+#endif // LONGSIGHT_SIM_BATCH_SCHEDULER_HH

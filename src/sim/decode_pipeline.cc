@@ -1,0 +1,257 @@
+#include "sim/decode_pipeline.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/attention.hh"
+#include "core/itq.hh"
+#include "core/scf.hh"
+#include "core/topk.hh"
+#include "util/logging.hh"
+
+namespace longsight {
+
+DecodePipeline::DecodePipeline(const PipelineConfig &cfg, DrexDevice &device,
+                               uint32_t uid)
+    : cfg_(cfg), device_(device), uid_(uid)
+{
+    LS_ASSERT(cfg.numQueryHeads % cfg.numKvHeads == 0,
+              "GQA requires query heads % KV heads == 0");
+    LS_ASSERT(device.config().headDim == cfg.headDim,
+              "device head dim mismatch");
+    WorkloadConfig wcfg;
+    wcfg.headDim = cfg_.headDim;
+    Rng root(cfg_.seed);
+    for (uint32_t l = 0; l < cfg_.numLayers; ++l) {
+        for (uint32_t h = 0; h < cfg_.numKvHeads; ++h) {
+            workloads_.emplace_back(wcfg, root.fork());
+            gpuCaches_.push_back(std::make_unique<KvCache>(cfg_.headDim));
+        }
+    }
+}
+
+KvCache &
+DecodePipeline::gpuCache(uint32_t layer, uint32_t head)
+{
+    return *gpuCaches_[layer * cfg_.numKvHeads + head];
+}
+
+size_t
+DecodePipeline::contextLength() const
+{
+    return gpuCaches_.front()->size();
+}
+
+void
+DecodePipeline::prefill(size_t n)
+{
+    for (uint32_t l = 0; l < cfg_.numLayers; ++l) {
+        for (uint32_t h = 0; h < cfg_.numKvHeads; ++h) {
+            HeadWorkload &wl = workloads_[l * cfg_.numKvHeads + h];
+            wl.generate(n);
+            gpuCache(l, h).appendAll(wl.keys(), wl.values());
+        }
+    }
+    maybeTrainItq();
+    flushEligibleGroups();
+}
+
+void
+DecodePipeline::maybeTrainItq()
+{
+    if (!cfg_.trainItq || itqInstalled_)
+        return;
+    const size_t n = contextLength();
+    if (n < cfg_.headDim * 4)
+        return; // not enough data yet
+    for (uint32_t l = 0; l < cfg_.numLayers; ++l) {
+        for (uint32_t h = 0; h < cfg_.numKvHeads; ++h) {
+            KvCache &cache = gpuCache(l, h);
+            const size_t nk = std::min<size_t>(n, 896);
+            Matrix train(nk, cfg_.headDim);
+            for (size_t i = 0; i < nk; ++i)
+                train.setRow(i, cache.keys().row(i * n / nk));
+            Rng rng(cfg_.seed ^ (l * 131 + h));
+            Matrix rotation = trainItqRotation(train, 15, rng);
+            cache.setItqRotation(rotation);
+            if (device_.hasContext(uid_, l, h))
+                device_.context(uid_, l, h).setItqRotation(rotation);
+        }
+    }
+    itqInstalled_ = true;
+}
+
+void
+DecodePipeline::flushEligibleGroups()
+{
+    const size_t n = contextLength();
+    // Tokens older than the window are eligible; ship them in whole
+    // object groups so Key/Key-Sign/Value Objects stay aligned (§6).
+    const size_t window = cfg_.hybrid.windowSize;
+    const size_t eligible = n > window ? n - window : 0;
+    const size_t target =
+        eligible / cfg_.flushGranularity * cfg_.flushGranularity;
+    if (target <= flushed_)
+        return;
+
+    for (uint32_t l = 0; l < cfg_.numLayers; ++l) {
+        for (uint32_t h = 0; h < cfg_.numKvHeads; ++h) {
+            const KvCache &src = gpuCache(l, h);
+            const size_t count = target - flushed_;
+            Matrix keys(count, cfg_.headDim);
+            Matrix values(count, cfg_.headDim);
+            for (size_t i = 0; i < count; ++i) {
+                keys.setRow(i, src.keys().row(flushed_ + i));
+                values.setRow(i, src.values().row(flushed_ + i));
+            }
+            KvCache &dst = device_.writeContext(uid_, l, h, keys, values);
+            if (src.hasItqRotation() && !dst.hasItqRotation())
+                dst.setItqRotation(src.itqRotation());
+        }
+    }
+    flushed_ = target;
+}
+
+PipelineStepResult
+DecodePipeline::decodeStep()
+{
+    PipelineStepResult result;
+
+    // 1. New token: every (layer, head) appends one KV pair.
+    for (uint32_t l = 0; l < cfg_.numLayers; ++l) {
+        for (uint32_t h = 0; h < cfg_.numKvHeads; ++h) {
+            HeadWorkload &wl = workloads_[l * cfg_.numKvHeads + h];
+            wl.appendToken();
+            const size_t pos = wl.contextLength() - 1;
+            gpuCache(l, h).append(wl.keys().rowVec(pos),
+                                  wl.values().rowVec(pos));
+        }
+    }
+
+    // 2. Bulk updates off the critical path.
+    const size_t before = flushed_;
+    flushEligibleGroups();
+    result.tokensFlushed = (flushed_ - before) * cfg_.numLayers *
+        cfg_.numKvHeads;
+
+    const size_t n = contextLength();
+    const size_t sinks = std::min<size_t>(cfg_.hybrid.sinkTokens, n);
+    const uint32_t group = cfg_.numQueryHeads / cfg_.numKvHeads;
+    const float scale =
+        1.0f / std::sqrt(static_cast<float>(cfg_.headDim));
+
+    for (uint32_t l = 0; l < cfg_.numLayers; ++l) {
+        // 3. Request: one offload per KV head, grouped GQA queries.
+        std::vector<Matrix> queries(cfg_.numKvHeads);
+        std::vector<Matrix> filter_queries(cfg_.numKvHeads);
+        AttentionRequest req;
+        req.uid = uid_;
+        req.layer = l;
+        const bool offload = flushed_ > sinks;
+        for (uint32_t h = 0; h < cfg_.numKvHeads; ++h) {
+            HeadWorkload &wl = workloads_[l * cfg_.numKvHeads + h];
+            const KvCache &cache = gpuCache(l, h);
+            queries[h].resize(group, cfg_.headDim);
+            filter_queries[h].resize(group, cfg_.headDim);
+            for (uint32_t g = 0; g < group; ++g) {
+                const auto q = wl.drawQuery();
+                queries[h].setRow(g, q.data());
+                const auto qf = cache.toFilterSpace(q);
+                filter_queries[h].setRow(g, qf.data());
+            }
+            if (!offload)
+                continue;
+            OffloadSpec spec;
+            spec.user = uid_;
+            spec.layer = l;
+            spec.kvHead = h;
+            spec.sparseBegin = sinks;
+            spec.sparseEnd = flushed_;
+            spec.numQueries = group;
+            spec.k = cfg_.hybrid.topK;
+            spec.threshold = cfg_.hybrid.defaultThreshold;
+            spec.cache = &device_.context(uid_, l, h);
+            spec.queries = &queries[h];
+            spec.filterQueries = &filter_queries[h];
+            req.headOffloads.push_back(spec);
+        }
+
+        std::vector<AttentionResponse> responses;
+        if (offload) {
+            device_.submit(std::move(req));
+            responses = device_.processAll();
+            ++result.offloadsIssued;
+        }
+
+        // 4. GPU-side combine + verification per query head.
+        for (uint32_t h = 0; h < cfg_.numKvHeads; ++h) {
+            const KvCache &cache = gpuCache(l, h);
+            for (uint32_t g = 0; g < group; ++g) {
+                // Dense part: sinks + everything not yet flushed
+                // (window plus staging buffer).
+                std::vector<uint32_t> attended;
+                for (size_t i = 0; i < sinks; ++i)
+                    attended.push_back(static_cast<uint32_t>(i));
+                for (size_t i = std::max(flushed_, sinks); i < n; ++i)
+                    attended.push_back(static_cast<uint32_t>(i));
+
+                std::vector<uint32_t> hw_topk;
+                if (offload) {
+                    const auto &head_result =
+                        responses[0].headResults[h];
+                    for (const auto &e : head_result.topk[g]) {
+                        attended.push_back(e.index);
+                        hw_topk.push_back(e.index);
+                    }
+                }
+                std::sort(attended.begin(), attended.end());
+                attended.erase(
+                    std::unique(attended.begin(), attended.end()),
+                    attended.end());
+
+                const auto q = queries[h].rowVec(g);
+                const auto combined = subsetAttention(
+                    q.data(), cache.keys(), cache.values(), attended,
+                    scale);
+                (void)combined;
+
+                // Verification A: device top-k equals the software
+                // filter -> score -> rank over the same region.
+                if (offload) {
+                    const auto qf = cache.toFilterSpace(q);
+                    const SignBits qs(qf.data(), cfg_.headDim);
+                    std::vector<uint32_t> survivors;
+                    const auto &signs = cache.filterSignsAll();
+                    for (size_t i = sinks; i < flushed_; ++i)
+                        if (qs.concordance(signs[i]) >=
+                            cfg_.hybrid.defaultThreshold)
+                            survivors.push_back(
+                                static_cast<uint32_t>(i));
+                    const auto scores = attentionScoresAt(
+                        q.data(), cache.keys(), survivors, scale);
+                    auto expect = topkSelect(scores, survivors,
+                                             cfg_.hybrid.topK);
+                    std::vector<uint32_t> sw_topk;
+                    for (const auto &e : expect)
+                        sw_topk.push_back(e.index);
+                    std::sort(sw_topk.begin(), sw_topk.end());
+                    std::sort(hw_topk.begin(), hw_topk.end());
+                    if (sw_topk != hw_topk)
+                        result.deviceMatchedSoftware = false;
+                }
+
+                // Verification B: retained dense softmax mass.
+                const auto dense = denseAttention(
+                    q.data(), cache.keys(), cache.values(), scale);
+                double mass = 0.0;
+                for (uint32_t idx : attended)
+                    mass += dense.probs[idx];
+                result.minRetainedMass =
+                    std::min(result.minRetainedMass, mass);
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace longsight

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Functional end-to-end decode pipeline for one user (§6 execution
+ * model): per-(layer, KV-head) KV caches on the "GPU" side, a staging
+ * window that accumulates freshly generated KV pairs and flushes them
+ * to the DReX device in 128-token object groups off the critical
+ * path, and a decode step that offloads the sparse region per GQA
+ * group to the device and combines the returned top-k with the local
+ * dense window — verifiably equal to the all-software reference.
+ *
+ * This is the integration glue a real serving stack would own; here
+ * it doubles as the strongest cross-module correctness check (the
+ * GPU-side and device-side states evolve independently and must stay
+ * consistent token by token).
+ */
+
+#ifndef LONGSIGHT_SIM_DECODE_PIPELINE_HH
+#define LONGSIGHT_SIM_DECODE_PIPELINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/hybrid_attention.hh"
+#include "core/kv_cache.hh"
+#include "drex/drex_device.hh"
+#include "model/workload.hh"
+
+namespace longsight {
+
+/**
+ * Pipeline shape parameters (a slice of ModelConfig plus hybrid
+ * settings small enough for functional simulation).
+ */
+struct PipelineConfig
+{
+    uint32_t numLayers = 2;
+    uint32_t numQueryHeads = 8;
+    uint32_t numKvHeads = 2;
+    uint32_t headDim = 64;
+    LongSightConfig hybrid;
+    /** Tokens per bulk flush to DReX (Key Object group size, §6). */
+    uint32_t flushGranularity = 128;
+    bool trainItq = false;
+    uint64_t seed = 1;
+};
+
+/**
+ * Outcome of one decode step across all layers and query heads.
+ */
+struct PipelineStepResult
+{
+    uint64_t offloadsIssued = 0;  //!< device requests this step
+    uint64_t tokensFlushed = 0;   //!< KV pairs shipped to DReX
+    double minRetainedMass = 1.0; //!< worst (layer, query) retention
+    bool deviceMatchedSoftware = true; //!< top-k equivalence held
+};
+
+/**
+ * One user's functional decode loop over a DReX device.
+ */
+class DecodePipeline
+{
+  public:
+    DecodePipeline(const PipelineConfig &cfg, DrexDevice &device,
+                   uint32_t uid);
+
+    /** Build an initial context of n tokens and flush eligible groups. */
+    void prefill(size_t n);
+
+    /** Generate one token: append KV, maybe flush, offload, combine. */
+    PipelineStepResult decodeStep();
+
+    /** Current context length (tokens). */
+    size_t contextLength() const;
+
+    /** Tokens already resident on the device (per layer/head). */
+    size_t flushedTokens() const { return flushed_; }
+
+    /** Tokens still staged GPU-side beyond the flushed prefix. */
+    size_t stagedTokens() const { return contextLength() - flushed_; }
+
+  private:
+    KvCache &gpuCache(uint32_t layer, uint32_t head);
+    void flushEligibleGroups();
+    void maybeTrainItq();
+
+    PipelineConfig cfg_;
+    DrexDevice &device_;
+    uint32_t uid_;
+    // One workload per (layer, KV head) drives keys/values/queries.
+    std::vector<HeadWorkload> workloads_;
+    std::vector<std::unique_ptr<KvCache>> gpuCaches_;
+    size_t flushed_ = 0;
+    bool itqInstalled_ = false;
+};
+
+} // namespace longsight
+
+#endif // LONGSIGHT_SIM_DECODE_PIPELINE_HH

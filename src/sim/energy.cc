@@ -1,0 +1,104 @@
+#include "sim/energy.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace longsight {
+
+namespace {
+constexpr double kPicoToJoule = 1e-12;
+}
+
+EnergyModel::EnergyModel(const EnergyConstants &constants,
+                         const ModelConfig &model)
+    : constants_(constants), model_(model)
+{
+}
+
+double
+EnergyModel::nonAttentionJ() const
+{
+    // Weight streaming (dominant) plus the matching FLOPs.
+    const double weight_bits =
+        static_cast<double>(model_.weightBytes()) * 8.0;
+    const double flops =
+        static_cast<double>(model_.decodeFlopsPerTokenNoAttn());
+    return (weight_bits * constants_.hbmPjPerBit +
+            flops * constants_.gpuPjPerFlop) *
+        kPicoToJoule;
+}
+
+TokenEnergy
+EnergyModel::denseGpuToken(uint64_t context_len) const
+{
+    TokenEnergy e;
+    const double kv_bits = static_cast<double>(model_.kvBytesPerToken()) *
+        static_cast<double>(context_len) * 8.0;
+    const double attn_flops =
+        static_cast<double>(model_.attentionFlopsPerToken(context_len));
+    e.gpuJ = nonAttentionJ() +
+        (kv_bits * constants_.hbmPjPerBit +
+         attn_flops * constants_.gpuPjPerFlop) *
+            kPicoToJoule;
+    return e;
+}
+
+TokenEnergy
+EnergyModel::longSightToken(uint64_t context_len,
+                            const EnergyHybridConfig &cfg) const
+{
+    TokenEnergy e;
+    const uint64_t dense_tokens = std::min<uint64_t>(
+        context_len, cfg.windowSize + cfg.sinkTokens);
+    const uint64_t region = context_len - dense_tokens;
+
+    // GPU: non-attention work + dense window attention + combine.
+    const double window_bits =
+        static_cast<double>(model_.kvBytesPerToken()) *
+        static_cast<double>(dense_tokens) * 8.0;
+    const double window_flops = static_cast<double>(
+        model_.attentionFlopsPerToken(dense_tokens));
+    e.gpuJ = nonAttentionJ() +
+        (window_bits * constants_.hbmPjPerBit +
+         window_flops * constants_.gpuPjPerFlop) *
+            kPicoToJoule;
+
+    if (region == 0)
+        return e;
+
+    // Per (layer, KV head) offload traffic.
+    const double heads =
+        static_cast<double>(model_.numLayers) * model_.numKvHeads;
+    const double d = model_.headDim;
+    const double group = model_.groupSize();
+    const double k =
+        std::min<double>(cfg.topK, static_cast<double>(region));
+    const double survivors = std::max(
+        2.0 * static_cast<double>(region) / cfg.filterRatio - k, k);
+
+    // DReX: sign-bit reads + PFU compares over the whole region,
+    // full-precision key fetches for survivors, value reads for the
+    // top-k, and NMA dot products.
+    const double sign_bits = static_cast<double>(region) * d;
+    const double key_bits = survivors * d * 16.0;
+    const double value_bits = k * d * 16.0;
+    const double nma_flops = survivors * 2.0 * d * group;
+    e.drexJ = heads *
+        (sign_bits * (constants_.lpddrPjPerBit + constants_.pfuPjPerBit) +
+         (key_bits + value_bits) * constants_.lpddrPjPerBit +
+         nma_flops * constants_.nmaPjPerFlop) *
+        kPicoToJoule;
+
+    // CXL: request descriptors (queries for all query heads, once per
+    // layer) and response payloads (scores + values per KV head).
+    const double desc_bits = static_cast<double>(model_.numLayers) *
+        (256.0 + model_.numQueryHeads * d * 2.0) * 8.0;
+    const double resp_bits =
+        heads * (k * d * 16.0 + k * group * 32.0);
+    e.cxlJ = (desc_bits + resp_bits) * constants_.cxlPjPerBit *
+        kPicoToJoule;
+    return e;
+}
+
+} // namespace longsight

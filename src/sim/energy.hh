@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Energy-per-token model extending the paper's §9.4 power analysis.
+ * The paper reports peak power (158.2 W per DReX unit); serving cost
+ * comparisons also need *energy per generated token*, which this
+ * model derives from per-access energy constants (pJ/bit, pJ/FLOP)
+ * applied to the same traffic counts the timing models use: weight
+ * and KV streaming on the GPU, sign-bit filtering + survivor key
+ * fetches + value reads inside DReX, and CXL payloads.
+ */
+
+#ifndef LONGSIGHT_SIM_ENERGY_HH
+#define LONGSIGHT_SIM_ENERGY_HH
+
+#include <cstdint>
+
+#include "model/model_config.hh"
+
+namespace longsight {
+
+/**
+ * Per-access energy constants (typical published figures).
+ */
+struct EnergyConstants
+{
+    double lpddrPjPerBit = 4.0;  //!< LPDDR5X array + IO access
+    double hbmPjPerBit = 7.0;    //!< HBM3 access (GPU side)
+    double pfuPjPerBit = 0.05;   //!< in-DRAM sign comparison
+    double nmaPjPerFlop = 0.5;   //!< 16 nm near-memory MAC
+    double cxlPjPerBit = 5.0;    //!< SerDes + controller per bit moved
+    double gpuPjPerFlop = 0.7;   //!< H100 ballpark (700 W / ~1 PFLOP/s)
+};
+
+/**
+ * Energy of generating one token, by component.
+ */
+struct TokenEnergy
+{
+    double gpuJ = 0.0;
+    double drexJ = 0.0;
+    double cxlJ = 0.0;
+
+    double totalJ() const { return gpuJ + drexJ + cxlJ; }
+};
+
+/**
+ * Hybrid-attention parameters the energy model needs.
+ */
+struct EnergyHybridConfig
+{
+    uint32_t windowSize = 1024;
+    uint32_t sinkTokens = 16;
+    uint32_t topK = 1024;
+    double filterRatio = 20.0; //!< Fig-3 average (§8.2)
+};
+
+/**
+ * Energy accounting for dense-GPU and LongSight decoding.
+ */
+class EnergyModel
+{
+  public:
+    EnergyModel(const EnergyConstants &constants,
+                const ModelConfig &model);
+
+    /** Dense 1-GPU decode: weights + full KV stream + compute. */
+    TokenEnergy denseGpuToken(uint64_t context_len) const;
+
+    /** LongSight decode: GPU window + DReX offload + CXL payloads. */
+    TokenEnergy longSightToken(uint64_t context_len,
+                               const EnergyHybridConfig &cfg) const;
+
+    const EnergyConstants &constants() const { return constants_; }
+
+  private:
+    /** GPU-side energy shared by both systems (non-attention work). */
+    double nonAttentionJ() const;
+
+    EnergyConstants constants_;
+    ModelConfig model_;
+};
+
+} // namespace longsight
+
+#endif // LONGSIGHT_SIM_ENERGY_HH

@@ -1,0 +1,58 @@
+#include "sim/event_queue.hh"
+
+#include "util/logging.hh"
+
+namespace longsight {
+
+void
+EventQueue::scheduleAt(Tick when, Callback cb)
+{
+    LS_ASSERT(when >= now_, "scheduling into the past: ", when, " < ", now_);
+    events_.emplace(std::make_pair(when, seq_++), std::move(cb));
+}
+
+void
+EventQueue::scheduleAfter(Tick delay, Callback cb)
+{
+    scheduleAt(now_ + delay, std::move(cb));
+}
+
+size_t
+EventQueue::pending() const
+{
+    return events_.size();
+}
+
+Tick
+EventQueue::run(uint64_t max_events)
+{
+    uint64_t fired = 0;
+    while (!events_.empty()) {
+        LS_ASSERT(fired < max_events,
+                  "event cap exceeded — runaway rescheduling?");
+        auto it = events_.begin();
+        now_ = it->first.first;
+        Callback cb = std::move(it->second);
+        events_.erase(it);
+        cb();
+        ++fired;
+    }
+    return now_;
+}
+
+Tick
+EventQueue::runUntil(Tick until)
+{
+    while (!events_.empty() && events_.begin()->first.first <= until) {
+        auto it = events_.begin();
+        now_ = it->first.first;
+        Callback cb = std::move(it->second);
+        events_.erase(it);
+        cb();
+    }
+    if (now_ < until)
+        now_ = until;
+    return now_;
+}
+
+} // namespace longsight

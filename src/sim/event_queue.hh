@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A minimal discrete-event simulation kernel in the gem5 tradition:
+ * a global tick counter (picoseconds) and an ordered queue of
+ * callbacks. Events scheduled for the same tick fire in insertion
+ * order, which keeps multi-component pipelines deterministic.
+ */
+
+#ifndef LONGSIGHT_SIM_EVENT_QUEUE_HH
+#define LONGSIGHT_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace longsight {
+
+/**
+ * Ordered event queue driving all timed components of a simulation.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule a callback at an absolute tick (>= now). */
+    void scheduleAt(Tick when, Callback cb);
+
+    /** Schedule a callback `delay` ticks from now. */
+    void scheduleAfter(Tick delay, Callback cb);
+
+    /** True when no events remain. */
+    bool empty() const { return events_.empty(); }
+
+    /** Number of pending events. */
+    size_t pending() const;
+
+    /**
+     * Run until the queue drains (or an event cap is hit, guarding
+     * against runaway self-rescheduling). Returns the final tick.
+     */
+    Tick run(uint64_t max_events = UINT64_MAX);
+
+    /** Run events with time <= until; later events stay queued. */
+    Tick runUntil(Tick until);
+
+  private:
+    Tick now_ = 0;
+    uint64_t seq_ = 0; // insertion order tiebreaker
+    std::map<std::pair<Tick, uint64_t>, Callback> events_;
+};
+
+} // namespace longsight
+
+#endif // LONGSIGHT_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,18 @@
+#include "sim/serving.hh"
+
+namespace longsight {
+
+void
+ServingResult::finalize()
+{
+    if (!feasible || stepTime == 0 || users == 0) {
+        tokensPerSecond = 0.0;
+        perTokenLatencyUs = 0.0;
+        return;
+    }
+    const double step_s = toSeconds(stepTime);
+    tokensPerSecond = static_cast<double>(users) / step_s;
+    perTokenLatencyUs = toMicroseconds(stepTime);
+}
+
+} // namespace longsight

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Common result types for the decode-phase serving simulators: a
+ * steady-state decode step is simulated (or analytically composed)
+ * per configuration and scaled to throughput (tokens/s across all
+ * users) and per-token latency — the quantities of Figure 7 — plus
+ * the component breakdowns of Figures 8 and 9.
+ */
+
+#ifndef LONGSIGHT_SIM_SERVING_HH
+#define LONGSIGHT_SIM_SERVING_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.hh"
+
+namespace longsight {
+
+/**
+ * Per-token latency breakdown of a LongSight decode step (Fig. 9).
+ * Components are non-overlapped contributions: exactly one of
+ * gpuWindowExposed / drexExposed is nonzero per layer depending on
+ * which side is the attention-phase critical path.
+ */
+struct StepBreakdown
+{
+    Tick gpuNonAttention = 0; //!< QKV, projections, FFN, LM head
+    Tick itq = 0;             //!< runtime ITQ rotations
+    Tick gpuWindowExposed = 0; //!< window attention beyond the offload
+    Tick drexExposed = 0;      //!< offload time beyond window attention
+    Tick submit = 0;           //!< descriptor MMIO writes
+    Tick poll = 0;             //!< completion-polling overhead
+    Tick softmax = 0;          //!< combined softmax + hybrid SV
+
+    Tick total() const
+    {
+        return gpuNonAttention + itq + gpuWindowExposed + drexExposed +
+            submit + poll + softmax;
+    }
+};
+
+/**
+ * Outcome of one serving configuration (model, context, users).
+ */
+struct ServingResult
+{
+    bool feasible = false;      //!< memory capacity / queue constraints
+    std::string limitedBy;      //!< reason when infeasible
+    uint32_t users = 0;
+    Tick stepTime = 0;          //!< one decode step (= per-token latency)
+    double tokensPerSecond = 0; //!< across all users
+    double perTokenLatencyUs = 0;
+    StepBreakdown breakdown;    //!< LongSight only; zero elsewhere
+
+    /** Fill throughput/latency from stepTime and users. */
+    void finalize();
+};
+
+} // namespace longsight
+
+#endif // LONGSIGHT_SIM_SERVING_HH

@@ -1,0 +1,89 @@
+#include "sim/slo_sim.hh"
+
+#include <cmath>
+#include <memory>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace longsight {
+
+namespace {
+
+/**
+ * Mutable session state shared by the event callbacks.
+ */
+struct Session
+{
+    const SloConfig &cfg;
+    const std::function<Tick(uint32_t)> &stepTime;
+    EventQueue queue;
+    SloResult result;
+    uint32_t active = 0;
+    uint64_t withinSlo = 0;
+    uint64_t totalTokens = 0;
+
+    explicit Session(const SloConfig &c,
+                     const std::function<Tick(uint32_t)> &st)
+        : cfg(c), stepTime(st)
+    {
+    }
+
+    void decodeToken(uint32_t remaining)
+    {
+        const Tick latency = stepTime(active);
+        const double ms = toSeconds(latency) * 1e3;
+        result.tokenLatencyMs.add(ms);
+        result.latencyHist.add(ms);
+        if (ms <= cfg.sloMs)
+            ++withinSlo;
+        ++totalTokens;
+        if (remaining > 1) {
+            queue.scheduleAfter(latency, [this, remaining] {
+                decodeToken(remaining - 1);
+            });
+        } else {
+            queue.scheduleAfter(latency, [this] {
+                LS_ASSERT(active > 0, "user departure underflow");
+                --active;
+            });
+        }
+    }
+
+    void admitUser()
+    {
+        ++active;
+        result.peakConcurrency = std::max(result.peakConcurrency, active);
+        decodeToken(cfg.tokensPerUser);
+    }
+};
+
+} // namespace
+
+SloResult
+runSloSimulation(const SloConfig &cfg,
+                 const std::function<Tick(uint32_t)> &step_time)
+{
+    LS_ASSERT(cfg.users > 0 && cfg.tokensPerUser > 0,
+              "degenerate SLO simulation");
+    Session s(cfg, step_time);
+    Rng rng(cfg.seed);
+
+    // Exponential interarrivals, all scheduled up front.
+    Tick arrival = 0;
+    for (uint32_t u = 0; u < cfg.users; ++u) {
+        s.queue.scheduleAt(arrival, [&s] { s.admitUser(); });
+        const double gap = -std::log(1.0 - rng.uniform());
+        arrival += static_cast<Tick>(
+            gap * static_cast<double>(cfg.meanInterarrival));
+    }
+
+    s.result.makespan = s.queue.run();
+    s.result.sloAttainment = s.totalTokens
+        ? static_cast<double>(s.withinSlo) /
+            static_cast<double>(s.totalTokens)
+        : 0.0;
+    return s.result;
+}
+
+} // namespace longsight

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Event-driven SLO study: users arrive over time, each decoding a
+ * stream of tokens on a shared LongSight (or baseline) system. The
+ * per-token service time reflects the number of users concurrently
+ * active, so ramp-up and drain phases produce a latency *distribution*
+ * rather than the steady-state point Figs. 7/9 report — the §4
+ * "latency sensitivity" angle: attention requests sit on the critical
+ * path of generation, so tail latency is what an operator provisions
+ * for.
+ */
+
+#ifndef LONGSIGHT_SIM_SLO_SIM_HH
+#define LONGSIGHT_SIM_SLO_SIM_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hh"
+#include "util/stats.hh"
+
+namespace longsight {
+
+/**
+ * Arrival/workload shape of the SLO study.
+ */
+struct SloConfig
+{
+    uint32_t users = 16;             //!< total users to admit
+    Tick meanInterarrival = 50 * kMillisecond;
+    uint32_t tokensPerUser = 64;     //!< decode steps per user
+    double sloMs = 50.0;             //!< per-token latency objective
+    uint64_t seed = 1;
+};
+
+/**
+ * Result of one simulated serving session.
+ */
+struct SloResult
+{
+    RunningStat tokenLatencyMs;  //!< per-token latency samples
+    Histogram latencyHist{0.0, 200.0, 100};
+    double sloAttainment = 0.0;  //!< fraction of tokens within SLO
+    uint32_t peakConcurrency = 0;
+    Tick makespan = 0;
+};
+
+/**
+ * Run the event-driven session.
+ *
+ * @param cfg arrivals and per-user token counts
+ * @param step_time maps the *current* number of active users to the
+ *        per-token step latency (Tick); wraps a serving system
+ */
+SloResult runSloSimulation(const SloConfig &cfg,
+                           const std::function<Tick(uint32_t)> &step_time);
+
+} // namespace longsight
+
+#endif // LONGSIGHT_SIM_SLO_SIM_HH

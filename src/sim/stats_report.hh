@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Uniform statistics reporting across simulator components — the
+ * gem5-style "stats dump" for this framework. Components keep their
+ * own typed stat structs; this module renders them into one
+ * TextTable so tools (the CLI, examples) can show a consistent
+ * end-of-run report.
+ */
+
+#ifndef LONGSIGHT_SIM_STATS_REPORT_HH
+#define LONGSIGHT_SIM_STATS_REPORT_HH
+
+#include <string>
+
+#include "util/table.hh"
+
+namespace longsight {
+
+class CxlLink;
+class DramChannel;
+class DramPackage;
+class DrexDevice;
+struct FilterStats;
+
+/**
+ * Accumulates component statistics into one named table.
+ */
+class StatsReport
+{
+  public:
+    explicit StatsReport(const std::string &title);
+
+    /** One DRAM channel's activity. */
+    void addChannel(const std::string &name, const DramChannel &ch);
+
+    /** Aggregate of a whole package. */
+    void addPackage(const std::string &name, const DramPackage &pkg);
+
+    /** All packages of a device. */
+    void addDevice(const std::string &name, DrexDevice &dev);
+
+    /** CXL link traffic. */
+    void addLink(const std::string &name, const CxlLink &link);
+
+    /** Filter-ratio statistics. */
+    void addFilterStats(const std::string &name, const FilterStats &fs);
+
+    /** Arbitrary scalar. */
+    void addScalar(const std::string &name, const std::string &value,
+                   const std::string &note = "");
+
+    /** Rendered table (also printable directly). */
+    const TextTable &table() const { return table_; }
+    void print(std::ostream &os) const { table_.print(os); }
+
+    size_t entries() const { return table_.rowCount(); }
+
+  private:
+    TextTable table_;
+};
+
+} // namespace longsight
+
+#endif // LONGSIGHT_SIM_STATS_REPORT_HH

@@ -1,0 +1,80 @@
+#include "tensor/quantized.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace longsight {
+
+QuantizedVector
+quantizeInt8(const float *v, size_t n)
+{
+    LS_ASSERT(n > 0, "empty vector quantization");
+    float max_abs = 0.0f;
+    for (size_t i = 0; i < n; ++i)
+        max_abs = std::max(max_abs, std::abs(v[i]));
+
+    QuantizedVector q;
+    q.data.resize(n);
+    if (max_abs == 0.0f) {
+        q.scale = 1.0f;
+        return q;
+    }
+    q.scale = max_abs / 127.0f;
+    const float inv = 127.0f / max_abs;
+    for (size_t i = 0; i < n; ++i) {
+        const float r = std::round(v[i] * inv);
+        q.data[i] = static_cast<int8_t>(std::clamp(r, -127.0f, 127.0f));
+    }
+    return q;
+}
+
+std::vector<float>
+dequantize(const QuantizedVector &q)
+{
+    std::vector<float> out(q.data.size());
+    for (size_t i = 0; i < out.size(); ++i)
+        out[i] = static_cast<float>(q.data[i]) * q.scale;
+    return out;
+}
+
+float
+dotQuantized(const QuantizedVector &q, const float *b)
+{
+    double acc = 0.0;
+    for (size_t i = 0; i < q.data.size(); ++i)
+        acc += static_cast<double>(q.data[i]) * b[i];
+    return static_cast<float>(acc * q.scale);
+}
+
+double
+quantizationError(const Matrix &rows)
+{
+    double total = 0.0;
+    for (size_t r = 0; r < rows.rows(); ++r) {
+        const QuantizedVector q = quantizeInt8(rows.row(r), rows.cols());
+        const auto back = dequantize(q);
+        double err = 0.0, ref = 0.0;
+        for (size_t i = 0; i < back.size(); ++i) {
+            const double d =
+                static_cast<double>(back[i]) - rows.row(r)[i];
+            err += d * d;
+            ref += static_cast<double>(rows.row(r)[i]) * rows.row(r)[i];
+        }
+        total += ref > 0 ? std::sqrt(err / ref) : 0.0;
+    }
+    return total / static_cast<double>(rows.rows());
+}
+
+std::vector<QuantizedVector>
+quantizeRows(const Matrix &rows)
+{
+    std::vector<QuantizedVector> out;
+    out.reserve(rows.rows());
+    for (size_t r = 0; r < rows.rows(); ++r)
+        out.push_back(quantizeInt8(rows.row(r), rows.cols()));
+    return out;
+}
+
+} // namespace longsight

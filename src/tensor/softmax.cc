@@ -1,0 +1,55 @@
+#include "tensor/softmax.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace longsight {
+
+void
+softmaxInPlace(std::vector<float> &scores)
+{
+    if (scores.empty())
+        return;
+    const float mx = maxScore(scores);
+    double denom = 0.0;
+    for (auto &s : scores) {
+        s = std::exp(s - mx);
+        denom += s;
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (auto &s : scores)
+        s *= inv;
+}
+
+std::vector<float>
+softmax(const std::vector<float> &scores)
+{
+    std::vector<float> out = scores;
+    softmaxInPlace(out);
+    return out;
+}
+
+double
+softmaxParts(const std::vector<float> &scores, float global_max,
+             std::vector<float> &out)
+{
+    out.resize(scores.size());
+    double denom = 0.0;
+    for (size_t i = 0; i < scores.size(); ++i) {
+        out[i] = std::exp(scores[i] - global_max);
+        denom += out[i];
+    }
+    return denom;
+}
+
+float
+maxScore(const std::vector<float> &scores)
+{
+    float mx = -std::numeric_limits<float>::infinity();
+    for (float s : scores)
+        mx = std::max(mx, s);
+    return mx;
+}
+
+} // namespace longsight

@@ -1,0 +1,114 @@
+#include "tensor/svd.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/linalg.hh"
+#include "util/logging.hh"
+
+namespace longsight {
+
+SvdResult
+svd(const Matrix &a, int max_sweeps)
+{
+    const size_t m = a.rows();
+    const size_t n = a.cols();
+    LS_ASSERT(m >= n, "svd requires rows >= cols, got ", m, "x", n);
+
+    // Work on a column-major copy of A in double precision; one-sided
+    // Jacobi orthogonalizes the columns of U while accumulating V.
+    std::vector<std::vector<double>> u(n, std::vector<double>(m));
+    for (size_t j = 0; j < n; ++j)
+        for (size_t i = 0; i < m; ++i)
+            u[j][i] = a(i, j);
+
+    std::vector<std::vector<double>> v(n, std::vector<double>(n, 0.0));
+    for (size_t j = 0; j < n; ++j)
+        v[j][j] = 1.0;
+
+    const double eps = 1e-12;
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        bool rotated = false;
+        for (size_t p = 0; p + 1 < n; ++p) {
+            for (size_t q = p + 1; q < n; ++q) {
+                double alpha = 0.0, beta = 0.0, gamma = 0.0;
+                for (size_t i = 0; i < m; ++i) {
+                    alpha += u[p][i] * u[p][i];
+                    beta += u[q][i] * u[q][i];
+                    gamma += u[p][i] * u[q][i];
+                }
+                if (std::abs(gamma) <= eps * std::sqrt(alpha * beta))
+                    continue;
+                rotated = true;
+                const double zeta = (beta - alpha) / (2.0 * gamma);
+                const double t = (zeta >= 0 ? 1.0 : -1.0) /
+                    (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+                const double c = 1.0 / std::sqrt(1.0 + t * t);
+                const double s = c * t;
+                for (size_t i = 0; i < m; ++i) {
+                    const double up = u[p][i];
+                    u[p][i] = c * up - s * u[q][i];
+                    u[q][i] = s * up + c * u[q][i];
+                }
+                for (size_t i = 0; i < n; ++i) {
+                    const double vp = v[p][i];
+                    v[p][i] = c * vp - s * v[q][i];
+                    v[q][i] = s * vp + c * v[q][i];
+                }
+            }
+        }
+        if (!rotated)
+            break;
+    }
+
+    // Extract singular values and normalize columns of U.
+    std::vector<double> sv(n);
+    for (size_t j = 0; j < n; ++j) {
+        double nrm = 0.0;
+        for (size_t i = 0; i < m; ++i)
+            nrm += u[j][i] * u[j][i];
+        sv[j] = std::sqrt(nrm);
+        // Zero singular values leave the (arbitrary) column direction;
+        // keep it unnormalized-zero which downstream code tolerates.
+        if (sv[j] > 0) {
+            for (size_t i = 0; i < m; ++i)
+                u[j][i] /= sv[j];
+        }
+    }
+
+    // Sort descending by singular value.
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](size_t x, size_t y) { return sv[x] > sv[y]; });
+
+    SvdResult out;
+    out.u.resize(m, n);
+    out.v.resize(n, n);
+    out.s.resize(n);
+    for (size_t j = 0; j < n; ++j) {
+        const size_t src = order[j];
+        out.s[j] = static_cast<float>(sv[src]);
+        for (size_t i = 0; i < m; ++i)
+            out.u(i, j) = static_cast<float>(u[src][i]);
+        for (size_t i = 0; i < n; ++i)
+            out.v(i, j) = static_cast<float>(v[src][i]);
+    }
+    return out;
+}
+
+Matrix
+procrustesRotation(const Matrix &a, const Matrix &b)
+{
+    LS_ASSERT(a.rows() == b.rows() && a.cols() == b.cols(),
+              "procrustes shape mismatch");
+    // C = b^T a (n x n); svd(C) = U S V^T; R = U V^T minimizes
+    // ||a - b R^T|| — equivalently we return R with columns arranged so
+    // that b R approximates a.
+    const Matrix c = matmul(transpose(b), a);
+    SvdResult f = svd(c);
+    return matmul(f.u, transpose(f.v));
+}
+
+} // namespace longsight

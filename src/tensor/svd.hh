@@ -1,0 +1,46 @@
+/**
+ * @file
+ * One-sided Jacobi singular value decomposition for the small square
+ * matrices ITQ's Procrustes step needs (head dimension 64 or 128).
+ * Jacobi was chosen over Golub-Kahan because it is simple, numerically
+ * robust, and the matrices are tiny relative to the rest of the
+ * pipeline, so its O(n^3) sweeps are irrelevant to end-to-end cost.
+ */
+
+#ifndef LONGSIGHT_TENSOR_SVD_HH
+#define LONGSIGHT_TENSOR_SVD_HH
+
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace longsight {
+
+/** Result of a full SVD: a = u * diag(s) * v^T. */
+struct SvdResult
+{
+    Matrix u;             //!< m x n with orthonormal columns
+    std::vector<float> s; //!< n singular values, descending
+    Matrix v;             //!< n x n orthogonal
+};
+
+/**
+ * Compute the thin SVD of an m x n matrix (m >= n) via one-sided
+ * Jacobi rotations applied to the columns.
+ *
+ * @param a input matrix (m >= n required)
+ * @param max_sweeps Jacobi sweep cap; convergence is typically < 12
+ * @return factors with a ≈ u * diag(s) * v^T
+ */
+SvdResult svd(const Matrix &a, int max_sweeps = 30);
+
+/**
+ * The orthogonal Procrustes solution: the orthogonal matrix R
+ * minimizing ||a - b R||_F, namely R = V U^T for svd(b^T a) = U S V^T.
+ * Both a and b are m x n; returns an n x n orthogonal matrix.
+ */
+Matrix procrustesRotation(const Matrix &a, const Matrix &b);
+
+} // namespace longsight
+
+#endif // LONGSIGHT_TENSOR_SVD_HH

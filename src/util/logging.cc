@@ -1,0 +1,16 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+
+namespace longsight {
+namespace detail {
+
+void
+logMessage(const char *tag, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+    std::fflush(stderr);
+}
+
+} // namespace detail
+} // namespace longsight

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Status/error reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a bug in this library);
+ *            aborts so the failure can be debugged.
+ * fatal()  — the simulation cannot continue because of a user error
+ *            (bad configuration, invalid argument); exits with status 1.
+ * warn()   — something is suspicious but the run can continue.
+ * inform() — plain status output.
+ */
+
+#ifndef LONGSIGHT_UTIL_LOGGING_HH
+#define LONGSIGHT_UTIL_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace longsight {
+
+namespace detail {
+
+/** Emit a tagged message to stderr. */
+void logMessage(const char *tag, const std::string &msg);
+
+/** Format the variadic arguments into one string via operator<<. */
+template <typename... Args>
+std::string
+formatArgs(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report an internal invariant violation and abort. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::logMessage("panic", detail::formatArgs(std::forward<Args>(args)...));
+    std::abort();
+}
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::logMessage("fatal", detail::formatArgs(std::forward<Args>(args)...));
+    std::exit(1);
+}
+
+/** Report a suspicious but survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::logMessage("warn", detail::formatArgs(std::forward<Args>(args)...));
+}
+
+/** Report plain status information. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::logMessage("info", detail::formatArgs(std::forward<Args>(args)...));
+}
+
+/**
+ * Check a library invariant; on failure, panic with a message.
+ * Unlike assert(), stays active in release builds — the simulators
+ * lean on these checks for protocol correctness.
+ */
+#define LS_ASSERT(cond, ...)                                                  \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::longsight::panic("assertion '", #cond, "' failed at ",          \
+                               __FILE__, ":", __LINE__, ": ", __VA_ARGS__);   \
+        }                                                                     \
+    } while (0)
+
+} // namespace longsight
+
+#endif // LONGSIGHT_UTIL_LOGGING_HH

@@ -1,0 +1,98 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace longsight {
+
+void
+RunningStat::add(double x)
+{
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mean_ - mean_;
+    const uint64_t total = n_ + other.n_;
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    mean_ += delta * nb / static_cast<double>(total);
+    m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(total);
+    n_ = total;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+RunningStat::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    LS_ASSERT(hi > lo && bins > 0, "degenerate histogram range");
+}
+
+void
+Histogram::add(double x)
+{
+    const double t = (x - lo_) / (hi_ - lo_);
+    auto bin = static_cast<int64_t>(t * static_cast<double>(counts_.size()));
+    bin = std::clamp<int64_t>(bin, 0, static_cast<int64_t>(counts_.size()) - 1);
+    ++counts_[static_cast<size_t>(bin)];
+    ++total_;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return lo_;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto target = static_cast<uint64_t>(q * static_cast<double>(total_));
+    uint64_t cum = 0;
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        cum += counts_[i];
+        if (cum > target)
+            return lo_ + (static_cast<double>(i) + 0.5) * width;
+    }
+    return hi_;
+}
+
+std::string
+Histogram::summary() const
+{
+    std::ostringstream os;
+    os << "n=" << total_ << " p50=" << quantile(0.5) << " p90=" << quantile(0.9)
+       << " p99=" << quantile(0.99);
+    return os.str();
+}
+
+} // namespace longsight

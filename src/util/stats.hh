@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used by the simulators and
+ * benchmark harnesses: running mean/min/max/stddev and a fixed-bin
+ * histogram for latency distributions.
+ */
+
+#ifndef LONGSIGHT_UTIL_STATS_HH
+#define LONGSIGHT_UTIL_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace longsight {
+
+/**
+ * Welford-style running summary statistics.
+ */
+class RunningStat
+{
+  public:
+    /** Fold one sample into the summary. */
+    void add(double x);
+
+    /** Fold another summary into this one. */
+    void merge(const RunningStat &other);
+
+    uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Population variance (0 for fewer than two samples). */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    double sum() const { return mean_ * static_cast<double>(n_); }
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-width-bin histogram over [lo, hi); out-of-range samples clamp
+ * into the first/last bin so no sample is silently dropped.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, size_t bins);
+
+    void add(double x);
+
+    uint64_t count() const { return total_; }
+    const std::vector<uint64_t> &bins() const { return counts_; }
+
+    /** Approximate quantile (q in [0,1]) from bin midpoints. */
+    double quantile(double q) const;
+
+    /** Render a compact ASCII summary for logs. */
+    std::string summary() const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+} // namespace longsight
+
+#endif // LONGSIGHT_UTIL_STATS_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Simulation time and size units. All simulator timing is carried in
+ * picoseconds as a 64-bit Tick so different clock domains (LPDDR5X
+ * core clock, NMA logic clock, CXL link) compose without rounding.
+ */
+
+#ifndef LONGSIGHT_UTIL_UNITS_HH
+#define LONGSIGHT_UTIL_UNITS_HH
+
+#include <cstdint>
+
+namespace longsight {
+
+/** Simulated time in picoseconds. */
+using Tick = uint64_t;
+
+constexpr Tick kPicosecond = 1;
+constexpr Tick kNanosecond = 1000 * kPicosecond;
+constexpr Tick kMicrosecond = 1000 * kNanosecond;
+constexpr Tick kMillisecond = 1000 * kMicrosecond;
+constexpr Tick kSecond = 1000 * kMillisecond;
+
+/** Convert ticks to double-precision seconds / micro / nanoseconds. */
+constexpr double toSeconds(Tick t) { return static_cast<double>(t) / 1e12; }
+constexpr double toMicroseconds(Tick t) { return static_cast<double>(t) / 1e6; }
+constexpr double toNanoseconds(Tick t) { return static_cast<double>(t) / 1e3; }
+
+/** Convert a duration in nanoseconds (may be fractional) to ticks. */
+constexpr Tick
+fromNanoseconds(double ns)
+{
+    return static_cast<Tick>(ns * 1e3 + 0.5);
+}
+
+constexpr uint64_t kKiB = 1024;
+constexpr uint64_t kMiB = 1024 * kKiB;
+constexpr uint64_t kGiB = 1024 * kMiB;
+
+/**
+ * Time to move `bytes` at `gbps` GB/s (decimal GB), in ticks.
+ */
+constexpr Tick
+transferTime(uint64_t bytes, double gbytes_per_s)
+{
+    return static_cast<Tick>(static_cast<double>(bytes) /
+                             (gbytes_per_s * 1e9) * 1e12 + 0.5);
+}
+
+} // namespace longsight
+
+#endif // LONGSIGHT_UTIL_UNITS_HH

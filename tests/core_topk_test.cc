@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for top-k selection: the one-shot selector, the streaming
+ * bounded accumulator (NMA behaviour), and their equivalence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/topk.hh"
+#include "util/rng.hh"
+
+namespace longsight {
+namespace {
+
+std::vector<ScoredIndex>
+referenceTopk(std::vector<float> scores, std::vector<uint32_t> indices,
+              size_t k)
+{
+    std::vector<ScoredIndex> all(scores.size());
+    for (size_t i = 0; i < scores.size(); ++i)
+        all[i] = {scores[i], indices[i]};
+    std::sort(all.begin(), all.end(),
+              [](const ScoredIndex &a, const ScoredIndex &b) {
+                  return a.betterThan(b);
+              });
+    all.resize(std::min(k, all.size()));
+    return all;
+}
+
+TEST(TopkSelect, MatchesSortReference)
+{
+    Rng rng(1);
+    for (int trial = 0; trial < 20; ++trial) {
+        const size_t n = 1 + rng.below(500);
+        std::vector<float> scores(n);
+        std::vector<uint32_t> idx(n);
+        for (size_t i = 0; i < n; ++i) {
+            scores[i] = static_cast<float>(rng.gaussian());
+            idx[i] = static_cast<uint32_t>(i);
+        }
+        const size_t k = 1 + rng.below(n + 10);
+        const auto got = topkSelect(scores, idx, k);
+        const auto want = referenceTopk(scores, idx, k);
+        ASSERT_EQ(got.size(), want.size());
+        for (size_t i = 0; i < got.size(); ++i) {
+            EXPECT_EQ(got[i].index, want[i].index);
+            EXPECT_EQ(got[i].score, want[i].score);
+        }
+    }
+}
+
+TEST(TopkSelect, KLargerThanInputReturnsAllSorted)
+{
+    const std::vector<float> scores = {1.0f, 3.0f, 2.0f};
+    const std::vector<uint32_t> idx = {10, 20, 30};
+    const auto got = topkSelect(scores, idx, 100);
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_EQ(got[0].index, 20u);
+    EXPECT_EQ(got[1].index, 30u);
+    EXPECT_EQ(got[2].index, 10u);
+}
+
+TEST(TopkSelect, TiesBreakTowardLowerIndex)
+{
+    const std::vector<float> scores = {5.0f, 5.0f, 5.0f, 1.0f};
+    const std::vector<uint32_t> idx = {30, 10, 20, 5};
+    const auto got = topkSelect(scores, idx, 2);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0].index, 10u);
+    EXPECT_EQ(got[1].index, 20u);
+}
+
+TEST(TopkSelect, EmptyInput)
+{
+    const auto got = topkSelect({}, {}, 5);
+    EXPECT_TRUE(got.empty());
+}
+
+TEST(TopK, StreamingMatchesOneShot)
+{
+    Rng rng(2);
+    for (int trial = 0; trial < 20; ++trial) {
+        const size_t n = 1 + rng.below(800);
+        const size_t k = 1 + rng.below(64);
+        std::vector<float> scores(n);
+        std::vector<uint32_t> idx(n);
+        TopK acc(k);
+        for (size_t i = 0; i < n; ++i) {
+            scores[i] = static_cast<float>(rng.gaussian());
+            idx[i] = static_cast<uint32_t>(i * 3);
+            acc.push(scores[i], idx[i]);
+        }
+        const auto want = topkSelect(scores, idx, k);
+        const auto got = acc.sortedResults();
+        ASSERT_EQ(got.size(), want.size());
+        for (size_t i = 0; i < got.size(); ++i)
+            EXPECT_EQ(got[i].index, want[i].index) << "trial " << trial;
+    }
+}
+
+TEST(TopK, CapacityBoundsSize)
+{
+    TopK acc(4);
+    for (uint32_t i = 0; i < 100; ++i)
+        acc.push(static_cast<float>(i), i);
+    EXPECT_EQ(acc.size(), 4u);
+    const auto res = acc.sortedResults();
+    EXPECT_EQ(res[0].index, 99u);
+    EXPECT_EQ(res[3].index, 96u);
+}
+
+TEST(TopK, WorstRetainedIsEvictionBoundary)
+{
+    TopK acc(3);
+    acc.push(5.0f, 0);
+    acc.push(7.0f, 1);
+    acc.push(6.0f, 2);
+    EXPECT_FLOAT_EQ(acc.worstRetained(), 5.0f);
+    acc.push(8.0f, 3); // evicts 5
+    EXPECT_FLOAT_EQ(acc.worstRetained(), 6.0f);
+    acc.push(1.0f, 4); // ignored
+    EXPECT_FLOAT_EQ(acc.worstRetained(), 6.0f);
+}
+
+TEST(TopK, MergeEqualsCombinedStream)
+{
+    Rng rng(3);
+    const size_t k = 16;
+    TopK a(k), b(k), combined(k);
+    for (int i = 0; i < 500; ++i) {
+        const float s = static_cast<float>(rng.gaussian());
+        const auto idx = static_cast<uint32_t>(i);
+        (i % 2 ? a : b).push(s, idx);
+        combined.push(s, idx);
+    }
+    a.merge(b);
+    const auto got = a.sortedResults();
+    const auto want = combined.sortedResults();
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i].index, want[i].index);
+}
+
+TEST(TopK, DuplicateScoresKeepDeterministicWinners)
+{
+    // All-equal scores: the k lowest indices must win, regardless of
+    // arrival order.
+    TopK acc(3);
+    for (uint32_t idx : {50u, 10u, 40u, 20u, 30u})
+        acc.push(1.0f, idx);
+    const auto res = acc.sortedResults();
+    ASSERT_EQ(res.size(), 3u);
+    EXPECT_EQ(res[0].index, 10u);
+    EXPECT_EQ(res[1].index, 20u);
+    EXPECT_EQ(res[2].index, 30u);
+}
+
+} // namespace
+} // namespace longsight

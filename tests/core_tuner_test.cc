@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the §8.1.3 threshold tuner against synthetic evaluators
+ * with known optima.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/threshold_tuner.hh"
+
+namespace longsight {
+namespace {
+
+/**
+ * Synthetic evaluator: per-head filter ratio grows exponentially with
+ * its threshold, perplexity grows with the sum of thresholds past a
+ * per-head "safe" level.
+ */
+struct SyntheticEvaluator
+{
+    std::vector<int> safeLevel;
+    uint32_t calls = 0;
+
+    ThresholdEval operator()(const std::vector<int> &th)
+    {
+        ++calls;
+        ThresholdEval ev;
+        double ppl = 0.0, ratio_sum = 0.0;
+        ev.headFilterRatios.resize(th.size());
+        for (size_t h = 0; h < th.size(); ++h) {
+            ev.headFilterRatios[h] = std::exp(0.05 * th[h]);
+            ratio_sum += ev.headFilterRatios[h];
+            if (th[h] > safeLevel[h])
+                ppl += 2.0 * (th[h] - safeLevel[h]);
+        }
+        ev.pplIncreasePct = ppl;
+        ev.overallFilterRatio = ratio_sum / th.size();
+        return ev;
+    }
+};
+
+TEST(Tuner, StaysWithinBudget)
+{
+    SyntheticEvaluator eval{{16, 24, 8, 32}};
+    ThresholdTuner tuner(5.0, 4, 200);
+    const TuneResult r = tuner.tune(std::ref(eval), 4, 64);
+    EXPECT_LE(r.pplIncreasePct, 5.0);
+    EXPECT_EQ(r.thresholds.size(), 4u);
+}
+
+TEST(Tuner, RaisesThresholdsAboveZero)
+{
+    SyntheticEvaluator eval{{16, 24, 8, 32}};
+    ThresholdTuner tuner(5.0, 4, 200);
+    const TuneResult r = tuner.tune(std::ref(eval), 4, 64);
+    int raised = 0;
+    for (int t : r.thresholds)
+        raised += (t > 0);
+    EXPECT_GE(raised, 3) << "tuner should make progress on most heads";
+    EXPECT_GT(r.filterRatio, 1.0);
+}
+
+TEST(Tuner, ApproachesSafeLevels)
+{
+    // With a tight budget the tuner should push each head near (but
+    // not far past) its safe level.
+    SyntheticEvaluator eval{{12, 20, 28, 36}};
+    ThresholdTuner tuner(1.0, 4, 400);
+    const TuneResult r = tuner.tune(std::ref(eval), 4, 64);
+    for (size_t h = 0; h < 4; ++h) {
+        EXPECT_LE(r.thresholds[h], eval.safeLevel[h] + 4) << "head " << h;
+        EXPECT_GE(r.thresholds[h], eval.safeLevel[h] - 8) << "head " << h;
+    }
+}
+
+TEST(Tuner, RespectsIterationCap)
+{
+    SyntheticEvaluator eval{{60, 60}};
+    ThresholdTuner tuner(50.0, 1, 10);
+    const TuneResult r = tuner.tune(std::ref(eval), 2, 64);
+    EXPECT_LE(r.iterations, 10u);
+}
+
+TEST(Tuner, NeverExceedsHeadDim)
+{
+    SyntheticEvaluator eval{{1000, 1000}};
+    ThresholdTuner tuner(100.0, 16, 500);
+    const TuneResult r = tuner.tune(std::ref(eval), 2, 64);
+    for (int t : r.thresholds)
+        EXPECT_LE(t, 64);
+}
+
+TEST(Tuner, ZeroBudgetKeepsZeroThresholdsWhenAnyIncreaseHurts)
+{
+    SyntheticEvaluator eval{{0, 0}};
+    // Any raise above level 0 costs 2% > 0.5% budget.
+    ThresholdTuner tuner(0.5, 4, 100);
+    const TuneResult r = tuner.tune(std::ref(eval), 2, 64);
+    EXPECT_EQ(r.thresholds, std::vector<int>({0, 0}));
+    EXPECT_DOUBLE_EQ(r.pplIncreasePct, 0.0);
+}
+
+TEST(Tuner, PrefersLowestRatioHeadFirst)
+{
+    // Head 1 starts with a much lower ratio; the tuner's first move
+    // must target it. Track via call inspection.
+    struct Probe
+    {
+        std::vector<std::vector<int>> seen;
+        ThresholdEval operator()(const std::vector<int> &th)
+        {
+            seen.push_back(th);
+            ThresholdEval ev;
+            ev.headFilterRatios = {
+                10.0 + th[0], 1.0 + th[1], 10.0 + th[2]};
+            ev.overallFilterRatio =
+                (ev.headFilterRatios[0] + ev.headFilterRatios[1] +
+                 ev.headFilterRatios[2]) / 3.0;
+            ev.pplIncreasePct = 0.0;
+            return ev;
+        }
+    } probe;
+    ThresholdTuner tuner(5.0, 2, 3);
+    tuner.tune(std::ref(probe), 3, 64);
+    ASSERT_GE(probe.seen.size(), 2u);
+    // Second evaluation = first move: head 1 raised, others unchanged.
+    EXPECT_EQ(probe.seen[1][0], 0);
+    EXPECT_EQ(probe.seen[1][1], 2);
+    EXPECT_EQ(probe.seen[1][2], 0);
+}
+
+} // namespace
+} // namespace longsight

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the bit-transposed Key Sign Object image: round trips,
+ * size math (one LPDDR row for a 128-dim block), and bit-exact
+ * agreement between the hardware's column-wise filter schedule and
+ * the key-major software SCF.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/scf.hh"
+#include "drex/sign_block.hh"
+#include "tensor/tensor.hh"
+#include "util/rng.hh"
+
+namespace longsight {
+namespace {
+
+std::vector<SignBits>
+randomSigns(uint32_t count, uint32_t dim, uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix keys(count, dim, rng.gaussianVec(count * dim));
+    return packSignRows(keys.data(), count, dim);
+}
+
+TEST(SignBlock, SizeMatchesPaperLayout)
+{
+    // 128 keys x 128 dims / 8 = 2048 B = exactly one LPDDR5X row.
+    const auto signs = randomSigns(128, 128, 1);
+    SignBlockImage img(signs.data(), 128);
+    EXPECT_EQ(img.byteSize(), 2048u);
+    // 64-dim blocks take half a row.
+    const auto signs64 = randomSigns(128, 64, 2);
+    SignBlockImage img64(signs64.data(), 128);
+    EXPECT_EQ(img64.byteSize(), 1024u);
+}
+
+TEST(SignBlock, KeyRoundTrip)
+{
+    const auto signs = randomSigns(128, 64, 3);
+    SignBlockImage img(signs.data(), 128);
+    for (uint32_t k = 0; k < 128; ++k)
+        EXPECT_EQ(img.extractKey(k), signs[k]) << "key " << k;
+}
+
+TEST(SignBlock, PartialBlockRoundTrip)
+{
+    const auto signs = randomSigns(37, 64, 4);
+    SignBlockImage img(signs.data(), 37);
+    EXPECT_EQ(img.numKeys(), 37u);
+    for (uint32_t k = 0; k < 37; ++k)
+        EXPECT_EQ(img.extractKey(k), signs[k]);
+}
+
+TEST(SignBlock, ColumnHoldsOneDimensionAcrossKeys)
+{
+    const auto signs = randomSigns(128, 32, 5);
+    SignBlockImage img(signs.data(), 128);
+    for (uint32_t d = 0; d < 32; ++d) {
+        const uint64_t *col = img.column(d);
+        for (uint32_t k = 0; k < 128; ++k) {
+            const bool bit = (col[k >> 6] >> (k & 63)) & 1;
+            EXPECT_EQ(bit, signs[k].bit(d)) << "dim " << d << " key " << k;
+        }
+    }
+}
+
+class SignBlockFilter : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SignBlockFilter, ColumnwiseMatchesKeyMajorScf)
+{
+    const int threshold = GetParam();
+    const uint32_t dim = 128;
+    const auto signs = randomSigns(128, dim, 100 + threshold);
+    SignBlockImage img(signs.data(), 128);
+    Rng rng(200 + threshold);
+    const auto qv = rng.gaussianVec(dim);
+    const SignBits q(qv.data(), dim);
+
+    const Bitmap128 hw = img.columnwiseFilter(q, threshold);
+    const auto sw = scfFilter(q, signs, threshold);
+    for (uint32_t k = 0; k < 128; ++k) {
+        const bool in_sw = std::find(sw.begin(), sw.end(), k) != sw.end();
+        EXPECT_EQ(hw.test(k), in_sw)
+            << "key " << k << " threshold " << threshold;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, SignBlockFilter,
+                         ::testing::Values(0, 40, 64, 72, 100, 128));
+
+TEST(SignBlock, ColumnwiseMatchesPfuFilterBlock)
+{
+    const auto signs = randomSigns(90, 64, 6);
+    SignBlockImage img(signs.data(), 90);
+    Rng rng(7);
+    const auto qv = rng.gaussianVec(64);
+    const SignBits q(qv.data(), 64);
+    const auto pfu = Pfu::filterBlock({q}, signs.data(), 90, 34);
+    EXPECT_EQ(img.columnwiseFilter(q, 34), pfu[0]);
+}
+
+TEST(SignBlock, TailKeysBeyondBlockStayClear)
+{
+    const auto signs = randomSigns(50, 64, 8);
+    SignBlockImage img(signs.data(), 50);
+    const Bitmap128 bm = img.columnwiseFilter(signs[0], 0);
+    EXPECT_EQ(bm.popcount(), 50u);
+    for (uint32_t k = 50; k < 128; ++k)
+        EXPECT_FALSE(bm.test(k));
+}
+
+} // namespace
+} // namespace longsight

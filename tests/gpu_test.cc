@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the GPU roofline model: compute-vs-bandwidth regimes,
+ * capacity accounting, and the decode-time scaling behaviours the
+ * Fig. 7 baselines depend on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_model.hh"
+#include "model/model_config.hh"
+
+namespace longsight {
+namespace {
+
+TEST(Gpu, RooflineTakesTheSlowerSide)
+{
+    GpuModel g(GpuConfig::h100(), ModelConfig::llama3_1b());
+    const GpuConfig &cfg = g.gpu();
+    // Memory-bound case: 1 GB, negligible flops.
+    const Tick mem = g.rooflineTime(1.0, 1e9);
+    EXPECT_NEAR(toSeconds(mem), 1e9 / (cfg.hbmBandwidth * cfg.bwEfficiency),
+                1e-6);
+    // Compute-bound case: 1 PFLOP, negligible bytes.
+    const Tick comp = g.rooflineTime(1e15, 1.0);
+    EXPECT_NEAR(toSeconds(comp),
+                1e15 / (cfg.peakFlops * cfg.flopsEfficiency), 1e-6);
+}
+
+TEST(Gpu, DenseAttentionScalesLinearlyWithContext)
+{
+    GpuModel g(GpuConfig::h100(), ModelConfig::llama3_8b());
+    const Tick t32k = g.denseAttentionTime(32768, 1);
+    const Tick t64k = g.denseAttentionTime(65536, 1);
+    const double ratio = static_cast<double>(t64k - g.gpu().kernelLaunchOverhead) /
+        static_cast<double>(t32k - g.gpu().kernelLaunchOverhead);
+    EXPECT_NEAR(ratio, 2.0, 0.05);
+}
+
+TEST(Gpu, DecodeAttentionIsMemoryBound)
+{
+    // For decode (one query), attention arithmetic intensity is ~1
+    // FLOP/byte: the time must equal the KV streaming time.
+    const auto m = ModelConfig::llama3_8b();
+    GpuModel g(GpuConfig::h100(), m);
+    const uint64_t ctx = 131072;
+    const Tick t = g.denseAttentionTime(ctx, 1) -
+        g.gpu().kernelLaunchOverhead;
+    const double bytes = static_cast<double>(m.kvBytesPerToken()) * ctx;
+    const double expect =
+        bytes / (g.gpu().hbmBandwidth * g.gpu().bwEfficiency);
+    EXPECT_NEAR(toSeconds(t), expect, expect * 0.01);
+}
+
+TEST(Gpu, NonAttentionAmortizesWeightsAcrossBatch)
+{
+    GpuModel g(GpuConfig::h100(), ModelConfig::llama3_8b());
+    const Tick one = g.decodeNonAttentionTime(1);
+    const Tick eight = g.decodeNonAttentionTime(8);
+    // Weight streaming dominates at small batch: near-equal times.
+    EXPECT_LT(static_cast<double>(eight),
+              1.5 * static_cast<double>(one));
+}
+
+TEST(Gpu, NonAttentionEventuallyComputeBound)
+{
+    GpuModel g(GpuConfig::h100(), ModelConfig::llama3_8b());
+    const Tick b64 = g.decodeNonAttentionTime(64);
+    const Tick b512 = g.decodeNonAttentionTime(512);
+    EXPECT_GT(b512, 4 * b64 / 2); // clearly growing with batch
+}
+
+TEST(Gpu, KvBudgetPositiveAndBelowCapacity)
+{
+    GpuModel g(GpuConfig::h100(), ModelConfig::llama3_8b());
+    EXPECT_GT(g.kvBudgetBytes(), 0u);
+    EXPECT_LT(g.kvBudgetBytes(), g.gpu().hbmCapacity);
+}
+
+TEST(Gpu, MaxUsersMatchesKvFootprint)
+{
+    const auto m = ModelConfig::llama3_8b();
+    GpuModel g(GpuConfig::h100(), m);
+    const uint64_t ctx = 131072; // 128K tokens x 128 KiB/token = 16 GiB
+    const uint32_t users = g.maxUsersDense(ctx);
+    EXPECT_EQ(users, g.kvBudgetBytes() / (m.kvBytesPerToken() * ctx));
+    EXPECT_GE(users, 1u);
+    EXPECT_LE(users, 8u);
+}
+
+TEST(Gpu, OneMillionTokensDoNotFitOn8B)
+{
+    // The paper's headline: 1M context on Llama-3-8B exceeds a single
+    // H100's HBM (1M x 128 KiB = 128 GiB).
+    GpuModel g(GpuConfig::h100(), ModelConfig::llama3_8b());
+    EXPECT_EQ(g.maxUsersDense(1'000'000), 0u);
+}
+
+TEST(Gpu, WindowedFootprintSupportsManyUsers)
+{
+    GpuModel g(GpuConfig::h100(), ModelConfig::llama3_8b());
+    EXPECT_GT(g.maxUsersWindowed(1024 + 16 + 128), 256u);
+}
+
+TEST(Gpu, ItqOverheadSmallVersusNonAttention)
+{
+    // §5.4: ITQ runtime overhead is a small fraction of a decode step.
+    GpuModel g(GpuConfig::h100(), ModelConfig::llama3_1b());
+    const Tick itq = g.itqRotationTime(1);
+    const Tick step = g.decodeNonAttentionTime(1);
+    EXPECT_LT(static_cast<double>(itq), 0.05 * static_cast<double>(step));
+}
+
+TEST(Gpu, SoftmaxCombineScalesWithCandidates)
+{
+    GpuModel g(GpuConfig::h100(), ModelConfig::llama3_8b());
+    EXPECT_LT(g.softmaxCombineTime(1024, 1),
+              g.softmaxCombineTime(8192, 1));
+    EXPECT_EQ(g.softmaxCombineTime(0, 1), 0u);
+}
+
+TEST(Gpu, WeightsMustFit)
+{
+    // A model bigger than HBM must be rejected up front.
+    ModelConfig huge = ModelConfig::llama3_8b();
+    huge.hiddenDim = 16384;
+    huge.ffnDim = 65536;
+    huge.numLayers = 128;
+    EXPECT_DEATH({ GpuModel g(GpuConfig::h100(), huge); (void)g; },
+                 "do not fit");
+}
+
+} // namespace
+} // namespace longsight

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Coverage for smaller surfaces: CSV output, histogram summaries,
+ * dataset presets, token formatting, device write-path stats, TTFT /
+ * descriptor accounting, and ServingResult finalization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "bench/bench_util.hh"
+#include "drex/drex_device.hh"
+#include "model/workload.hh"
+#include "sim/longsight_system.hh"
+#include "sim/serving.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace longsight {
+namespace {
+
+TEST(TableCsv, WritesHeaderAndRows)
+{
+    TextTable t("csv");
+    t.setHeader({"a", "b"});
+    t.addRow({"1", "x"});
+    t.addRow({"2", "y"});
+    const std::string path = "/tmp/longsight_csv_test.csv";
+    t.writeCsv(path);
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "a,b");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1,x");
+    std::getline(in, line);
+    EXPECT_EQ(line, "2,y");
+    std::remove(path.c_str());
+}
+
+TEST(HistogramSummary, ContainsQuantiles)
+{
+    Histogram h(0, 100, 20);
+    for (int i = 0; i < 100; ++i)
+        h.add(i);
+    const std::string s = h.summary();
+    EXPECT_NE(s.find("n=100"), std::string::npos);
+    EXPECT_NE(s.find("p99"), std::string::npos);
+}
+
+TEST(FmtTokens, HumanReadable)
+{
+    EXPECT_EQ(fmtTokens(2048), "2K");
+    EXPECT_EQ(fmtTokens(131072), "128K");
+    EXPECT_EQ(fmtTokens(1'000'000), "1M");
+    EXPECT_EQ(fmtTokens(1000), "1000");
+}
+
+TEST(DatasetPresets, DifferentStatistics)
+{
+    const auto pg = WorkloadConfig::pgLike(64);
+    const auto wiki = WorkloadConfig::wiki2Like(64);
+    EXPECT_GT(pg.stickiness, wiki.stickiness);
+    EXPECT_LT(pg.numClusters, wiki.numClusters);
+    EXPECT_LT(pg.queryLocalProb, wiki.queryLocalProb);
+}
+
+TEST(DatasetPresets, PgHasLongerSegments)
+{
+    HeadWorkload pg(WorkloadConfig::pgLike(64), Rng(1));
+    HeadWorkload wiki(WorkloadConfig::wiki2Like(64), Rng(1));
+    pg.generate(4000);
+    wiki.generate(4000);
+    EXPECT_LT(pg.segments().back(), wiki.segments().back())
+        << "fewer segment switches in book-like text";
+}
+
+TEST(DeviceWriteStats, BytesLandInChannels)
+{
+    DrexConfig cfg;
+    cfg.numKvHeads = 1;
+    cfg.numLayers = 1;
+    cfg.headDim = 64;
+    DrexDevice dev(cfg);
+    dev.chargeContextWrite(0, 0, 0, 0, 0, 128);
+    const uint32_t pkg = dev.layout().packageFor(0, 0);
+    // 128 keys + values striped over 8 channels, plus sign bytes.
+    const uint64_t expect =
+        128ULL * (2 * 128 /*K+V bytes*/ + 64 / 8 /*signs*/);
+    EXPECT_EQ(dev.package(pkg).totalBytesTransferred(), expect);
+}
+
+TEST(ServingResultFinalize, ZeroSafe)
+{
+    ServingResult r;
+    r.finalize();
+    EXPECT_EQ(r.tokensPerSecond, 0.0);
+    r.feasible = true;
+    r.users = 4;
+    r.stepTime = 2 * kMillisecond;
+    r.finalize();
+    EXPECT_NEAR(r.tokensPerSecond, 2000.0, 1e-6);
+    EXPECT_NEAR(r.perTokenLatencyUs, 2000.0, 1e-6);
+}
+
+TEST(DescriptorBytes, MatchesModelShape)
+{
+    const auto m = ModelConfig::llama3_8b();
+    LongSightSystem ls(LongSightSystemConfig{}, m);
+    // 256 B header + 32 query heads x 128 dims x 2 B.
+    EXPECT_EQ(ls.descriptorBytes(), 256u + 32u * 128u * 2u);
+}
+
+TEST(SparseTokens, WindowAndSinksExcluded)
+{
+    const auto m = ModelConfig::llama3_8b();
+    LongSightSystem ls(LongSightSystemConfig{}, m);
+    EXPECT_EQ(ls.sparseTokens(1040), 0u);
+    EXPECT_EQ(ls.sparseTokens(1041), 1u);
+    EXPECT_EQ(ls.sparseTokens(10000), 10000u - 1040u);
+}
+
+TEST(StepBreakdownTotal, SumsComponents)
+{
+    StepBreakdown b;
+    b.gpuNonAttention = 10;
+    b.itq = 1;
+    b.gpuWindowExposed = 2;
+    b.drexExposed = 3;
+    b.submit = 4;
+    b.poll = 5;
+    b.softmax = 6;
+    EXPECT_EQ(b.total(), 31u);
+}
+
+} // namespace
+} // namespace longsight

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the discrete-event kernel: ordering, same-tick FIFO,
+ * runUntil semantics, and the runaway guard.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace longsight {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.scheduleAt(30, [&] { order.push_back(3); });
+    q.scheduleAt(10, [&] { order.push_back(1); });
+    q.scheduleAt(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.scheduleAt(100, [&order, i] { order.push_back(i); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue q;
+    Tick fired_at = 0;
+    q.scheduleAt(50, [&] {
+        q.scheduleAfter(25, [&] { fired_at = q.now(); });
+    });
+    q.run();
+    EXPECT_EQ(fired_at, 75u);
+}
+
+TEST(EventQueue, RunUntilLeavesLaterEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    q.scheduleAt(10, [&] { ++fired; });
+    q.scheduleAt(100, [&] { ++fired; });
+    q.runUntil(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.pending(), 1u);
+    EXPECT_EQ(q.now(), 50u);
+    q.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 10)
+            q.scheduleAfter(5, chain);
+    };
+    q.scheduleAt(0, chain);
+    q.run();
+    EXPECT_EQ(depth, 10);
+    EXPECT_EQ(q.now(), 45u);
+}
+
+TEST(EventQueue, RunawayGuardTrips)
+{
+    EventQueue q;
+    std::function<void()> forever = [&] { q.scheduleAfter(1, forever); };
+    q.scheduleAt(0, forever);
+    EXPECT_DEATH({ q.run(1000); }, "event cap");
+}
+
+TEST(EventQueue, SchedulingIntoPastDies)
+{
+    EventQueue q;
+    q.scheduleAt(100, [] {});
+    q.run();
+    EXPECT_DEATH({ q.scheduleAt(50, [] {}); }, "past");
+}
+
+TEST(EventQueue, EmptyQueueRunsToNoop)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.run(), 0u);
+}
+
+} // namespace
+} // namespace longsight

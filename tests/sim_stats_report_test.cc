@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the uniform stats report.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/filter_stats.hh"
+#include "cxl/link.hh"
+#include "dram/package.hh"
+#include "drex/drex_device.hh"
+#include "sim/stats_report.hh"
+
+namespace longsight {
+namespace {
+
+TEST(StatsReport, ChannelRowsRenderActivity)
+{
+    LpddrTimings t;
+    DramChannel ch(t);
+    ch.read(0, 0, 0, 64);
+    ch.read(0, 0, 0, 64);
+    ch.write(0, 1, 0, 32);
+    StatsReport report("run");
+    report.addChannel("ch0", ch);
+    std::ostringstream os;
+    report.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("ch0"), std::string::npos);
+    EXPECT_NE(s.find("reads"), std::string::npos);
+    EXPECT_NE(s.find("160"), std::string::npos); // 64+64+32 bytes
+}
+
+TEST(StatsReport, PackageAggregatesChannels)
+{
+    LpddrTimings t;
+    DramPackage pkg(t, 4);
+    pkg.readStriped(0, 0, 0, 256);
+    StatsReport report("run");
+    report.addPackage("pkg0", pkg);
+    std::ostringstream os;
+    report.print(os);
+    EXPECT_NE(os.str().find("256"), std::string::npos);
+}
+
+TEST(StatsReport, DeviceSkipsIdlePackages)
+{
+    DrexConfig cfg;
+    cfg.numKvHeads = 1;
+    cfg.numLayers = 1;
+    cfg.headDim = 64;
+    DrexDevice dev(cfg);
+    dev.chargeContextWrite(0, 0, 0, 0, 0, 16);
+    StatsReport report("run");
+    report.addDevice("drex", dev);
+    std::ostringstream os;
+    report.print(os);
+    const std::string s = os.str();
+    // Exactly one package saw traffic.
+    size_t pkg_mentions = 0;
+    for (size_t pos = 0; (pos = s.find(".pkg", pos)) != std::string::npos;
+         ++pos)
+        ++pkg_mentions;
+    // 4 rows per active package.
+    EXPECT_EQ(pkg_mentions, 4u);
+}
+
+TEST(StatsReport, LinkAndFilterAndScalar)
+{
+    CxlLink link(CxlConfig{});
+    link.bulkRead(0, 1234);
+    FilterStats fs;
+    fs.record(100, 10, 5);
+    StatsReport report("run");
+    report.addLink("cxl", link);
+    report.addFilterStats("scf", fs);
+    report.addScalar("tokens", "42", "generated");
+    EXPECT_GE(report.entries(), 7u);
+    std::ostringstream os;
+    report.print(os);
+    EXPECT_NE(os.str().find("1234"), std::string::npos);
+    EXPECT_NE(os.str().find("13.33x"), std::string::npos);
+    EXPECT_NE(os.str().find("generated"), std::string::npos);
+}
+
+} // namespace
+} // namespace longsight

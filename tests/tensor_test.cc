@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Unit and property tests for the tensor substrate: Matrix, linalg
+ * kernels, Jacobi SVD, softmax, and packed sign bits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "tensor/linalg.hh"
+#include "tensor/signbits.hh"
+#include "tensor/softmax.hh"
+#include "tensor/svd.hh"
+#include "tensor/tensor.hh"
+#include "util/rng.hh"
+
+namespace longsight {
+namespace {
+
+Matrix
+randomMatrix(size_t r, size_t c, Rng &rng)
+{
+    return Matrix(r, c, rng.gaussianVec(r * c));
+}
+
+TEST(Matrix, ZeroInitialized)
+{
+    Matrix m(3, 4);
+    for (size_t i = 0; i < m.size(); ++i)
+        EXPECT_EQ(m.data()[i], 0.0f);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+}
+
+TEST(Matrix, RowAccess)
+{
+    Matrix m(2, 3);
+    m(1, 2) = 7.0f;
+    EXPECT_EQ(m.row(1)[2], 7.0f);
+    const auto v = m.rowVec(1);
+    EXPECT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[2], 7.0f);
+}
+
+TEST(Matrix, AppendRowGrows)
+{
+    Matrix m(0, 3);
+    const float r0[3] = {1, 2, 3};
+    const float r1[3] = {4, 5, 6};
+    m.appendRow(r0);
+    m.appendRow(r1);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m(1, 0), 4.0f);
+}
+
+TEST(Matrix, IdentityDiagonal)
+{
+    const Matrix eye = Matrix::identity(5);
+    for (size_t i = 0; i < 5; ++i)
+        for (size_t j = 0; j < 5; ++j)
+            EXPECT_EQ(eye(i, j), i == j ? 1.0f : 0.0f);
+}
+
+TEST(Linalg, DotMatchesManual)
+{
+    const float a[] = {1, 2, 3};
+    const float b[] = {4, -5, 6};
+    EXPECT_FLOAT_EQ(dot(a, b, 3), 1 * 4 - 2 * 5 + 3 * 6);
+}
+
+TEST(Linalg, MatmulIdentity)
+{
+    Rng rng(5);
+    const Matrix a = randomMatrix(4, 4, rng);
+    const Matrix c = matmul(a, Matrix::identity(4));
+    EXPECT_LT(maxAbsDiff(a, c), 1e-6f);
+}
+
+TEST(Linalg, MatmulKnown)
+{
+    Matrix a(2, 2, {1, 2, 3, 4});
+    Matrix b(2, 2, {5, 6, 7, 8});
+    const Matrix c = matmul(a, b);
+    EXPECT_FLOAT_EQ(c(0, 0), 19);
+    EXPECT_FLOAT_EQ(c(0, 1), 22);
+    EXPECT_FLOAT_EQ(c(1, 0), 43);
+    EXPECT_FLOAT_EQ(c(1, 1), 50);
+}
+
+TEST(Linalg, MatmulBtMatchesMatmulTranspose)
+{
+    Rng rng(6);
+    const Matrix a = randomMatrix(3, 5, rng);
+    const Matrix b = randomMatrix(4, 5, rng);
+    const Matrix c1 = matmulBt(a, b);
+    const Matrix c2 = matmul(a, transpose(b));
+    EXPECT_LT(maxAbsDiff(c1, c2), 1e-4f);
+}
+
+TEST(Linalg, GemvMatchesMatmul)
+{
+    Rng rng(7);
+    const Matrix a = randomMatrix(4, 6, rng);
+    const std::vector<float> x = rng.gaussianVec(6);
+    const auto y = gemv(a, x);
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(y[i], dot(a.row(i), x.data(), 6), 1e-4);
+}
+
+TEST(Linalg, GemvTMatchesTransposedGemv)
+{
+    Rng rng(8);
+    const Matrix a = randomMatrix(5, 3, rng);
+    const std::vector<float> x = rng.gaussianVec(5);
+    const auto y1 = gemvT(a, x);
+    const auto y2 = gemv(transpose(a), x);
+    for (size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(y1[i], y2[i], 1e-4);
+}
+
+TEST(Linalg, TransposeInvolution)
+{
+    Rng rng(9);
+    const Matrix a = randomMatrix(3, 7, rng);
+    EXPECT_LT(maxAbsDiff(a, transpose(transpose(a))), 1e-7f);
+}
+
+TEST(Linalg, RandomOrthogonalIsOrthogonal)
+{
+    Rng rng(10);
+    for (size_t n : {4u, 16u, 64u}) {
+        const Matrix q = randomOrthogonal(n, rng);
+        EXPECT_TRUE(isOrthogonal(q, 1e-3f)) << "n=" << n;
+    }
+}
+
+TEST(Linalg, OrthogonalPreservesDotProducts)
+{
+    Rng rng(11);
+    const size_t n = 32;
+    const Matrix q = randomOrthogonal(n, rng);
+    const std::vector<float> a = rng.gaussianVec(n);
+    const std::vector<float> b = rng.gaussianVec(n);
+    const auto qa = gemvT(q, a);
+    const auto qb = gemvT(q, b);
+    EXPECT_NEAR(dot(a.data(), b.data(), n), dot(qa.data(), qb.data(), n),
+                1e-3);
+}
+
+class SvdShapes : public ::testing::TestWithParam<std::pair<size_t, size_t>>
+{
+};
+
+TEST_P(SvdShapes, ReconstructsInput)
+{
+    const auto [m, n] = GetParam();
+    Rng rng(100 + m * 17 + n);
+    const Matrix a = randomMatrix(m, n, rng);
+    const SvdResult f = svd(a);
+
+    // u * diag(s) * v^T == a
+    Matrix us(m, n);
+    for (size_t i = 0; i < m; ++i)
+        for (size_t j = 0; j < n; ++j)
+            us(i, j) = f.u(i, j) * f.s[j];
+    const Matrix rec = matmul(us, transpose(f.v));
+    EXPECT_LT(maxAbsDiff(a, rec), 1e-3f);
+
+    // Singular values descending and non-negative.
+    for (size_t j = 0; j + 1 < n; ++j) {
+        EXPECT_GE(f.s[j], f.s[j + 1]);
+        EXPECT_GE(f.s[j + 1], 0.0f);
+    }
+    // V orthogonal.
+    EXPECT_TRUE(isOrthogonal(f.v, 1e-3f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SvdShapes,
+                         ::testing::Values(std::pair<size_t, size_t>{4, 4},
+                                           std::pair<size_t, size_t>{8, 8},
+                                           std::pair<size_t, size_t>{16, 8},
+                                           std::pair<size_t, size_t>{64, 64},
+                                           std::pair<size_t, size_t>{32, 16}));
+
+TEST(Svd, ProcrustesRecoversKnownRotation)
+{
+    Rng rng(12);
+    const size_t n = 16;
+    const Matrix b = randomMatrix(64, n, rng);
+    const Matrix r_true = randomOrthogonal(n, rng);
+    const Matrix a = matmul(b, r_true);
+    const Matrix r = procrustesRotation(a, b);
+    EXPECT_TRUE(isOrthogonal(r, 1e-3f));
+    EXPECT_LT(maxAbsDiff(matmul(b, r), a), 1e-2f);
+}
+
+TEST(Softmax, SumsToOne)
+{
+    std::vector<float> s = {1.0f, 2.0f, 3.0f, -1.0f};
+    softmaxInPlace(s);
+    const double sum = std::accumulate(s.begin(), s.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+    for (float p : s)
+        EXPECT_GT(p, 0.0f);
+}
+
+TEST(Softmax, ShiftInvariant)
+{
+    std::vector<float> a = {0.5f, 1.5f, -2.0f};
+    std::vector<float> b = {100.5f, 101.5f, 98.0f};
+    softmaxInPlace(a);
+    softmaxInPlace(b);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(a[i], b[i], 1e-5);
+}
+
+TEST(Softmax, StableForLargeScores)
+{
+    std::vector<float> s = {1000.0f, 999.0f};
+    softmaxInPlace(s);
+    EXPECT_FALSE(std::isnan(s[0]));
+    EXPECT_GT(s[0], s[1]);
+    EXPECT_NEAR(s[0] + s[1], 1.0, 1e-6);
+}
+
+TEST(Softmax, MonotoneInScores)
+{
+    std::vector<float> s = {1.0f, 3.0f, 2.0f};
+    softmaxInPlace(s);
+    EXPECT_GT(s[1], s[2]);
+    EXPECT_GT(s[2], s[0]);
+}
+
+TEST(Softmax, EmptyIsNoop)
+{
+    std::vector<float> s;
+    softmaxInPlace(s);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(SignBits, PacksAndReadsBack)
+{
+    const float v[] = {1.0f, -2.0f, 0.0f, -0.5f, 3.0f};
+    SignBits s(v, 5);
+    EXPECT_TRUE(s.bit(0));
+    EXPECT_FALSE(s.bit(1));
+    EXPECT_TRUE(s.bit(2)); // zero counts as non-negative
+    EXPECT_FALSE(s.bit(3));
+    EXPECT_TRUE(s.bit(4));
+}
+
+TEST(SignBits, SelfConcordanceIsDim)
+{
+    Rng rng(13);
+    const auto v = rng.gaussianVec(128);
+    SignBits s(v.data(), 128);
+    EXPECT_EQ(s.concordance(s), 128);
+}
+
+TEST(SignBits, NegationConcordanceIsZero)
+{
+    Rng rng(14);
+    auto v = rng.gaussianVec(64);
+    // Ensure no exact zeros (zero keeps its "positive" bit under
+    // negation of -0.0f... avoid by nudging).
+    for (auto &x : v)
+        if (x == 0.0f)
+            x = 0.1f;
+    std::vector<float> neg(v.size());
+    for (size_t i = 0; i < v.size(); ++i)
+        neg[i] = -v[i];
+    SignBits a(v.data(), 64), b(neg.data(), 64);
+    EXPECT_EQ(a.concordance(b), 0);
+}
+
+TEST(SignBits, ConcordanceMatchesNaive)
+{
+    Rng rng(15);
+    for (int trial = 0; trial < 20; ++trial) {
+        const size_t d = 1 + rng.below(200);
+        const auto a = rng.gaussianVec(d);
+        const auto b = rng.gaussianVec(d);
+        SignBits sa(a.data(), d), sb(b.data(), d);
+        int naive = 0;
+        for (size_t i = 0; i < d; ++i)
+            naive += ((a[i] >= 0) == (b[i] >= 0));
+        EXPECT_EQ(sa.concordance(sb), naive) << "d=" << d;
+    }
+}
+
+TEST(SignBits, PackRowsMatchesSingle)
+{
+    Rng rng(16);
+    const Matrix m(4, 32, rng.gaussianVec(4 * 32));
+    const auto rows = packSignRows(m.data(), 4, 32);
+    ASSERT_EQ(rows.size(), 4u);
+    for (size_t r = 0; r < 4; ++r)
+        EXPECT_EQ(rows[r], SignBits(m.row(r), 32));
+}
+
+} // namespace
+} // namespace longsight

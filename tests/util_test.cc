@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit tests for the util substrate: deterministic RNG, running
+ * statistics, histograms, and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/rng.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+namespace longsight {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformBoundsRespected)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, BelowCoversRangeWithoutOverflow)
+{
+    Rng r(11);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        const uint64_t v = r.below(7);
+        EXPECT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, GaussianMomentsReasonable)
+{
+    Rng r(13);
+    RunningStat s;
+    for (int i = 0; i < 20000; ++i)
+        s.add(r.gaussian());
+    EXPECT_NEAR(s.mean(), 0.0, 0.05);
+    EXPECT_NEAR(s.stddev(), 1.0, 0.05);
+}
+
+TEST(Rng, GaussianWithParams)
+{
+    Rng r(17);
+    RunningStat s;
+    for (int i = 0; i < 20000; ++i)
+        s.add(r.gaussian(5.0, 2.0));
+    EXPECT_NEAR(s.mean(), 5.0, 0.1);
+    EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, PermutationIsAPermutation)
+{
+    Rng r(19);
+    const auto p = r.permutation(100);
+    std::set<uint32_t> seen(p.begin(), p.end());
+    EXPECT_EQ(seen.size(), 100u);
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentButDeterministic)
+{
+    Rng a(23);
+    Rng fork1 = a.fork();
+    Rng b(23);
+    Rng fork2 = b.fork();
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(fork1.next(), fork2.next());
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, KnownValues)
+{
+    RunningStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, MergeMatchesCombinedStream)
+{
+    Rng r(29);
+    RunningStat all, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = r.gaussian(3.0, 1.5);
+        all.add(v);
+        (i % 2 ? a : b).add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a, b;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    b.merge(a);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Histogram, CountsAndClamping)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-5.0);  // clamps into first bin
+    h.add(15.0);  // clamps into last bin
+    h.add(5.0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.bins().front(), 1u);
+    EXPECT_EQ(h.bins().back(), 1u);
+}
+
+TEST(Histogram, QuantileOrdering)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(static_cast<double>(i));
+    EXPECT_LT(h.quantile(0.1), h.quantile(0.5));
+    EXPECT_LT(h.quantile(0.5), h.quantile(0.9));
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+}
+
+TEST(Table, RendersAllRows)
+{
+    TextTable t("demo");
+    t.setHeader({"a", "b"});
+    t.addRow({"1", "2"});
+    t.addRow({"3", "4"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("3"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_EQ(fromNanoseconds(1.0), kNanosecond);
+    EXPECT_DOUBLE_EQ(toNanoseconds(kMicrosecond), 1000.0);
+    EXPECT_DOUBLE_EQ(toSeconds(kSecond), 1.0);
+}
+
+TEST(Units, TransferTime)
+{
+    // 1 GB at 1 GB/s = 1 s.
+    EXPECT_EQ(transferTime(1'000'000'000ULL, 1.0), kSecond);
+    // 64 B at 64 GB/s = 1 ns.
+    EXPECT_EQ(transferTime(64, 64.0), kNanosecond);
+}
+
+} // namespace
+} // namespace longsight

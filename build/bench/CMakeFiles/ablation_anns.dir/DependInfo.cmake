@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_anns.cc" "bench/CMakeFiles/ablation_anns.dir/ablation_anns.cc.o" "gcc" "bench/CMakeFiles/ablation_anns.dir/ablation_anns.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ls_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ls_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/drex/CMakeFiles/ls_drex.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/ls_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cxl/CMakeFiles/ls_cxl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/ls_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/ls_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ls_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ls_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_anns.dir/ablation_anns.cc.o"
+  "CMakeFiles/ablation_anns.dir/ablation_anns.cc.o.d"
+  "ablation_anns"
+  "ablation_anns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_anns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

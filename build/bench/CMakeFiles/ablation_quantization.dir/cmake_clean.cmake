@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_quantization.dir/ablation_quantization.cc.o"
+  "CMakeFiles/ablation_quantization.dir/ablation_quantization.cc.o.d"
+  "ablation_quantization"
+  "ablation_quantization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_per_token.dir/energy_per_token.cc.o"
+  "CMakeFiles/energy_per_token.dir/energy_per_token.cc.o.d"
+  "energy_per_token"
+  "energy_per_token.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_per_token.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_pareto.dir/fig4_pareto.cc.o"
+  "CMakeFiles/fig4_pareto.dir/fig4_pareto.cc.o.d"
+  "fig4_pareto"
+  "fig4_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libls_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_area.dir/power_area.cc.o"
+  "CMakeFiles/power_area.dir/power_area.cc.o.d"
+  "power_area"
+  "power_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

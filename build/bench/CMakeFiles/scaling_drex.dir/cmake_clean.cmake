@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_drex.dir/scaling_drex.cc.o"
+  "CMakeFiles/scaling_drex.dir/scaling_drex.cc.o.d"
+  "scaling_drex"
+  "scaling_drex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_drex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_trace.dir/serving_trace.cc.o"
+  "CMakeFiles/serving_trace.dir/serving_trace.cc.o.d"
+  "serving_trace"
+  "serving_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

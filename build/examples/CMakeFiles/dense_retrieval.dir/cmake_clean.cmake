@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dense_retrieval.dir/dense_retrieval.cpp.o"
+  "CMakeFiles/dense_retrieval.dir/dense_retrieval.cpp.o.d"
+  "dense_retrieval"
+  "dense_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dense_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longsight_cli.dir/longsight_cli.cpp.o"
+  "CMakeFiles/longsight_cli.dir/longsight_cli.cpp.o.d"
+  "longsight_cli"
+  "longsight_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longsight_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slo_study.dir/slo_study.cpp.o"
+  "CMakeFiles/slo_study.dir/slo_study.cpp.o.d"
+  "slo_study"
+  "slo_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slo_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

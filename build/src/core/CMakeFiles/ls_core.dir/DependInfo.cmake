@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attention.cc" "src/core/CMakeFiles/ls_core.dir/attention.cc.o" "gcc" "src/core/CMakeFiles/ls_core.dir/attention.cc.o.d"
+  "/root/repo/src/core/filter_stats.cc" "src/core/CMakeFiles/ls_core.dir/filter_stats.cc.o" "gcc" "src/core/CMakeFiles/ls_core.dir/filter_stats.cc.o.d"
+  "/root/repo/src/core/hybrid_attention.cc" "src/core/CMakeFiles/ls_core.dir/hybrid_attention.cc.o" "gcc" "src/core/CMakeFiles/ls_core.dir/hybrid_attention.cc.o.d"
+  "/root/repo/src/core/itq.cc" "src/core/CMakeFiles/ls_core.dir/itq.cc.o" "gcc" "src/core/CMakeFiles/ls_core.dir/itq.cc.o.d"
+  "/root/repo/src/core/kv_cache.cc" "src/core/CMakeFiles/ls_core.dir/kv_cache.cc.o" "gcc" "src/core/CMakeFiles/ls_core.dir/kv_cache.cc.o.d"
+  "/root/repo/src/core/multi_head.cc" "src/core/CMakeFiles/ls_core.dir/multi_head.cc.o" "gcc" "src/core/CMakeFiles/ls_core.dir/multi_head.cc.o.d"
+  "/root/repo/src/core/scf.cc" "src/core/CMakeFiles/ls_core.dir/scf.cc.o" "gcc" "src/core/CMakeFiles/ls_core.dir/scf.cc.o.d"
+  "/root/repo/src/core/threshold_tuner.cc" "src/core/CMakeFiles/ls_core.dir/threshold_tuner.cc.o" "gcc" "src/core/CMakeFiles/ls_core.dir/threshold_tuner.cc.o.d"
+  "/root/repo/src/core/topk.cc" "src/core/CMakeFiles/ls_core.dir/topk.cc.o" "gcc" "src/core/CMakeFiles/ls_core.dir/topk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/ls_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

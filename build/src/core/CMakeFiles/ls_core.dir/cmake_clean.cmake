@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_core.dir/attention.cc.o"
+  "CMakeFiles/ls_core.dir/attention.cc.o.d"
+  "CMakeFiles/ls_core.dir/filter_stats.cc.o"
+  "CMakeFiles/ls_core.dir/filter_stats.cc.o.d"
+  "CMakeFiles/ls_core.dir/hybrid_attention.cc.o"
+  "CMakeFiles/ls_core.dir/hybrid_attention.cc.o.d"
+  "CMakeFiles/ls_core.dir/itq.cc.o"
+  "CMakeFiles/ls_core.dir/itq.cc.o.d"
+  "CMakeFiles/ls_core.dir/kv_cache.cc.o"
+  "CMakeFiles/ls_core.dir/kv_cache.cc.o.d"
+  "CMakeFiles/ls_core.dir/multi_head.cc.o"
+  "CMakeFiles/ls_core.dir/multi_head.cc.o.d"
+  "CMakeFiles/ls_core.dir/scf.cc.o"
+  "CMakeFiles/ls_core.dir/scf.cc.o.d"
+  "CMakeFiles/ls_core.dir/threshold_tuner.cc.o"
+  "CMakeFiles/ls_core.dir/threshold_tuner.cc.o.d"
+  "CMakeFiles/ls_core.dir/topk.cc.o"
+  "CMakeFiles/ls_core.dir/topk.cc.o.d"
+  "libls_core.a"
+  "libls_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libls_core.a"
+)

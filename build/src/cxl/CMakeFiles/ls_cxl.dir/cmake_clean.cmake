@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_cxl.dir/link.cc.o"
+  "CMakeFiles/ls_cxl.dir/link.cc.o.d"
+  "libls_cxl.a"
+  "libls_cxl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_cxl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_dram.dir/channel.cc.o"
+  "CMakeFiles/ls_dram.dir/channel.cc.o.d"
+  "CMakeFiles/ls_dram.dir/package.cc.o"
+  "CMakeFiles/ls_dram.dir/package.cc.o.d"
+  "libls_dram.a"
+  "libls_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/drex/dcc.cc" "src/drex/CMakeFiles/ls_drex.dir/dcc.cc.o" "gcc" "src/drex/CMakeFiles/ls_drex.dir/dcc.cc.o.d"
+  "/root/repo/src/drex/descriptors.cc" "src/drex/CMakeFiles/ls_drex.dir/descriptors.cc.o" "gcc" "src/drex/CMakeFiles/ls_drex.dir/descriptors.cc.o.d"
+  "/root/repo/src/drex/drex_device.cc" "src/drex/CMakeFiles/ls_drex.dir/drex_device.cc.o" "gcc" "src/drex/CMakeFiles/ls_drex.dir/drex_device.cc.o.d"
+  "/root/repo/src/drex/layout.cc" "src/drex/CMakeFiles/ls_drex.dir/layout.cc.o" "gcc" "src/drex/CMakeFiles/ls_drex.dir/layout.cc.o.d"
+  "/root/repo/src/drex/nma.cc" "src/drex/CMakeFiles/ls_drex.dir/nma.cc.o" "gcc" "src/drex/CMakeFiles/ls_drex.dir/nma.cc.o.d"
+  "/root/repo/src/drex/partition_manager.cc" "src/drex/CMakeFiles/ls_drex.dir/partition_manager.cc.o" "gcc" "src/drex/CMakeFiles/ls_drex.dir/partition_manager.cc.o.d"
+  "/root/repo/src/drex/pfu.cc" "src/drex/CMakeFiles/ls_drex.dir/pfu.cc.o" "gcc" "src/drex/CMakeFiles/ls_drex.dir/pfu.cc.o.d"
+  "/root/repo/src/drex/sign_block.cc" "src/drex/CMakeFiles/ls_drex.dir/sign_block.cc.o" "gcc" "src/drex/CMakeFiles/ls_drex.dir/sign_block.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/ls_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/cxl/CMakeFiles/ls_cxl.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ls_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ls_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ls_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_drex.dir/dcc.cc.o"
+  "CMakeFiles/ls_drex.dir/dcc.cc.o.d"
+  "CMakeFiles/ls_drex.dir/descriptors.cc.o"
+  "CMakeFiles/ls_drex.dir/descriptors.cc.o.d"
+  "CMakeFiles/ls_drex.dir/drex_device.cc.o"
+  "CMakeFiles/ls_drex.dir/drex_device.cc.o.d"
+  "CMakeFiles/ls_drex.dir/layout.cc.o"
+  "CMakeFiles/ls_drex.dir/layout.cc.o.d"
+  "CMakeFiles/ls_drex.dir/nma.cc.o"
+  "CMakeFiles/ls_drex.dir/nma.cc.o.d"
+  "CMakeFiles/ls_drex.dir/partition_manager.cc.o"
+  "CMakeFiles/ls_drex.dir/partition_manager.cc.o.d"
+  "CMakeFiles/ls_drex.dir/pfu.cc.o"
+  "CMakeFiles/ls_drex.dir/pfu.cc.o.d"
+  "CMakeFiles/ls_drex.dir/sign_block.cc.o"
+  "CMakeFiles/ls_drex.dir/sign_block.cc.o.d"
+  "libls_drex.a"
+  "libls_drex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_drex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

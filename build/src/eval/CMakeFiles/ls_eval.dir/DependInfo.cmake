@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/algo_eval.cc" "src/eval/CMakeFiles/ls_eval.dir/algo_eval.cc.o" "gcc" "src/eval/CMakeFiles/ls_eval.dir/algo_eval.cc.o.d"
+  "/root/repo/src/eval/sparse_baselines.cc" "src/eval/CMakeFiles/ls_eval.dir/sparse_baselines.cc.o" "gcc" "src/eval/CMakeFiles/ls_eval.dir/sparse_baselines.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ls_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ls_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

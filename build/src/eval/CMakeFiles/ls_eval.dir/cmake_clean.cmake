@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_eval.dir/algo_eval.cc.o"
+  "CMakeFiles/ls_eval.dir/algo_eval.cc.o.d"
+  "CMakeFiles/ls_eval.dir/sparse_baselines.cc.o"
+  "CMakeFiles/ls_eval.dir/sparse_baselines.cc.o.d"
+  "libls_eval.a"
+  "libls_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/gpu_model.cc" "src/gpu/CMakeFiles/ls_gpu.dir/gpu_model.cc.o" "gcc" "src/gpu/CMakeFiles/ls_gpu.dir/gpu_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/ls_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ls_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ls_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

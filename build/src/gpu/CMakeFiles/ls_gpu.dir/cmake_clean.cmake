@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_gpu.dir/gpu_model.cc.o"
+  "CMakeFiles/ls_gpu.dir/gpu_model.cc.o.d"
+  "libls_gpu.a"
+  "libls_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

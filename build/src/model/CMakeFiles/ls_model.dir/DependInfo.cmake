@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/decoder.cc" "src/model/CMakeFiles/ls_model.dir/decoder.cc.o" "gcc" "src/model/CMakeFiles/ls_model.dir/decoder.cc.o.d"
+  "/root/repo/src/model/model_config.cc" "src/model/CMakeFiles/ls_model.dir/model_config.cc.o" "gcc" "src/model/CMakeFiles/ls_model.dir/model_config.cc.o.d"
+  "/root/repo/src/model/perplexity.cc" "src/model/CMakeFiles/ls_model.dir/perplexity.cc.o" "gcc" "src/model/CMakeFiles/ls_model.dir/perplexity.cc.o.d"
+  "/root/repo/src/model/rope.cc" "src/model/CMakeFiles/ls_model.dir/rope.cc.o" "gcc" "src/model/CMakeFiles/ls_model.dir/rope.cc.o.d"
+  "/root/repo/src/model/workload.cc" "src/model/CMakeFiles/ls_model.dir/workload.cc.o" "gcc" "src/model/CMakeFiles/ls_model.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ls_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

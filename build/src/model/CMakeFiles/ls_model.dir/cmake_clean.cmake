@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_model.dir/decoder.cc.o"
+  "CMakeFiles/ls_model.dir/decoder.cc.o.d"
+  "CMakeFiles/ls_model.dir/model_config.cc.o"
+  "CMakeFiles/ls_model.dir/model_config.cc.o.d"
+  "CMakeFiles/ls_model.dir/perplexity.cc.o"
+  "CMakeFiles/ls_model.dir/perplexity.cc.o.d"
+  "CMakeFiles/ls_model.dir/rope.cc.o"
+  "CMakeFiles/ls_model.dir/rope.cc.o.d"
+  "CMakeFiles/ls_model.dir/workload.cc.o"
+  "CMakeFiles/ls_model.dir/workload.cc.o.d"
+  "libls_model.a"
+  "libls_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/attacc_system.cc" "src/sim/CMakeFiles/ls_sim.dir/attacc_system.cc.o" "gcc" "src/sim/CMakeFiles/ls_sim.dir/attacc_system.cc.o.d"
+  "/root/repo/src/sim/baseline_gpu.cc" "src/sim/CMakeFiles/ls_sim.dir/baseline_gpu.cc.o" "gcc" "src/sim/CMakeFiles/ls_sim.dir/baseline_gpu.cc.o.d"
+  "/root/repo/src/sim/batch_scheduler.cc" "src/sim/CMakeFiles/ls_sim.dir/batch_scheduler.cc.o" "gcc" "src/sim/CMakeFiles/ls_sim.dir/batch_scheduler.cc.o.d"
+  "/root/repo/src/sim/decode_pipeline.cc" "src/sim/CMakeFiles/ls_sim.dir/decode_pipeline.cc.o" "gcc" "src/sim/CMakeFiles/ls_sim.dir/decode_pipeline.cc.o.d"
+  "/root/repo/src/sim/energy.cc" "src/sim/CMakeFiles/ls_sim.dir/energy.cc.o" "gcc" "src/sim/CMakeFiles/ls_sim.dir/energy.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/ls_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/ls_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/longsight_system.cc" "src/sim/CMakeFiles/ls_sim.dir/longsight_system.cc.o" "gcc" "src/sim/CMakeFiles/ls_sim.dir/longsight_system.cc.o.d"
+  "/root/repo/src/sim/serving.cc" "src/sim/CMakeFiles/ls_sim.dir/serving.cc.o" "gcc" "src/sim/CMakeFiles/ls_sim.dir/serving.cc.o.d"
+  "/root/repo/src/sim/slo_sim.cc" "src/sim/CMakeFiles/ls_sim.dir/slo_sim.cc.o" "gcc" "src/sim/CMakeFiles/ls_sim.dir/slo_sim.cc.o.d"
+  "/root/repo/src/sim/stats_report.cc" "src/sim/CMakeFiles/ls_sim.dir/stats_report.cc.o" "gcc" "src/sim/CMakeFiles/ls_sim.dir/stats_report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/drex/CMakeFiles/ls_drex.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/ls_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cxl/CMakeFiles/ls_cxl.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/ls_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ls_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ls_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ls_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_sim.dir/attacc_system.cc.o"
+  "CMakeFiles/ls_sim.dir/attacc_system.cc.o.d"
+  "CMakeFiles/ls_sim.dir/baseline_gpu.cc.o"
+  "CMakeFiles/ls_sim.dir/baseline_gpu.cc.o.d"
+  "CMakeFiles/ls_sim.dir/batch_scheduler.cc.o"
+  "CMakeFiles/ls_sim.dir/batch_scheduler.cc.o.d"
+  "CMakeFiles/ls_sim.dir/decode_pipeline.cc.o"
+  "CMakeFiles/ls_sim.dir/decode_pipeline.cc.o.d"
+  "CMakeFiles/ls_sim.dir/energy.cc.o"
+  "CMakeFiles/ls_sim.dir/energy.cc.o.d"
+  "CMakeFiles/ls_sim.dir/event_queue.cc.o"
+  "CMakeFiles/ls_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/ls_sim.dir/longsight_system.cc.o"
+  "CMakeFiles/ls_sim.dir/longsight_system.cc.o.d"
+  "CMakeFiles/ls_sim.dir/serving.cc.o"
+  "CMakeFiles/ls_sim.dir/serving.cc.o.d"
+  "CMakeFiles/ls_sim.dir/slo_sim.cc.o"
+  "CMakeFiles/ls_sim.dir/slo_sim.cc.o.d"
+  "CMakeFiles/ls_sim.dir/stats_report.cc.o"
+  "CMakeFiles/ls_sim.dir/stats_report.cc.o.d"
+  "libls_sim.a"
+  "libls_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

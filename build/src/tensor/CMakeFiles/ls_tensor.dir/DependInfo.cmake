@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/linalg.cc" "src/tensor/CMakeFiles/ls_tensor.dir/linalg.cc.o" "gcc" "src/tensor/CMakeFiles/ls_tensor.dir/linalg.cc.o.d"
+  "/root/repo/src/tensor/quantized.cc" "src/tensor/CMakeFiles/ls_tensor.dir/quantized.cc.o" "gcc" "src/tensor/CMakeFiles/ls_tensor.dir/quantized.cc.o.d"
+  "/root/repo/src/tensor/signbits.cc" "src/tensor/CMakeFiles/ls_tensor.dir/signbits.cc.o" "gcc" "src/tensor/CMakeFiles/ls_tensor.dir/signbits.cc.o.d"
+  "/root/repo/src/tensor/softmax.cc" "src/tensor/CMakeFiles/ls_tensor.dir/softmax.cc.o" "gcc" "src/tensor/CMakeFiles/ls_tensor.dir/softmax.cc.o.d"
+  "/root/repo/src/tensor/svd.cc" "src/tensor/CMakeFiles/ls_tensor.dir/svd.cc.o" "gcc" "src/tensor/CMakeFiles/ls_tensor.dir/svd.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/tensor/CMakeFiles/ls_tensor.dir/tensor.cc.o" "gcc" "src/tensor/CMakeFiles/ls_tensor.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

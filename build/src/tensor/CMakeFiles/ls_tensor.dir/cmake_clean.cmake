@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_tensor.dir/linalg.cc.o"
+  "CMakeFiles/ls_tensor.dir/linalg.cc.o.d"
+  "CMakeFiles/ls_tensor.dir/quantized.cc.o"
+  "CMakeFiles/ls_tensor.dir/quantized.cc.o.d"
+  "CMakeFiles/ls_tensor.dir/signbits.cc.o"
+  "CMakeFiles/ls_tensor.dir/signbits.cc.o.d"
+  "CMakeFiles/ls_tensor.dir/softmax.cc.o"
+  "CMakeFiles/ls_tensor.dir/softmax.cc.o.d"
+  "CMakeFiles/ls_tensor.dir/svd.cc.o"
+  "CMakeFiles/ls_tensor.dir/svd.cc.o.d"
+  "CMakeFiles/ls_tensor.dir/tensor.cc.o"
+  "CMakeFiles/ls_tensor.dir/tensor.cc.o.d"
+  "libls_tensor.a"
+  "libls_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

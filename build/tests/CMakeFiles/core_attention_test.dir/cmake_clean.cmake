@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_attention_test.dir/core_attention_test.cc.o"
+  "CMakeFiles/core_attention_test.dir/core_attention_test.cc.o.d"
+  "core_attention_test"
+  "core_attention_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_attention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

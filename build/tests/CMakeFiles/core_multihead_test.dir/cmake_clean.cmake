@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_multihead_test.dir/core_multihead_test.cc.o"
+  "CMakeFiles/core_multihead_test.dir/core_multihead_test.cc.o.d"
+  "core_multihead_test"
+  "core_multihead_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_multihead_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_scf_test.dir/core_scf_test.cc.o"
+  "CMakeFiles/core_scf_test.dir/core_scf_test.cc.o.d"
+  "core_scf_test"
+  "core_scf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_scf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

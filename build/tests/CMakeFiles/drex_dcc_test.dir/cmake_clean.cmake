@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drex_dcc_test.dir/drex_dcc_test.cc.o"
+  "CMakeFiles/drex_dcc_test.dir/drex_dcc_test.cc.o.d"
+  "drex_dcc_test"
+  "drex_dcc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drex_dcc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drex_descriptors_test.dir/drex_descriptors_test.cc.o"
+  "CMakeFiles/drex_descriptors_test.dir/drex_descriptors_test.cc.o.d"
+  "drex_descriptors_test"
+  "drex_descriptors_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drex_descriptors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

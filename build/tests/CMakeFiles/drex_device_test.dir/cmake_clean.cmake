@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drex_device_test.dir/drex_device_test.cc.o"
+  "CMakeFiles/drex_device_test.dir/drex_device_test.cc.o.d"
+  "drex_device_test"
+  "drex_device_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drex_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drex_fuzz_test.dir/drex_fuzz_test.cc.o"
+  "CMakeFiles/drex_fuzz_test.dir/drex_fuzz_test.cc.o.d"
+  "drex_fuzz_test"
+  "drex_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drex_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drex_layout_test.dir/drex_layout_test.cc.o"
+  "CMakeFiles/drex_layout_test.dir/drex_layout_test.cc.o.d"
+  "drex_layout_test"
+  "drex_layout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drex_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drex_nma_test.dir/drex_nma_test.cc.o"
+  "CMakeFiles/drex_nma_test.dir/drex_nma_test.cc.o.d"
+  "drex_nma_test"
+  "drex_nma_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drex_nma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

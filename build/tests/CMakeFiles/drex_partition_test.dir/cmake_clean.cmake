@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drex_partition_test.dir/drex_partition_test.cc.o"
+  "CMakeFiles/drex_partition_test.dir/drex_partition_test.cc.o.d"
+  "drex_partition_test"
+  "drex_partition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drex_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

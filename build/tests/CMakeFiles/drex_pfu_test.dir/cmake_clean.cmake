@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drex_pfu_test.dir/drex_pfu_test.cc.o"
+  "CMakeFiles/drex_pfu_test.dir/drex_pfu_test.cc.o.d"
+  "drex_pfu_test"
+  "drex_pfu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drex_pfu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

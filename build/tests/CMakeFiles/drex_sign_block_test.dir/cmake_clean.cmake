@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drex_sign_block_test.dir/drex_sign_block_test.cc.o"
+  "CMakeFiles/drex_sign_block_test.dir/drex_sign_block_test.cc.o.d"
+  "drex_sign_block_test"
+  "drex_sign_block_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drex_sign_block_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_decoder_test.dir/model_decoder_test.cc.o"
+  "CMakeFiles/model_decoder_test.dir/model_decoder_test.cc.o.d"
+  "model_decoder_test"
+  "model_decoder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_decoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_workload_props_test.dir/model_workload_props_test.cc.o"
+  "CMakeFiles/model_workload_props_test.dir/model_workload_props_test.cc.o.d"
+  "model_workload_props_test"
+  "model_workload_props_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_workload_props_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_stats_report_test.dir/sim_stats_report_test.cc.o"
+  "CMakeFiles/sim_stats_report_test.dir/sim_stats_report_test.cc.o.d"
+  "sim_stats_report_test"
+  "sim_stats_report_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_stats_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

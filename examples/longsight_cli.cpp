@@ -26,6 +26,7 @@
 #include "util/flags.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 
 namespace longsight {
 namespace {
@@ -194,7 +195,9 @@ usage()
         "longsight|1gpu|2gpu|attacc|window\n"
         "  capacity --model 1b|8b --context N\n"
         "  offload  --model 1b|8b --context N\n"
-        "  quality  --context N --window N --k N --threshold N [--itq]\n";
+        "  quality  --context N --window N --k N --threshold N [--itq]\n"
+        "  common   --threads N (host worker threads; default = all "
+        "cores, 1 = serial)\n";
     return 2;
 }
 
@@ -206,6 +209,10 @@ main(int argc, char **argv)
 {
     using namespace longsight;
     Flags flags(argc, argv);
+    // 0 = all hardware threads; 1 = exact serial execution. Results
+    // are bit-identical for any value (see DESIGN.md).
+    ThreadPool::configureGlobal(
+        static_cast<unsigned>(flags.getInt("threads", 0)));
     if (flags.positional().empty())
         return usage();
     const std::string cmd = flags.positional()[0];

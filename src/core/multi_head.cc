@@ -1,6 +1,7 @@
 #include "core/multi_head.hh"
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace longsight {
 
@@ -30,13 +31,21 @@ MultiHeadLongSight::compute(const Matrix &queries,
     r.outputs.resize(numQueryHeads_, headDim_);
     r.perQuery.reserve(numQueryHeads_);
     const uint32_t group = groupSize();
+
+    // Query heads are independent: each reads its group's cache and
+    // writes its own slot. Stats are merged serially afterwards in
+    // fixed head order, so the result is bit-identical for any thread
+    // count.
+    std::vector<HeadAttentionResult> heads(numQueryHeads_);
+    ThreadPool::global().parallelFor(0, numQueryHeads_, [&](size_t q) {
+        const uint32_t kv_head = static_cast<uint32_t>(q) / group;
+        heads[q] = attn_.computeHead(queries.rowVec(q), caches[kv_head],
+                                     kv_head);
+    });
     for (uint32_t q = 0; q < numQueryHeads_; ++q) {
-        const uint32_t kv_head = q / group;
-        HeadAttentionResult head =
-            attn_.computeHead(queries.rowVec(q), caches[kv_head], kv_head);
-        r.outputs.setRow(q, head.output.data());
-        LongSightAttn::recordStats(head, r.stats);
-        r.perQuery.push_back(std::move(head));
+        r.outputs.setRow(q, heads[q].output.data());
+        LongSightAttn::recordStats(heads[q], r.stats);
+        r.perQuery.push_back(std::move(heads[q]));
     }
     return r;
 }

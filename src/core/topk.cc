@@ -55,6 +55,10 @@ TopK::push(float score, uint32_t index)
 void
 TopK::merge(const TopK &other)
 {
+    // Self-merge is a no-op: pushing into heap_ while iterating it
+    // would invalidate the iterator on reallocation.
+    if (&other == this)
+        return;
     for (const auto &e : other.heap_)
         push(e.score, e.index);
 }

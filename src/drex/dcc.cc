@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace longsight {
 
@@ -77,11 +78,35 @@ Dcc::processNext()
     resp.responseBuffer = responseBufferFor(req.uid);
 
     const Tick dispatch = req.arrivalTick + cfg_.dispatchOverhead;
-    Tick done = dispatch;
-    for (const auto &spec : req.headOffloads) {
+
+    // Dispatch offloads package by package: each NMA owns its package
+    // (timing state, PFU filtering), so distinct packages run on
+    // distinct host threads — the simulated bank/package parallelism
+    // becomes real host parallelism. Offloads that share a package
+    // keep their FIFO order within that package's lane, exactly as
+    // the serial loop processed them.
+    std::vector<OffloadResult> results(req.headOffloads.size());
+    std::vector<std::vector<size_t>> by_package(nmas_.size());
+    for (size_t i = 0; i < req.headOffloads.size(); ++i) {
+        const auto &spec = req.headOffloads[i];
         const uint32_t pkg = layout_.packageFor(spec.user, spec.kvHead);
         LS_ASSERT(pkg < nmas_.size(), "package ", pkg, " has no NMA");
-        OffloadResult r = nmas_[pkg].process(dispatch, spec);
+        by_package[pkg].push_back(i);
+    }
+    std::vector<uint32_t> active;
+    for (uint32_t pkg = 0; pkg < by_package.size(); ++pkg)
+        if (!by_package[pkg].empty())
+            active.push_back(pkg);
+    ThreadPool::global().parallelFor(0, active.size(), [&](size_t pi) {
+        const uint32_t pkg = active[pi];
+        for (size_t i : by_package[pkg])
+            results[i] = nmas_[pkg].process(dispatch,
+                                            req.headOffloads[i]);
+    });
+
+    // Aggregate in the request's offload order.
+    Tick done = dispatch;
+    for (auto &r : results) {
         done = std::max(done, r.doneTick);
         resp.responseBytes += r.valueBytes;
         resp.headResults.push_back(std::move(r));

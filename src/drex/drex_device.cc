@@ -58,20 +58,29 @@ DrexDevice::writeContext(uint32_t user, uint32_t layer, uint32_t kv_head,
                          const Matrix &keys, const Matrix &values)
 {
     const ContextKey key{user, layer, kv_head};
-    auto it = contexts_.find(key);
-    if (it == contexts_.end()) {
-        it = contexts_.emplace(key, KvCache(cfg_.headDim)).first;
+    KvCache *cache;
+    {
+        std::lock_guard<std::mutex> lock(contextsMu_);
+        auto it = contexts_.find(key);
+        if (it == contexts_.end()) {
+            it = contexts_.emplace(key, KvCache(cfg_.headDim)).first;
+        }
+        cache = &it->second;
     }
-    it->second.appendAll(keys, values);
-    LS_ASSERT(it->second.size() <=
+    // The bulk copy happens outside the lock: concurrent writers hit
+    // distinct (user, layer, head) caches, and map node references
+    // survive later inserts.
+    cache->appendAll(keys, values);
+    LS_ASSERT(cache->size() <=
                   layout_.maxTokensPerSlice() * cfg_.geometry.numPackages,
               "context exceeds device slice capacity");
-    return it->second;
+    return *cache;
 }
 
 KvCache &
 DrexDevice::context(uint32_t user, uint32_t layer, uint32_t kv_head)
 {
+    std::lock_guard<std::mutex> lock(contextsMu_);
     auto it = contexts_.find(ContextKey{user, layer, kv_head});
     LS_ASSERT(it != contexts_.end(), "no context stored for user ", user,
               " layer ", layer, " head ", kv_head);
@@ -82,6 +91,7 @@ bool
 DrexDevice::hasContext(uint32_t user, uint32_t layer,
                        uint32_t kv_head) const
 {
+    std::lock_guard<std::mutex> lock(contextsMu_);
     return contexts_.count(ContextKey{user, layer, kv_head}) > 0;
 }
 

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/kv_cache.hh"
@@ -90,7 +91,9 @@ class DrexDevice
     /**
      * Store (append) keys/values for (user, layer, head); models the
      * GPU's bulk Key/Key-Sign/Value Object writes. Returns the store
-     * used, so callers can install ITQ rotations.
+     * used, so callers can install ITQ rotations. Safe to call
+     * concurrently for distinct (user, layer, head) keys — only the
+     * store lookup serializes; the bulk copy runs outside the lock.
      */
     KvCache &writeContext(uint32_t user, uint32_t layer, uint32_t kv_head,
                           const Matrix &keys, const Matrix &values);
@@ -127,6 +130,9 @@ class DrexDevice
     std::vector<DramPackage> packages_;
     std::vector<Nma> nmas_;
     std::unique_ptr<Dcc> dcc_;
+    // Guards contexts_ map structure (not the KvCaches inside it;
+    // node references stay stable across inserts).
+    mutable std::mutex contextsMu_;
     std::map<ContextKey, KvCache> contexts_;
 };
 

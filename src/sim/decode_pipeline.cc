@@ -8,6 +8,7 @@
 #include "core/scf.hh"
 #include "core/topk.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace longsight {
 
@@ -39,19 +40,22 @@ DecodePipeline::gpuCache(uint32_t layer, uint32_t head)
 size_t
 DecodePipeline::contextLength() const
 {
-    return gpuCaches_.front()->size();
+    // A zero-layer or zero-head config owns no caches; its context is
+    // empty rather than undefined.
+    return gpuCaches_.empty() ? 0 : gpuCaches_.front()->size();
 }
 
 void
 DecodePipeline::prefill(size_t n)
 {
-    for (uint32_t l = 0; l < cfg_.numLayers; ++l) {
-        for (uint32_t h = 0; h < cfg_.numKvHeads; ++h) {
-            HeadWorkload &wl = workloads_[l * cfg_.numKvHeads + h];
+    // Each (layer, KV head) group owns its HeadWorkload (forked RNG)
+    // and its KvCache, so groups generate independently.
+    ThreadPool::global().parallelFor(
+        0, workloads_.size(), [&](size_t idx) {
+            HeadWorkload &wl = workloads_[idx];
             wl.generate(n);
-            gpuCache(l, h).appendAll(wl.keys(), wl.values());
-        }
-    }
+            gpuCaches_[idx]->appendAll(wl.keys(), wl.values());
+        });
     maybeTrainItq();
     flushEligibleGroups();
 }
@@ -64,8 +68,14 @@ DecodePipeline::maybeTrainItq()
     const size_t n = contextLength();
     if (n < cfg_.headDim * 4)
         return; // not enough data yet
-    for (uint32_t l = 0; l < cfg_.numLayers; ++l) {
-        for (uint32_t h = 0; h < cfg_.numKvHeads; ++h) {
+    // Training is per-group: each group rotates its own caches with a
+    // seed derived only from (layer, head), so groups are independent.
+    ThreadPool::global().parallelFor(
+        0, workloads_.size(), [&](size_t idx) {
+            const uint32_t l =
+                static_cast<uint32_t>(idx) / cfg_.numKvHeads;
+            const uint32_t h =
+                static_cast<uint32_t>(idx) % cfg_.numKvHeads;
             KvCache &cache = gpuCache(l, h);
             const size_t nk = std::min<size_t>(n, 896);
             Matrix train(nk, cfg_.headDim);
@@ -76,8 +86,7 @@ DecodePipeline::maybeTrainItq()
             cache.setItqRotation(rotation);
             if (device_.hasContext(uid_, l, h))
                 device_.context(uid_, l, h).setItqRotation(rotation);
-        }
-    }
+        });
     itqInstalled_ = true;
 }
 
@@ -94,8 +103,14 @@ DecodePipeline::flushEligibleGroups()
     if (target <= flushed_)
         return;
 
-    for (uint32_t l = 0; l < cfg_.numLayers; ++l) {
-        for (uint32_t h = 0; h < cfg_.numKvHeads; ++h) {
+    // Groups ship disjoint (layer, head) contexts; writeContext
+    // serializes only the store lookup, so the copies overlap.
+    ThreadPool::global().parallelFor(
+        0, workloads_.size(), [&](size_t idx) {
+            const uint32_t l =
+                static_cast<uint32_t>(idx) / cfg_.numKvHeads;
+            const uint32_t h =
+                static_cast<uint32_t>(idx) % cfg_.numKvHeads;
             const KvCache &src = gpuCache(l, h);
             const size_t count = target - flushed_;
             Matrix keys(count, cfg_.headDim);
@@ -107,8 +122,7 @@ DecodePipeline::flushEligibleGroups()
             KvCache &dst = device_.writeContext(uid_, l, h, keys, values);
             if (src.hasItqRotation() && !dst.hasItqRotation())
                 dst.setItqRotation(src.itqRotation());
-        }
-    }
+        });
     flushed_ = target;
 }
 
@@ -118,15 +132,14 @@ DecodePipeline::decodeStep()
     PipelineStepResult result;
 
     // 1. New token: every (layer, head) appends one KV pair.
-    for (uint32_t l = 0; l < cfg_.numLayers; ++l) {
-        for (uint32_t h = 0; h < cfg_.numKvHeads; ++h) {
-            HeadWorkload &wl = workloads_[l * cfg_.numKvHeads + h];
+    ThreadPool::global().parallelFor(
+        0, workloads_.size(), [&](size_t idx) {
+            HeadWorkload &wl = workloads_[idx];
             wl.appendToken();
             const size_t pos = wl.contextLength() - 1;
-            gpuCache(l, h).append(wl.keys().rowVec(pos),
-                                  wl.values().rowVec(pos));
-        }
-    }
+            gpuCaches_[idx]->append(wl.keys().rowVec(pos),
+                                    wl.values().rowVec(pos));
+        });
 
     // 2. Bulk updates off the critical path.
     const size_t before = flushed_;
@@ -148,17 +161,24 @@ DecodePipeline::decodeStep()
         req.uid = uid_;
         req.layer = l;
         const bool offload = flushed_ > sinks;
+        // Draw the layer's queries in parallel: each KV head advances
+        // only its own workload RNG, so the streams are the same ones
+        // a serial loop would produce.
+        ThreadPool::global().parallelFor(
+            0, cfg_.numKvHeads, [&](size_t hi) {
+                const auto h = static_cast<uint32_t>(hi);
+                HeadWorkload &wl = workloads_[l * cfg_.numKvHeads + h];
+                const KvCache &cache = gpuCache(l, h);
+                queries[h].resize(group, cfg_.headDim);
+                filter_queries[h].resize(group, cfg_.headDim);
+                for (uint32_t g = 0; g < group; ++g) {
+                    const auto q = wl.drawQuery();
+                    queries[h].setRow(g, q.data());
+                    const auto qf = cache.toFilterSpace(q);
+                    filter_queries[h].setRow(g, qf.data());
+                }
+            });
         for (uint32_t h = 0; h < cfg_.numKvHeads; ++h) {
-            HeadWorkload &wl = workloads_[l * cfg_.numKvHeads + h];
-            const KvCache &cache = gpuCache(l, h);
-            queries[h].resize(group, cfg_.headDim);
-            filter_queries[h].resize(group, cfg_.headDim);
-            for (uint32_t g = 0; g < group; ++g) {
-                const auto q = wl.drawQuery();
-                queries[h].setRow(g, q.data());
-                const auto qf = cache.toFilterSpace(q);
-                filter_queries[h].setRow(g, qf.data());
-            }
             if (!offload)
                 continue;
             OffloadSpec spec;
@@ -183,72 +203,83 @@ DecodePipeline::decodeStep()
             ++result.offloadsIssued;
         }
 
-        // 4. GPU-side combine + verification per query head.
-        for (uint32_t h = 0; h < cfg_.numKvHeads; ++h) {
+        // 4. GPU-side combine + verification per query head. Lanes
+        // (one per query) only read shared state; their verdicts land
+        // in per-lane slots and fold into the step result with
+        // order-independent reductions (min / logical and).
+        const size_t lanes =
+            static_cast<size_t>(cfg_.numKvHeads) * group;
+        std::vector<double> lane_mass(lanes, 1.0);
+        std::vector<uint8_t> lane_matched(lanes, 1);
+        ThreadPool::global().parallelFor(0, lanes, [&](size_t lane) {
+            const auto h = static_cast<uint32_t>(lane / group);
+            const auto g = static_cast<uint32_t>(lane % group);
             const KvCache &cache = gpuCache(l, h);
-            for (uint32_t g = 0; g < group; ++g) {
-                // Dense part: sinks + everything not yet flushed
-                // (window plus staging buffer).
-                std::vector<uint32_t> attended;
-                for (size_t i = 0; i < sinks; ++i)
-                    attended.push_back(static_cast<uint32_t>(i));
-                for (size_t i = std::max(flushed_, sinks); i < n; ++i)
-                    attended.push_back(static_cast<uint32_t>(i));
 
-                std::vector<uint32_t> hw_topk;
-                if (offload) {
-                    const auto &head_result =
-                        responses[0].headResults[h];
-                    for (const auto &e : head_result.topk[g]) {
-                        attended.push_back(e.index);
-                        hw_topk.push_back(e.index);
-                    }
+            // Dense part: sinks + everything not yet flushed
+            // (window plus staging buffer).
+            std::vector<uint32_t> attended;
+            for (size_t i = 0; i < sinks; ++i)
+                attended.push_back(static_cast<uint32_t>(i));
+            for (size_t i = std::max(flushed_, sinks); i < n; ++i)
+                attended.push_back(static_cast<uint32_t>(i));
+
+            std::vector<uint32_t> hw_topk;
+            if (offload) {
+                const auto &head_result = responses[0].headResults[h];
+                for (const auto &e : head_result.topk[g]) {
+                    attended.push_back(e.index);
+                    hw_topk.push_back(e.index);
                 }
-                std::sort(attended.begin(), attended.end());
-                attended.erase(
-                    std::unique(attended.begin(), attended.end()),
-                    attended.end());
-
-                const auto q = queries[h].rowVec(g);
-                const auto combined = subsetAttention(
-                    q.data(), cache.keys(), cache.values(), attended,
-                    scale);
-                (void)combined;
-
-                // Verification A: device top-k equals the software
-                // filter -> score -> rank over the same region.
-                if (offload) {
-                    const auto qf = cache.toFilterSpace(q);
-                    const SignBits qs(qf.data(), cfg_.headDim);
-                    std::vector<uint32_t> survivors;
-                    const auto &signs = cache.filterSignsAll();
-                    for (size_t i = sinks; i < flushed_; ++i)
-                        if (qs.concordance(signs[i]) >=
-                            cfg_.hybrid.defaultThreshold)
-                            survivors.push_back(
-                                static_cast<uint32_t>(i));
-                    const auto scores = attentionScoresAt(
-                        q.data(), cache.keys(), survivors, scale);
-                    auto expect = topkSelect(scores, survivors,
-                                             cfg_.hybrid.topK);
-                    std::vector<uint32_t> sw_topk;
-                    for (const auto &e : expect)
-                        sw_topk.push_back(e.index);
-                    std::sort(sw_topk.begin(), sw_topk.end());
-                    std::sort(hw_topk.begin(), hw_topk.end());
-                    if (sw_topk != hw_topk)
-                        result.deviceMatchedSoftware = false;
-                }
-
-                // Verification B: retained dense softmax mass.
-                const auto dense = denseAttention(
-                    q.data(), cache.keys(), cache.values(), scale);
-                double mass = 0.0;
-                for (uint32_t idx : attended)
-                    mass += dense.probs[idx];
-                result.minRetainedMass =
-                    std::min(result.minRetainedMass, mass);
             }
+            std::sort(attended.begin(), attended.end());
+            attended.erase(
+                std::unique(attended.begin(), attended.end()),
+                attended.end());
+
+            const auto q = queries[h].rowVec(g);
+            const auto combined = subsetAttention(
+                q.data(), cache.keys(), cache.values(), attended,
+                scale);
+            (void)combined;
+
+            // Verification A: device top-k equals the software
+            // filter -> score -> rank over the same region.
+            if (offload) {
+                const auto qf = cache.toFilterSpace(q);
+                const SignBits qs(qf.data(), cfg_.headDim);
+                std::vector<uint32_t> survivors;
+                const auto &signs = cache.filterSignsAll();
+                for (size_t i = sinks; i < flushed_; ++i)
+                    if (qs.concordance(signs[i]) >=
+                        cfg_.hybrid.defaultThreshold)
+                        survivors.push_back(static_cast<uint32_t>(i));
+                const auto scores = attentionScoresAt(
+                    q.data(), cache.keys(), survivors, scale);
+                auto expect = topkSelect(scores, survivors,
+                                         cfg_.hybrid.topK);
+                std::vector<uint32_t> sw_topk;
+                for (const auto &e : expect)
+                    sw_topk.push_back(e.index);
+                std::sort(sw_topk.begin(), sw_topk.end());
+                std::sort(hw_topk.begin(), hw_topk.end());
+                if (sw_topk != hw_topk)
+                    lane_matched[lane] = 0;
+            }
+
+            // Verification B: retained dense softmax mass.
+            const auto dense = denseAttention(
+                q.data(), cache.keys(), cache.values(), scale);
+            double mass = 0.0;
+            for (uint32_t idx : attended)
+                mass += dense.probs[idx];
+            lane_mass[lane] = mass;
+        });
+        for (size_t lane = 0; lane < lanes; ++lane) {
+            result.minRetainedMass =
+                std::min(result.minRetainedMass, lane_mass[lane]);
+            if (!lane_matched[lane])
+                result.deviceMatchedSoftware = false;
         }
     }
     return result;

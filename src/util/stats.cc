@@ -44,7 +44,9 @@ RunningStat::variance() const
 {
     if (n_ < 2)
         return 0.0;
-    return m2_ / static_cast<double>(n_);
+    // Sample (n-1) variance: these summaries report the spread of a
+    // sampled distribution, not of an exhaustive population.
+    return m2_ / static_cast<double>(n_ - 1);
 }
 
 double
@@ -62,11 +64,19 @@ Histogram::Histogram(double lo, double hi, size_t bins)
 void
 Histogram::add(double x)
 {
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
     const double t = (x - lo_) / (hi_ - lo_);
     auto bin = static_cast<int64_t>(t * static_cast<double>(counts_.size()));
     bin = std::clamp<int64_t>(bin, 0, static_cast<int64_t>(counts_.size()) - 1);
     ++counts_[static_cast<size_t>(bin)];
-    ++total_;
 }
 
 double
@@ -76,7 +86,12 @@ Histogram::quantile(double q) const
         return lo_;
     q = std::clamp(q, 0.0, 1.0);
     const auto target = static_cast<uint64_t>(q * static_cast<double>(total_));
-    uint64_t cum = 0;
+    // Out-of-range samples keep their rank instead of folding into the
+    // edge bins: a tail beyond hi_ now pushes high quantiles to hi_
+    // rather than silently reporting the top bin's midpoint.
+    if (target < underflow_)
+        return lo_;
+    uint64_t cum = underflow_;
     const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
     for (size_t i = 0; i < counts_.size(); ++i) {
         cum += counts_[i];
@@ -92,6 +107,8 @@ Histogram::summary() const
     std::ostringstream os;
     os << "n=" << total_ << " p50=" << quantile(0.5) << " p90=" << quantile(0.9)
        << " p99=" << quantile(0.99);
+    if (underflow_ || overflow_)
+        os << " under=" << underflow_ << " over=" << overflow_;
     return os.str();
 }
 

@@ -33,10 +33,10 @@ class RunningStat
     double min() const { return n_ ? min_ : 0.0; }
     double max() const { return n_ ? max_ : 0.0; }
 
-    /** Population variance (0 for fewer than two samples). */
+    /** Sample (n-1) variance (0 for fewer than two samples). */
     double variance() const;
 
-    /** Population standard deviation. */
+    /** Sample standard deviation. */
     double stddev() const;
 
     double sum() const { return mean_ * static_cast<double>(n_); }
@@ -50,8 +50,9 @@ class RunningStat
 };
 
 /**
- * Fixed-width-bin histogram over [lo, hi); out-of-range samples clamp
- * into the first/last bin so no sample is silently dropped.
+ * Fixed-width-bin histogram over [lo, hi); out-of-range samples are
+ * tracked as underflow/overflow counts rather than folded into the
+ * edge bins, so quantiles stay honest when the range is too tight.
  */
 class Histogram
 {
@@ -62,6 +63,12 @@ class Histogram
 
     uint64_t count() const { return total_; }
     const std::vector<uint64_t> &bins() const { return counts_; }
+
+    /** Samples below lo (counted, ranked at lo in quantiles). */
+    uint64_t underflow() const { return underflow_; }
+
+    /** Samples at or above hi (counted, ranked at hi in quantiles). */
+    uint64_t overflow() const { return overflow_; }
 
     /** Approximate quantile (q in [0,1]) from bin midpoints. */
     double quantile(double q) const;
@@ -74,6 +81,8 @@ class Histogram
     double hi_;
     std::vector<uint64_t> counts_;
     uint64_t total_ = 0;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
 };
 
 } // namespace longsight

@@ -1,0 +1,189 @@
+#include "util/thread_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "util/logging.hh"
+
+namespace longsight {
+
+namespace {
+
+/** True while the current thread is executing parallelFor indices. */
+thread_local bool t_inParallelRegion = false;
+
+std::mutex g_globalMu;
+std::unique_ptr<ThreadPool> g_globalPool;
+
+} // namespace
+
+/**
+ * One parallelFor invocation. Lives on the calling thread's stack; the
+ * caller removes it from the queue and waits for `active` to reach
+ * zero before returning, so workers never outlive it.
+ */
+struct ThreadPool::Job
+{
+    size_t end = 0;
+    const std::function<void(size_t)> *fn = nullptr;
+    std::atomic<size_t> next{0};
+
+    // Workers currently inside runIndices. Guarded by doneMu so the
+    // caller's wait and the last worker's decrement cannot race on the
+    // Job's lifetime.
+    unsigned active = 0;
+    std::mutex doneMu;
+    std::condition_variable doneCv;
+
+    std::mutex errMu;
+    std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = hardwareThreads();
+    workers_.reserve(threads - 1);
+    for (unsigned i = 0; i + 1 < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+unsigned
+ThreadPool::hardwareThreads()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lock(g_globalMu);
+    if (!g_globalPool)
+        g_globalPool = std::make_unique<ThreadPool>(0);
+    return *g_globalPool;
+}
+
+void
+ThreadPool::configureGlobal(unsigned threads)
+{
+    std::lock_guard<std::mutex> lock(g_globalMu);
+    g_globalPool = std::make_unique<ThreadPool>(threads);
+}
+
+void
+ThreadPool::runIndices(Job &job)
+{
+    const bool was_nested = t_inParallelRegion;
+    t_inParallelRegion = true;
+    for (;;) {
+        const size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= job.end)
+            break;
+        try {
+            (*job.fn)(i);
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lock(job.errMu);
+                if (!job.error)
+                    job.error = std::current_exception();
+            }
+            // Stop handing out further indices.
+            job.next.store(job.end, std::memory_order_relaxed);
+        }
+    }
+    t_inParallelRegion = was_nested;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        Job *job = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (stop_)
+                return;
+            job = queue_.front();
+            if (job->next.load(std::memory_order_relaxed) >= job->end) {
+                // Exhausted; the owner will also remove it, but drop
+                // it eagerly so later jobs are reachable.
+                queue_.pop_front();
+                continue;
+            }
+            std::lock_guard<std::mutex> done(job->doneMu);
+            ++job->active;
+        }
+        runIndices(*job);
+        {
+            // Notify under the lock: the owner frees the Job as soon
+            // as it observes active == 0, so the condition variable
+            // must not be touched after releasing doneMu.
+            std::lock_guard<std::mutex> done(job->doneMu);
+            --job->active;
+            job->doneCv.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t begin, size_t end,
+                        const std::function<void(size_t)> &fn)
+{
+    LS_ASSERT(begin <= end, "parallelFor range inverted");
+    const size_t n = end - begin;
+    if (n == 0)
+        return;
+
+    // Serial fast path: single-lane pool, tiny range, or a nested call
+    // from inside a worker (which would deadlock waiting on itself).
+    if (workers_.empty() || n == 1 || t_inParallelRegion) {
+        for (size_t i = begin; i < end; ++i)
+            fn(i);
+        return;
+    }
+
+    Job job;
+    job.end = end;
+    job.fn = &fn;
+    job.next.store(begin, std::memory_order_relaxed);
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(&job);
+    }
+    cv_.notify_all();
+
+    // The caller is one of the lanes.
+    runIndices(job);
+
+    // No new worker may pick the job up once it leaves the queue;
+    // then wait out the ones already inside.
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = std::find(queue_.begin(), queue_.end(), &job);
+        if (it != queue_.end())
+            queue_.erase(it);
+    }
+    {
+        std::unique_lock<std::mutex> done(job.doneMu);
+        job.doneCv.wait(done, [&job] { return job.active == 0; });
+    }
+
+    if (job.error)
+        std::rethrow_exception(job.error);
+}
+
+} // namespace longsight

@@ -143,6 +143,37 @@ TEST(TopK, MergeEqualsCombinedStream)
         EXPECT_EQ(got[i].index, want[i].index);
 }
 
+TEST(TopK, SelfMergeIsANoOp)
+{
+    // Regression: merge(*this) used to push into heap_ while
+    // range-iterating it, invalidating the iterator on reallocation.
+    Rng rng(7);
+    TopK acc(8);
+    for (int i = 0; i < 64; ++i)
+        acc.push(static_cast<float>(rng.gaussian()),
+                 static_cast<uint32_t>(i));
+    const auto before = acc.sortedResults();
+    acc.merge(acc);
+    const auto after = acc.sortedResults();
+    ASSERT_EQ(after.size(), before.size());
+    for (size_t i = 0; i < after.size(); ++i) {
+        EXPECT_EQ(after[i].index, before[i].index);
+        EXPECT_FLOAT_EQ(after[i].score, before[i].score);
+    }
+}
+
+TEST(TopK, SelfMergeWhileFillingKeepsContents)
+{
+    TopK acc(16);
+    acc.push(1.0f, 1);
+    acc.push(2.0f, 2);
+    acc.merge(acc); // below capacity: must not duplicate entries
+    const auto res = acc.sortedResults();
+    ASSERT_EQ(res.size(), 2u);
+    EXPECT_EQ(res[0].index, 2u);
+    EXPECT_EQ(res[1].index, 1u);
+}
+
 TEST(TopK, DuplicateScoresKeepDeterministicWinners)
 {
     // All-equal scores: the k lowest indices must win, regardless of

@@ -52,6 +52,20 @@ TEST(Pipeline, PrefillFlushesWholeGroupsOnly)
     EXPECT_EQ(dev.context(0, 1, 1).size(), 640u);
 }
 
+TEST(Pipeline, ZeroLayerConfigHasEmptyContext)
+{
+    // Regression: contextLength() dereferenced gpuCaches_.front() and
+    // was UB for a config that owns no (layer, head) groups.
+    DrexDevice dev(deviceConfig());
+    PipelineConfig cfg = pipelineConfig();
+    cfg.numLayers = 0;
+    DecodePipeline pipe(cfg, dev, 0);
+    EXPECT_EQ(pipe.contextLength(), 0u);
+    EXPECT_EQ(pipe.stagedTokens(), 0u);
+    pipe.prefill(100); // nothing to generate; must not crash
+    EXPECT_EQ(pipe.flushedTokens(), 0u);
+}
+
 TEST(Pipeline, ShortContextFlushesNothing)
 {
     DrexDevice dev(deviceConfig());

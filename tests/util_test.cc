@@ -120,9 +120,18 @@ TEST(RunningStat, KnownValues)
     for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
         s.add(v);
     EXPECT_DOUBLE_EQ(s.mean(), 5.0);
-    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    // Sample variance: sum of squared deviations (32) over n-1 (7).
+    EXPECT_DOUBLE_EQ(s.variance(), 32.0 / 7.0);
     EXPECT_DOUBLE_EQ(s.min(), 2.0);
     EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, SingleSampleHasZeroVariance)
+{
+    RunningStat s;
+    s.add(3.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
 }
 
 TEST(RunningStat, MergeMatchesCombinedStream)
@@ -151,15 +160,45 @@ TEST(RunningStat, MergeWithEmpty)
     EXPECT_DOUBLE_EQ(b.mean(), 2.0);
 }
 
-TEST(Histogram, CountsAndClamping)
+TEST(Histogram, CountsOutOfRangeSeparately)
 {
     Histogram h(0.0, 10.0, 10);
-    h.add(-5.0);  // clamps into first bin
-    h.add(15.0);  // clamps into last bin
+    h.add(-5.0); // below lo: underflow, not the first bin
+    h.add(15.0); // above hi: overflow, not the last bin
     h.add(5.0);
     EXPECT_EQ(h.count(), 3u);
-    EXPECT_EQ(h.bins().front(), 1u);
-    EXPECT_EQ(h.bins().back(), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.bins().front(), 0u);
+    EXPECT_EQ(h.bins().back(), 0u);
+}
+
+TEST(Histogram, OverflowTailPushesHighQuantilesToHi)
+{
+    // 90 in-range samples plus a 10% tail far above hi_. Folding the
+    // tail into the top bin used to report p99 as the top bin's
+    // midpoint; the tail's rank must pin p99 at hi_ instead.
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 90; ++i)
+        h.add(static_cast<double>(i));
+    for (int i = 0; i < 10; ++i)
+        h.add(1000.0);
+    EXPECT_EQ(h.overflow(), 10u);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 100.0);
+    EXPECT_LT(h.quantile(0.5), 60.0);
+    EXPECT_NE(h.summary().find("over=10"), std::string::npos);
+}
+
+TEST(Histogram, UnderflowRanksAtLo)
+{
+    Histogram h(0.0, 100.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(-5.0);
+    for (int i = 0; i < 10; ++i)
+        h.add(50.0);
+    EXPECT_EQ(h.underflow(), 10u);
+    EXPECT_DOUBLE_EQ(h.quantile(0.25), 0.0);
+    EXPECT_NEAR(h.quantile(0.75), 55.0, 10.0);
 }
 
 TEST(Histogram, QuantileOrdering)

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the parallel execution layer: parallelFor coverage,
+ * exception propagation, nested calls, pool reuse, and the
+ * bit-determinism contract — attention outputs and filter stats must
+ * be identical for every thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "core/multi_head.hh"
+#include "sim/decode_pipeline.hh"
+#include "util/rng.hh"
+#include "util/thread_pool.hh"
+
+namespace longsight {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(0, hits.size(), [&](size_t i) { ++hits[i]; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SerialPoolRunsInCallerOrder)
+{
+    ThreadPool pool(1);
+    std::vector<size_t> order;
+    pool.parallelFor(3, 8, [&](size_t i) { order.push_back(i); });
+    ASSERT_EQ(order.size(), 5u);
+    for (size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], 3 + i);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoOp)
+{
+    ThreadPool pool(4);
+    bool ran = false;
+    pool.parallelFor(5, 5, [&](size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(0, 100,
+                                  [&](size_t i) {
+                                      if (i == 37)
+                                          throw std::runtime_error("boom");
+                                  }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, PoolUsableAfterException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(
+                     0, 16, [](size_t) { throw std::logic_error("x"); }),
+                 std::logic_error);
+    std::atomic<int> sum{0};
+    pool.parallelFor(0, 64, [&](size_t) { ++sum; });
+    EXPECT_EQ(sum.load(), 64);
+}
+
+TEST(ThreadPool, NestedParallelForCompletes)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(16 * 16);
+    pool.parallelFor(0, 16, [&](size_t outer) {
+        // Nested calls run serially inline on the worker; they must
+        // neither deadlock nor skip indices.
+        pool.parallelFor(0, 16, [&](size_t inner) {
+            ++hits[outer * 16 + inner];
+        });
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyLoops)
+{
+    ThreadPool pool(3);
+    std::atomic<long> sum{0};
+    for (int round = 0; round < 50; ++round)
+        pool.parallelFor(0, 100, [&](size_t i) {
+            sum += static_cast<long>(i);
+        });
+    EXPECT_EQ(sum.load(), 50L * (99 * 100 / 2));
+}
+
+TEST(ThreadPool, GlobalIsReconfigurable)
+{
+    ThreadPool::configureGlobal(2);
+    EXPECT_EQ(ThreadPool::global().threads(), 2u);
+    ThreadPool::configureGlobal(1);
+    EXPECT_EQ(ThreadPool::global().threads(), 1u);
+    ThreadPool::configureGlobal(0);
+    EXPECT_GE(ThreadPool::global().threads(), 1u);
+}
+
+// --- Determinism across thread counts ------------------------------
+
+LayerAttentionResult
+computeLayerAt(unsigned threads)
+{
+    ThreadPool::configureGlobal(threads);
+    const uint32_t kv_heads = 2, query_heads = 8, d = 64;
+    LongSightConfig cfg;
+    cfg.windowSize = 128;
+    cfg.sinkTokens = 8;
+    cfg.topK = 32;
+    cfg.defaultThreshold = 16;
+    MultiHeadLongSight mh(cfg, query_heads, kv_heads, d);
+
+    std::vector<KvCache> caches;
+    Rng rng(99);
+    for (uint32_t h = 0; h < kv_heads; ++h) {
+        caches.emplace_back(d);
+        for (int i = 0; i < 700; ++i)
+            caches.back().append(rng.gaussianVec(d), rng.gaussianVec(d));
+    }
+    Matrix queries(query_heads, d);
+    for (uint32_t q = 0; q < query_heads; ++q)
+        queries.setRow(q, rng.gaussianVec(d).data());
+    return mh.compute(queries, caches);
+}
+
+TEST(ThreadPoolDeterminism, MultiHeadBitIdenticalAcrossThreadCounts)
+{
+    const auto ref = computeLayerAt(1);
+    for (unsigned threads : {2u, 8u}) {
+        const auto got = computeLayerAt(threads);
+        ASSERT_EQ(got.perQuery.size(), ref.perQuery.size());
+        for (size_t q = 0; q < ref.perQuery.size(); ++q) {
+            EXPECT_EQ(got.perQuery[q].attended, ref.perQuery[q].attended)
+                << "query " << q;
+            ASSERT_EQ(got.perQuery[q].output.size(),
+                      ref.perQuery[q].output.size());
+            for (size_t i = 0; i < ref.perQuery[q].output.size(); ++i)
+                EXPECT_EQ(got.perQuery[q].output[i],
+                          ref.perQuery[q].output[i])
+                    << "query " << q << " dim " << i;
+        }
+        EXPECT_EQ(got.stats.rawKeys, ref.stats.rawKeys);
+        EXPECT_EQ(got.stats.survivorKeys, ref.stats.survivorKeys);
+        EXPECT_EQ(got.stats.selectedKeys, ref.stats.selectedKeys);
+        EXPECT_EQ(got.stats.evaluations, ref.stats.evaluations);
+    }
+    ThreadPool::configureGlobal(0);
+}
+
+std::vector<PipelineStepResult>
+runPipelineAt(unsigned threads)
+{
+    ThreadPool::configureGlobal(threads);
+    DrexConfig dcfg;
+    dcfg.numKvHeads = 2;
+    dcfg.numLayers = 2;
+    dcfg.headDim = 64;
+    DrexDevice dev(dcfg);
+
+    PipelineConfig cfg;
+    cfg.numLayers = 2;
+    cfg.numQueryHeads = 4;
+    cfg.numKvHeads = 2;
+    cfg.headDim = 64;
+    cfg.hybrid.windowSize = 256;
+    cfg.hybrid.sinkTokens = 8;
+    cfg.hybrid.topK = 64;
+    cfg.hybrid.defaultThreshold = 24;
+    cfg.trainItq = true;
+    DecodePipeline pipe(cfg, dev, 0);
+    pipe.prefill(900);
+    std::vector<PipelineStepResult> steps;
+    for (int i = 0; i < 4; ++i)
+        steps.push_back(pipe.decodeStep());
+    return steps;
+}
+
+TEST(ThreadPoolDeterminism, PipelineBitIdenticalAcrossThreadCounts)
+{
+    const auto ref = runPipelineAt(1);
+    const auto par = runPipelineAt(8);
+    ASSERT_EQ(par.size(), ref.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+        EXPECT_EQ(par[i].offloadsIssued, ref[i].offloadsIssued);
+        EXPECT_EQ(par[i].tokensFlushed, ref[i].tokensFlushed);
+        EXPECT_EQ(par[i].deviceMatchedSoftware,
+                  ref[i].deviceMatchedSoftware);
+        EXPECT_EQ(par[i].minRetainedMass, ref[i].minRetainedMass)
+            << "step " << i;
+    }
+    ThreadPool::configureGlobal(0);
+}
+
+} // namespace
+} // namespace longsight

@@ -4,9 +4,27 @@
  * concordance, SCF filtering, top-k maintenance, ITQ training steps,
  * PFU block filtering, DRAM channel streaming, striped package reads,
  * CXL transfers, softmax, and the dense-attention reference kernel.
+ *
+ * After the google benchmarks, a scalar-vs-SIMD comparison pass times
+ * the batch scan and survivor-scoring kernels on every backend this
+ * host supports, verifies the results are bit-identical to the scalar
+ * backend, and writes BENCH_kernels.json. Exits nonzero if any
+ * backend's survivor set or score vector differs from scalar — this
+ * is the bit-identity gate CI's bench-smoke job enforces.
+ *
+ * Run:  ./build/bench/micro_kernels
+ *       ./build/bench/micro_kernels --keys 4096 --reps 3 \
+ *           --benchmark_filter=BM_Batch --out BENCH_kernels.json
  */
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "core/attention.hh"
 #include "core/itq.hh"
@@ -15,7 +33,11 @@
 #include "cxl/link.hh"
 #include "dram/package.hh"
 #include "drex/pfu.hh"
+#include "tensor/kernels.hh"
+#include "tensor/sign_matrix.hh"
 #include "tensor/softmax.hh"
+#include "util/flags.hh"
+#include "util/logging.hh"
 #include "util/rng.hh"
 
 namespace longsight {
@@ -178,7 +200,226 @@ BM_DenseAttention(benchmark::State &state)
 }
 BENCHMARK(BM_DenseAttention)->Arg(1024)->Arg(8192);
 
+void
+BM_BatchScan4K(benchmark::State &state)
+{
+    const size_t d = static_cast<size_t>(state.range(0));
+    const size_t n = 4096;
+    Rng rng(2);
+    const Matrix keys(n, d, rng.gaussianVec(n * d));
+    const SignMatrix signs = SignMatrix::pack(keys.data(), n, d);
+    const auto q = rng.gaussianVec(d);
+    const SignBits qs(q.data(), d);
+    std::vector<uint32_t> survivors;
+    survivors.reserve(n);
+    for (auto _ : state) {
+        survivors.clear();
+        batchConcordanceScan(qs, signs, 0, n, static_cast<int>(d) / 2,
+                             survivors);
+        benchmark::DoNotOptimize(survivors);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+    state.SetLabel(kernelBackendName(activeKernelBackend()));
+}
+BENCHMARK(BM_BatchScan4K)->Arg(64)->Arg(128);
+
+void
+BM_BatchDotGather(benchmark::State &state)
+{
+    const size_t d = static_cast<size_t>(state.range(0));
+    const size_t n = 4096;
+    Rng rng(9);
+    const Matrix keys(n, d, rng.gaussianVec(n * d));
+    const auto q = rng.gaussianVec(d);
+    // Every other key survives: the typical post-SCF gather shape.
+    std::vector<uint32_t> idx;
+    for (size_t i = 0; i < n; i += 2)
+        idx.push_back(static_cast<uint32_t>(i));
+    std::vector<float> out(idx.size());
+    for (auto _ : state) {
+        batchDotScaleAt(q.data(), keys, idx.data(), idx.size(), 0.125f,
+                        out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * idx.size());
+    state.SetLabel(kernelBackendName(activeKernelBackend()));
+}
+BENCHMARK(BM_BatchDotGather)->Arg(64)->Arg(128);
+
+// ---------------------------------------------------------------------
+// Scalar-vs-SIMD comparison: keys/sec per backend + bit-identity gate.
+// ---------------------------------------------------------------------
+
+struct KernelRow
+{
+    std::string kernel;
+    size_t dim;
+    size_t keys;
+    KernelBackend backend;
+    double keysPerSec;
+    double speedup; // vs scalar, same kernel+shape
+    bool bitIdentical;
+};
+
+/** Best-of-reps throughput of fn() (which processes `keys` items),
+ *  with one warmup call and the inner loop sized so each timed
+ *  sample does enough work for the clock. */
+template <class F>
+double
+bestKeysPerSec(size_t keys, int reps, F &&fn)
+{
+    const size_t inner = std::max<size_t>(1, (1u << 22) / keys);
+    double best = 0.0;
+    for (int r = 0; r <= reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (size_t i = 0; i < inner; ++i)
+            fn();
+        const double sec =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        if (r == 0)
+            continue; // warmup
+        best = std::max(best,
+                        static_cast<double>(inner * keys) / sec);
+    }
+    return best;
+}
+
+std::vector<KernelBackend>
+availableBackends()
+{
+    std::vector<KernelBackend> out{KernelBackend::Scalar};
+    for (auto b : {KernelBackend::Avx2, KernelBackend::Neon})
+        if (kernelBackendAvailable(b))
+            out.push_back(b);
+    return out;
+}
+
+int
+runKernelComparison(size_t keys, int reps, const std::string &out_path)
+{
+    const KernelBackend active = activeKernelBackend();
+    std::vector<KernelRow> rows;
+    bool all_identical = true;
+
+    for (size_t dim : {64u, 128u}) {
+        Rng rng(42);
+        const Matrix key_mat(keys, dim, rng.gaussianVec(keys * dim));
+        const SignMatrix signs =
+            SignMatrix::pack(key_mat.data(), keys, dim);
+        const auto q = rng.gaussianVec(dim);
+        const SignBits qs(q.data(), dim);
+        const int threshold = static_cast<int>(dim) / 2;
+        const float scale = 0.125f;
+
+        // Scalar reference results (survivors + their scores).
+        setKernelBackend(KernelBackend::Scalar);
+        std::vector<uint32_t> ref_survivors;
+        batchConcordanceScan(qs, signs, 0, keys, threshold,
+                             ref_survivors);
+        std::vector<float> ref_scores(ref_survivors.size());
+        batchDotScaleAt(q.data(), key_mat, ref_survivors.data(),
+                        ref_survivors.size(), scale, ref_scores.data());
+
+        double scalar_scan = 0.0, scalar_dot = 0.0;
+        for (KernelBackend b : availableBackends()) {
+            setKernelBackend(b);
+
+            std::vector<uint32_t> survivors;
+            survivors.reserve(keys);
+            const double scan_rate =
+                bestKeysPerSec(keys, reps, [&] {
+                    survivors.clear();
+                    batchConcordanceScan(qs, signs, 0, keys, threshold,
+                                         survivors);
+                });
+            const bool scan_same = survivors == ref_survivors;
+
+            std::vector<float> scores(ref_survivors.size());
+            const double dot_rate =
+                bestKeysPerSec(ref_survivors.size(), reps, [&] {
+                    batchDotScaleAt(q.data(), key_mat,
+                                    ref_survivors.data(),
+                                    ref_survivors.size(), scale,
+                                    scores.data());
+                });
+            const bool dot_same = scores == ref_scores;
+
+            if (b == KernelBackend::Scalar) {
+                scalar_scan = scan_rate;
+                scalar_dot = dot_rate;
+            }
+            all_identical = all_identical && scan_same && dot_same;
+            rows.push_back({"scan", dim, keys, b, scan_rate,
+                            scan_rate / scalar_scan, scan_same});
+            rows.push_back({"dot", dim, ref_survivors.size(), b,
+                            dot_rate, dot_rate / scalar_dot, dot_same});
+            if (!scan_same)
+                std::cerr << "FAIL: " << kernelBackendName(b)
+                          << " scan survivors differ from scalar (dim "
+                          << dim << ")\n";
+            if (!dot_same)
+                std::cerr << "FAIL: " << kernelBackendName(b)
+                          << " dot scores differ from scalar (dim "
+                          << dim << ")\n";
+        }
+    }
+    setKernelBackend(active);
+
+    std::ofstream os(out_path);
+    LS_ASSERT(os.good(), "cannot write ", out_path);
+    os << "{\n  \"bench\": \"micro_kernels\",\n"
+       << "  \"active_backend\": \""
+       << kernelBackendName(detectKernelBackend()) << "\",\n"
+       << "  \"results\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const KernelRow &r = rows[i];
+        os << "    {\"kernel\": \"" << r.kernel << "\", \"dim\": "
+           << r.dim << ", \"keys\": " << r.keys << ", \"backend\": \""
+           << kernelBackendName(r.backend) << "\", \"keys_per_s\": "
+           << r.keysPerSec << ", \"speedup_vs_scalar\": " << r.speedup
+           << ", \"bit_identical\": "
+           << (r.bitIdentical ? "true" : "false") << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+
+    std::cout << "\nscalar-vs-SIMD (" << keys << " keys, best of "
+              << reps << "):\n";
+    for (const KernelRow &r : rows)
+        std::cout << "  " << r.kernel << " d" << r.dim << " "
+                  << kernelBackendName(r.backend) << ": "
+                  << static_cast<uint64_t>(r.keysPerSec / 1e6)
+                  << " Mkeys/s (" << r.speedup << "x scalar, "
+                  << (r.bitIdentical ? "bit-identical" : "MISMATCH")
+                  << ")\n";
+    std::cout << "wrote " << out_path << "\n";
+    return all_identical ? 0 : 1;
+}
+
 } // namespace
 } // namespace longsight
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    using namespace longsight;
+    // google-benchmark strips the --benchmark_* flags it recognizes;
+    // whatever remains is ours.
+    benchmark::Initialize(&argc, argv);
+    Flags flags(argc, argv);
+    const auto keys =
+        static_cast<size_t>(flags.getInt("keys", 65536));
+    const int reps = static_cast<int>(flags.getInt("reps", 5));
+    const bool gbench = flags.getBool("gbench", true);
+    const std::string out =
+        flags.getString("out", "BENCH_kernels.json");
+    const auto leftover = flags.unconsumed();
+    LS_ASSERT(leftover.empty(), "unknown flag --", leftover.front());
+
+    if (gbench)
+        benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return runKernelComparison(keys, reps, out);
+}

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Mechanical formatting gate for C++ sources (blocking in CI).
+#
+# These checks are tool-free on purpose: they run identically on any
+# developer machine and in CI without needing a specific clang-format
+# version installed. Full clang-format conformance (.clang-format) is
+# checked by CI as a separate advisory step whose diff is uploaded as
+# an artifact; see .github/workflows/ci.yml.
+#
+# Usage: ci/check-format.sh [file...]     (defaults to all tracked C++)
+set -u
+cd "$(dirname "$0")/.."
+
+if [ "$#" -gt 0 ]; then
+    files=("$@")
+else
+    mapfile -t files < <(git ls-files '*.cc' '*.hh')
+fi
+
+fail=0
+
+for f in "${files[@]}"; do
+    if grep -nP '[ \t]+$' "$f" /dev/null; then
+        echo "error: trailing whitespace in $f" >&2
+        fail=1
+    fi
+    if grep -nP '\t' "$f" /dev/null > /dev/null; then
+        echo "error: hard tabs in $f (indent is 4 spaces)" >&2
+        fail=1
+    fi
+    if grep -nP '\r' "$f" /dev/null > /dev/null; then
+        echo "error: CRLF line endings in $f" >&2
+        fail=1
+    fi
+    if [ -n "$(tail -c1 "$f")" ]; then
+        echo "error: $f does not end with a newline" >&2
+        fail=1
+    fi
+    long=$(awk 'length > 100 {print FILENAME ":" FNR ": line longer than 100 columns"}' "$f")
+    if [ -n "$long" ]; then
+        echo "$long" >&2
+        echo "error: overlong lines in $f" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "format check FAILED" >&2
+    exit 1
+fi
+echo "format check OK (${#files[@]} files)"

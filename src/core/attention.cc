@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "tensor/kernels.hh"
 #include "tensor/linalg.hh"
 #include "tensor/softmax.hh"
 #include "util/logging.hh"
@@ -15,8 +16,7 @@ attentionScores(const float *q, const Matrix &keys, size_t begin, size_t end,
     LS_ASSERT(begin <= end && end <= keys.rows(),
               "score range [", begin, ",", end, ") out of ", keys.rows());
     std::vector<float> scores(end - begin);
-    for (size_t i = begin; i < end; ++i)
-        scores[i - begin] = dot(q, keys.row(i), keys.cols()) * scale;
+    batchDotScaleRange(q, keys, begin, end, scale, scores.data());
     return scores;
 }
 
@@ -25,11 +25,8 @@ attentionScoresAt(const float *q, const Matrix &keys,
                   const std::vector<uint32_t> &indices, float scale)
 {
     std::vector<float> scores(indices.size());
-    for (size_t j = 0; j < indices.size(); ++j) {
-        LS_ASSERT(indices[j] < keys.rows(),
-                  "score index ", indices[j], " out of ", keys.rows());
-        scores[j] = dot(q, keys.row(indices[j]), keys.cols()) * scale;
-    }
+    batchDotScaleAt(q, keys, indices.data(), indices.size(), scale,
+                    scores.data());
     return scores;
 }
 

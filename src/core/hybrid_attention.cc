@@ -6,6 +6,7 @@
 #include "core/attention.hh"
 #include "core/scf.hh"
 #include "core/topk.hh"
+#include "tensor/kernels.hh"
 #include "tensor/linalg.hh"
 #include "util/logging.hh"
 
@@ -80,13 +81,11 @@ LongSightAttn::computeHead(const std::vector<float> &q, const KvCache &cache,
         const SignBits q_signs(qf.data(), cache.headDim());
         const int th = thresholds_[kv_head];
 
-        // Stage 1: SCF over the sparse region (PFU in hardware).
+        // Stage 1: SCF over the sparse region (PFU in hardware),
+        // batch-scanned over the packed sign matrix.
         std::vector<uint32_t> survivors;
-        const auto &signs = cache.filterSignsAll();
-        for (size_t i = sinks; i < win_start; ++i) {
-            if (q_signs.concordance(signs[i]) >= th)
-                survivors.push_back(static_cast<uint32_t>(i));
-        }
+        batchConcordanceScan(q_signs, cache.filterSignsAll(), sinks,
+                             win_start, th, survivors);
         r.sparseSurvivors = survivors.size();
 
         // Stage 2: scores on survivors (NMA scoring) — full precision

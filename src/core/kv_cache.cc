@@ -6,7 +6,8 @@
 namespace longsight {
 
 KvCache::KvCache(uint32_t head_dim)
-    : headDim_(head_dim), keys_(0, head_dim), values_(0, head_dim)
+    : headDim_(head_dim), keys_(0, head_dim), values_(0, head_dim),
+      rawSigns_(head_dim), rotatedSigns_(head_dim)
 {
     LS_ASSERT(head_dim > 0, "KvCache head dim must be positive");
 }
@@ -18,12 +19,12 @@ KvCache::append(const std::vector<float> &key, const std::vector<float> &value)
               "KvCache append dim mismatch");
     keys_.appendRow(key.data());
     values_.appendRow(value.data());
-    rawSigns_.emplace_back(key.data(), headDim_);
+    rawSigns_.appendRow(key.data());
     if (quantizeKeys_)
         quantizedKeys_.push_back(quantizeInt8(key.data(), headDim_));
     if (rotation_) {
         const std::vector<float> rk = gemvT(*rotation_, key);
-        rotatedSigns_.emplace_back(rk.data(), headDim_);
+        rotatedSigns_.appendRow(rk.data());
     }
 }
 
@@ -37,14 +38,14 @@ KvCache::appendAll(const Matrix &keys, const Matrix &values)
         append(keys.rowVec(i), values.rowVec(i));
 }
 
-const SignBits &
+SignBits
 KvCache::filterSigns(size_t i) const
 {
     LS_ASSERT(i < size(), "filterSigns index out of range");
-    return rotation_ ? rotatedSigns_[i] : rawSigns_[i];
+    return rotation_ ? rotatedSigns_.extract(i) : rawSigns_.extract(i);
 }
 
-const std::vector<SignBits> &
+const SignMatrix &
 KvCache::filterSignsAll() const
 {
     return rotation_ ? rotatedSigns_ : rawSigns_;
@@ -57,10 +58,10 @@ KvCache::setItqRotation(Matrix rotation)
               "ITQ rotation must be headDim x headDim");
     rotation_ = std::move(rotation);
     rotatedSigns_.clear();
-    rotatedSigns_.reserve(size());
+    rotatedSigns_.reserveRows(size());
     for (size_t i = 0; i < size(); ++i) {
         const std::vector<float> rk = gemvT(*rotation_, keys_.rowVec(i));
-        rotatedSigns_.emplace_back(rk.data(), headDim_);
+        rotatedSigns_.appendRow(rk.data());
     }
 }
 

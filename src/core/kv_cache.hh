@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "tensor/quantized.hh"
+#include "tensor/sign_matrix.hh"
 #include "tensor/signbits.hh"
 #include "tensor/tensor.hh"
 
@@ -43,16 +44,19 @@ class KvCache
     const Matrix &values() const { return values_; }
 
     /** Sign bits of the raw (unrotated) key i. */
-    const SignBits &rawSigns(size_t i) const { return rawSigns_[i]; }
+    SignBits rawSigns(size_t i) const { return rawSigns_.extract(i); }
 
     /**
      * Sign bits used for filtering: ITQ-rotated when a rotation is
      * installed, raw otherwise.
      */
-    const SignBits &filterSigns(size_t i) const;
+    SignBits filterSigns(size_t i) const;
 
-    /** All filter sign bits (for handing a block to the PFU model). */
-    const std::vector<SignBits> &filterSignsAll() const;
+    /**
+     * All filter sign bits as one contiguous packed matrix — what the
+     * batch-scan kernels and the PFU model consume directly.
+     */
+    const SignMatrix &filterSignsAll() const;
 
     /**
      * Install (or replace) the ITQ rotation; recomputes the rotated
@@ -91,8 +95,8 @@ class KvCache
     uint32_t headDim_;
     Matrix keys_;
     Matrix values_;
-    std::vector<SignBits> rawSigns_;
-    std::vector<SignBits> rotatedSigns_;
+    SignMatrix rawSigns_;
+    SignMatrix rotatedSigns_;
     std::optional<Matrix> rotation_;
     bool quantizeKeys_ = false;
     std::vector<QuantizedVector> quantizedKeys_;

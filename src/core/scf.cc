@@ -1,5 +1,6 @@
 #include "core/scf.hh"
 
+#include "tensor/kernels.hh"
 #include "util/logging.hh"
 
 namespace longsight {
@@ -18,6 +19,22 @@ scfFilter(const SignBits &query, const std::vector<SignBits> &keys,
     for (uint32_t i = 0; i < keys.size(); ++i) {
         if (scfPasses(query, keys[i], threshold))
             survivors.push_back(base_index + i);
+    }
+    return survivors;
+}
+
+std::vector<uint32_t>
+scfFilter(const SignBits &query, const SignMatrix &keys, int threshold,
+          uint32_t base_index)
+{
+    std::vector<uint32_t> survivors;
+    if (keys.rows() == 0)
+        return survivors;
+    batchConcordanceScan(query, keys, 0, keys.rows(), threshold,
+                         survivors);
+    if (base_index != 0) {
+        for (uint32_t &idx : survivors)
+            idx += base_index;
     }
     return survivors;
 }

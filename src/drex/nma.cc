@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/kernels.hh"
 #include "tensor/linalg.hh"
 #include "util/logging.hh"
 
@@ -40,8 +41,7 @@ Nma::filterEpochFunctional(const OffloadSpec &spec,
         if (num_keys == 0)
             continue;
         const auto bitmaps = Pfu::filterBlock(
-            query_signs, signs.data() + tok_begin, num_keys,
-            spec.threshold);
+            query_signs, signs, tok_begin, num_keys, spec.threshold);
         for (uint32_t i = 0; i < num_keys; ++i) {
             const uint32_t tok = static_cast<uint32_t>(tok_begin) + i;
             if (tok < epoch_begin || tok >= epoch_end)
@@ -175,13 +175,22 @@ Nma::process(Tick start, const OffloadSpec &spec)
                                                 fetch_bytes);
             }
             for (uint32_t q = 0; q < spec.numQueries; ++q) {
-                for (uint32_t tok : per_query_survivors[q]) {
-                    const float s = spec.quantizedScoring
-                        ? spec.cache->scoreKey(spec.queries->row(q),
-                                               tok) * scale
-                        : dot(spec.queries->row(q),
-                              spec.cache->keys().row(tok), d) * scale;
-                    rankers[q].push(s, tok);
+                const auto &kept = per_query_survivors[q];
+                if (spec.quantizedScoring) {
+                    for (uint32_t tok : kept)
+                        rankers[q].push(
+                            spec.cache->scoreKey(spec.queries->row(q),
+                                                 tok) * scale,
+                            tok);
+                } else {
+                    // Batched survivor scoring (vectorized fused
+                    // dot+scale; bit-identical to the scalar dot).
+                    std::vector<float> s(kept.size());
+                    batchDotScaleAt(spec.queries->row(q),
+                                    spec.cache->keys(), kept.data(),
+                                    kept.size(), scale, s.data());
+                    for (size_t j = 0; j < kept.size(); ++j)
+                        rankers[q].push(s[j], kept[j]);
                 }
             }
         } else {

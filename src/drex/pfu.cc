@@ -2,9 +2,19 @@
 
 #include <bit>
 
+#include "tensor/kernels.hh"
 #include "util/logging.hh"
 
 namespace longsight {
+
+Bitmap128
+Bitmap128::fromWords(uint64_t lo, uint64_t hi)
+{
+    Bitmap128 b;
+    b.words_[0] = lo;
+    b.words_[1] = hi;
+    return b;
+}
 
 void
 Bitmap128::set(uint32_t i)
@@ -53,6 +63,26 @@ Pfu::filterBlock(const std::vector<SignBits> &query_signs,
             if (query_signs[q].concordance(keys[i]) >= threshold)
                 bitmaps[q].set(i);
         }
+    }
+    return bitmaps;
+}
+
+std::vector<Bitmap128>
+Pfu::filterBlock(const std::vector<SignBits> &query_signs,
+                 const SignMatrix &keys, size_t begin, uint32_t num_keys,
+                 int threshold)
+{
+    LS_ASSERT(num_keys <= kBlockKeys, "PFU block holds at most 128 keys");
+    LS_ASSERT(!query_signs.empty() && query_signs.size() <= kMaxQueries,
+              "PFU supports 1..16 queries per offload, got ",
+              query_signs.size());
+
+    std::vector<Bitmap128> bitmaps;
+    bitmaps.reserve(query_signs.size());
+    for (const SignBits &qs : query_signs) {
+        uint64_t words[2];
+        concordanceBitmap(qs, keys, begin, num_keys, threshold, words);
+        bitmaps.push_back(Bitmap128::fromWords(words[0], words[1]));
     }
     return bitmaps;
 }

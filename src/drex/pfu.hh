@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "tensor/sign_matrix.hh"
 #include "tensor/signbits.hh"
 #include "util/units.hh"
 
@@ -29,6 +30,12 @@ namespace longsight {
 class Bitmap128
 {
   public:
+    Bitmap128() = default;
+
+    /** Adopt two packed words (bits 0..63, 64..127) — the shape the
+     *  batch concordanceBitmap kernel emits. */
+    static Bitmap128 fromWords(uint64_t lo, uint64_t hi);
+
     void set(uint32_t i);
     bool test(uint32_t i) const;
     uint32_t popcount() const;
@@ -57,10 +64,22 @@ class Pfu
     /**
      * Filter one block: for each query, bit i is set iff
      * concordance(query, keys[i]) >= threshold. keys.size() <= 128.
+     * Scalar reference implementation (key-major SignBits walk).
      */
     static std::vector<Bitmap128>
     filterBlock(const std::vector<SignBits> &query_signs,
                 const SignBits *keys, uint32_t num_keys, int threshold);
+
+    /**
+     * Same filter over a packed SignMatrix burst: keys are rows
+     * [begin, begin + num_keys) of `keys`. Runs the runtime-dispatched
+     * batch kernel (AVX2/NEON when available); bit-identical to the
+     * SignBits overload, which tests enforce.
+     */
+    static std::vector<Bitmap128>
+    filterBlock(const std::vector<SignBits> &query_signs,
+                const SignMatrix &keys, size_t begin, uint32_t num_keys,
+                int threshold);
 
     /**
      * Bitmap generation latency: one 128-wide dimension comparison per

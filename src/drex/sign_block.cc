@@ -22,6 +22,24 @@ SignBlockImage::SignBlockImage(const SignBits *keys, uint32_t num_keys)
     }
 }
 
+SignBlockImage::SignBlockImage(const SignMatrix &keys, size_t begin,
+                               uint32_t num_keys)
+    : dim_(static_cast<uint32_t>(keys.dim())), numKeys_(num_keys)
+{
+    LS_ASSERT(num_keys >= 1 && num_keys <= 128,
+              "sign block holds 1..128 keys");
+    LS_ASSERT(begin + num_keys <= keys.rows(), "sign block range [",
+              begin, ",", begin + num_keys, ") out of ", keys.rows());
+    columns_.assign(2ULL * dim_, 0);
+    for (uint32_t k = 0; k < num_keys; ++k) {
+        const uint64_t *row = keys.row(begin + k);
+        for (uint32_t d = 0; d < dim_; ++d) {
+            if ((row[d >> 6] >> (d & 63)) & 1)
+                columns_[2ULL * d + (k >> 6)] |= uint64_t{1} << (k & 63);
+        }
+    }
+}
+
 const uint64_t *
 SignBlockImage::column(uint32_t d) const
 {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "drex/pfu.hh"
+#include "tensor/sign_matrix.hh"
 #include "tensor/signbits.hh"
 
 namespace longsight {
@@ -34,6 +35,14 @@ class SignBlockImage
      * @param keys up to 128 SignBits, all of the same dimension
      */
     SignBlockImage(const SignBits *keys, uint32_t num_keys);
+
+    /**
+     * Build the image straight from a packed SignMatrix burst: rows
+     * [begin, begin + num_keys) become keys 0..num_keys-1 of the
+     * block. This is how a host-side sign matrix ships to a bank.
+     */
+    SignBlockImage(const SignMatrix &keys, size_t begin,
+                   uint32_t num_keys);
 
     uint32_t dim() const { return dim_; }
     uint32_t numKeys() const { return numKeys_; }

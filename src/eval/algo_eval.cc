@@ -6,7 +6,9 @@
 #include "core/attention.hh"
 #include "core/itq.hh"
 #include "core/topk.hh"
+#include "tensor/kernels.hh"
 #include "tensor/linalg.hh"
+#include "tensor/sign_matrix.hh"
 #include "tensor/signbits.hh"
 #include "tensor/softmax.hh"
 #include "util/logging.hh"
@@ -30,10 +32,12 @@ AlgoEvaluator::AlgoEvaluator(const WorkloadConfig &cfg, uint32_t num_heads,
         const Matrix &keys = wl.keys();
         const float scale = wl.attentionScale();
 
-        // Per-key sign bits in raw and (optionally) ITQ space.
-        const auto raw_signs = packSignRows(keys.data(), context, headDim_);
+        // Per-key sign bits in raw and (optionally) ITQ space, packed
+        // contiguously for the batch concordance sweep.
+        const SignMatrix raw_signs =
+            SignMatrix::pack(keys.data(), context, headDim_);
         Matrix rotation;
-        std::vector<SignBits> itq_signs;
+        SignMatrix itq_signs(headDim_);
         if (itq_iterations > 0) {
             // §5.4: train on ~1K post-RoPE keys and queries, sampled
             // uniformly over the context.
@@ -47,10 +51,10 @@ AlgoEvaluator::AlgoEvaluator(const WorkloadConfig &cfg, uint32_t num_heads,
                 train.setRow(nk + i, q.data());
             }
             rotation = trainItqRotation(train, itq_iterations, itq_rng);
-            itq_signs.reserve(context);
+            itq_signs.reserveRows(context);
             for (size_t i = 0; i < context; ++i) {
                 const auto rk = gemvT(rotation, keys.rowVec(i));
-                itq_signs.emplace_back(rk.data(), headDim_);
+                itq_signs.appendRow(rk.data());
             }
         }
 
@@ -72,15 +76,15 @@ AlgoEvaluator::AlgoEvaluator(const WorkloadConfig &cfg, uint32_t num_heads,
 
             const SignBits q_raw(q.data(), headDim_);
             s.concordRaw.resize(context);
-            for (size_t i = 0; i < context; ++i)
-                s.concordRaw[i] = q_raw.concordance(raw_signs[i]);
+            batchConcordance(q_raw, raw_signs, 0, context,
+                             s.concordRaw.data());
 
             if (itq_iterations > 0) {
                 const auto qr = gemvT(rotation, q);
                 const SignBits q_itq(qr.data(), headDim_);
                 s.concordItq.resize(context);
-                for (size_t i = 0; i < context; ++i)
-                    s.concordItq[i] = q_itq.concordance(itq_signs[i]);
+                batchConcordance(q_itq, itq_signs, 0, context,
+                                 s.concordItq.data());
             }
         }
     }

@@ -7,6 +7,7 @@
 #include "core/itq.hh"
 #include "core/scf.hh"
 #include "core/topk.hh"
+#include "tensor/kernels.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -249,11 +250,10 @@ DecodePipeline::decodeStep()
                 const auto qf = cache.toFilterSpace(q);
                 const SignBits qs(qf.data(), cfg_.headDim);
                 std::vector<uint32_t> survivors;
-                const auto &signs = cache.filterSignsAll();
-                for (size_t i = sinks; i < flushed_; ++i)
-                    if (qs.concordance(signs[i]) >=
-                        cfg_.hybrid.defaultThreshold)
-                        survivors.push_back(static_cast<uint32_t>(i));
+                batchConcordanceScan(qs, cache.filterSignsAll(), sinks,
+                                     flushed_,
+                                     cfg_.hybrid.defaultThreshold,
+                                     survivors);
                 const auto scores = attentionScoresAt(
                     q.data(), cache.keys(), survivors, scale);
                 auto expect = topkSelect(scores, survivors,

@@ -1,0 +1,268 @@
+#include "tensor/kernels.hh"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "util/logging.hh"
+
+namespace longsight {
+namespace detail {
+namespace {
+
+/** Sequential double-precision dot of one key row (the repo-wide
+ *  scoring contract; every backend reproduces this order exactly). */
+inline float
+dotRowScaled(const float *q, const float *k, size_t dim, float scale)
+{
+    double acc = 0.0;
+    for (size_t i = 0; i < dim; ++i)
+        acc += static_cast<double>(q[i]) * static_cast<double>(k[i]);
+    return static_cast<float>(acc) * scale;
+}
+
+inline int
+rowConcordance(const uint64_t *q, const uint64_t *row, size_t wpr, int dim)
+{
+    int mismatches = 0;
+    for (size_t w = 0; w < wpr; ++w)
+        mismatches += std::popcount(row[w] ^ q[w]);
+    return dim - mismatches;
+}
+
+void
+scalarConcordance(const uint64_t *q, const uint64_t *signs, size_t wpr,
+                  size_t rows, int dim, int32_t *out)
+{
+    for (size_t r = 0; r < rows; ++r)
+        out[r] = rowConcordance(q, signs + r * wpr, wpr, dim);
+}
+
+size_t
+scalarScan(const uint64_t *q, const uint64_t *signs, size_t wpr,
+           size_t rows, int dim, int threshold, uint32_t base,
+           std::vector<uint32_t> &out)
+{
+    const size_t before = out.size();
+    for (size_t r = 0; r < rows; ++r) {
+        if (rowConcordance(q, signs + r * wpr, wpr, dim) >= threshold)
+            out.push_back(base + static_cast<uint32_t>(r));
+    }
+    return out.size() - before;
+}
+
+void
+scalarBitmap(const uint64_t *q, const uint64_t *signs, size_t wpr,
+             size_t rows, int dim, int threshold, uint64_t out[2])
+{
+    out[0] = out[1] = 0;
+    for (size_t r = 0; r < rows; ++r) {
+        if (rowConcordance(q, signs + r * wpr, wpr, dim) >= threshold)
+            out[r >> 6] |= uint64_t{1} << (r & 63);
+    }
+}
+
+void
+scalarDotAt(const float *q, const float *keys, size_t stride, size_t dim,
+            const uint32_t *idx, size_t first, size_t count, float scale,
+            float *out)
+{
+    for (size_t j = 0; j < count; ++j) {
+        const size_t row = idx ? idx[j] : first + j;
+        out[j] = dotRowScaled(q, keys + row * stride, dim, scale);
+    }
+}
+
+const KernelOps kScalarOps = {scalarConcordance, scalarScan, scalarBitmap,
+                              scalarDotAt};
+
+} // namespace
+
+const KernelOps *
+scalarKernelOps()
+{
+    return &kScalarOps;
+}
+
+} // namespace detail
+
+namespace {
+
+const detail::KernelOps *
+opsFor(KernelBackend b)
+{
+    switch (b) {
+    case KernelBackend::Scalar:
+        return detail::scalarKernelOps();
+    case KernelBackend::Avx2:
+        return detail::avx2KernelOps();
+    case KernelBackend::Neon:
+        return detail::neonKernelOps();
+    }
+    return nullptr;
+}
+
+struct Dispatch
+{
+    std::atomic<const detail::KernelOps *> ops{nullptr};
+    std::atomic<KernelBackend> backend{KernelBackend::Scalar};
+};
+
+Dispatch &
+dispatch()
+{
+    static Dispatch d;
+    static std::once_flag init;
+    std::call_once(init, [] {
+        KernelBackend pick = detectKernelBackend();
+        if (const char *env = std::getenv("LONGSIGHT_KERNELS")) {
+            for (KernelBackend b :
+                 {KernelBackend::Scalar, KernelBackend::Avx2,
+                  KernelBackend::Neon}) {
+                if (std::strcmp(env, kernelBackendName(b)) == 0) {
+                    LS_ASSERT(kernelBackendAvailable(b),
+                              "LONGSIGHT_KERNELS=", env,
+                              " not available on this machine");
+                    pick = b;
+                }
+            }
+        }
+        d.ops.store(opsFor(pick), std::memory_order_relaxed);
+        d.backend.store(pick, std::memory_order_relaxed);
+    });
+    return d;
+}
+
+inline const detail::KernelOps &
+ops()
+{
+    return *dispatch().ops.load(std::memory_order_relaxed);
+}
+
+} // namespace
+
+const char *
+kernelBackendName(KernelBackend b)
+{
+    switch (b) {
+    case KernelBackend::Scalar:
+        return "scalar";
+    case KernelBackend::Avx2:
+        return "avx2";
+    case KernelBackend::Neon:
+        return "neon";
+    }
+    return "unknown";
+}
+
+bool
+kernelBackendAvailable(KernelBackend b)
+{
+    return opsFor(b) != nullptr;
+}
+
+KernelBackend
+activeKernelBackend()
+{
+    return dispatch().backend.load(std::memory_order_relaxed);
+}
+
+KernelBackend
+detectKernelBackend()
+{
+    if (detail::avx2KernelOps())
+        return KernelBackend::Avx2;
+    if (detail::neonKernelOps())
+        return KernelBackend::Neon;
+    return KernelBackend::Scalar;
+}
+
+void
+setKernelBackend(KernelBackend b)
+{
+    const detail::KernelOps *o = opsFor(b);
+    LS_ASSERT(o != nullptr, "kernel backend ", kernelBackendName(b),
+              " is not available on this machine");
+    Dispatch &d = dispatch();
+    d.ops.store(o, std::memory_order_relaxed);
+    d.backend.store(b, std::memory_order_relaxed);
+}
+
+void
+batchConcordance(const SignBits &query, const SignMatrix &m, size_t begin,
+                 size_t end, int32_t *out)
+{
+    LS_ASSERT(query.dim() == m.dim(), "batchConcordance dim mismatch: ",
+              query.dim(), " vs ", m.dim());
+    LS_ASSERT(begin <= end && end <= m.rows(), "batchConcordance range [",
+              begin, ",", end, ") out of ", m.rows());
+    if (begin == end)
+        return;
+    ops().concordance(query.words().data(),
+                      m.data() + begin * m.wordsPerRow(), m.wordsPerRow(),
+                      end - begin, static_cast<int>(m.dim()), out);
+}
+
+size_t
+batchConcordanceScan(const SignBits &query, const SignMatrix &m,
+                     size_t begin, size_t end, int threshold,
+                     std::vector<uint32_t> &survivors)
+{
+    LS_ASSERT(query.dim() == m.dim(), "batchConcordanceScan dim mismatch: ",
+              query.dim(), " vs ", m.dim());
+    LS_ASSERT(begin <= end && end <= m.rows(),
+              "batchConcordanceScan range [", begin, ",", end, ") out of ",
+              m.rows());
+    if (begin == end)
+        return 0;
+    return ops().scan(query.words().data(),
+                      m.data() + begin * m.wordsPerRow(), m.wordsPerRow(),
+                      end - begin, static_cast<int>(m.dim()), threshold,
+                      static_cast<uint32_t>(begin), survivors);
+}
+
+void
+concordanceBitmap(const SignBits &query, const SignMatrix &m, size_t begin,
+                  uint32_t num_keys, int threshold, uint64_t out[2])
+{
+    LS_ASSERT(query.dim() == m.dim(), "concordanceBitmap dim mismatch");
+    LS_ASSERT(num_keys <= 128, "concordanceBitmap holds at most 128 keys");
+    LS_ASSERT(begin + num_keys <= m.rows(), "concordanceBitmap range [",
+              begin, ",", begin + num_keys, ") out of ", m.rows());
+    if (num_keys == 0) {
+        out[0] = out[1] = 0;
+        return;
+    }
+    ops().bitmap(query.words().data(), m.data() + begin * m.wordsPerRow(),
+                 m.wordsPerRow(), num_keys, static_cast<int>(m.dim()),
+                 threshold, out);
+}
+
+void
+batchDotScaleAt(const float *q, const Matrix &keys, const uint32_t *indices,
+                size_t count, float scale, float *out)
+{
+    for (size_t j = 0; j < count; ++j)
+        LS_ASSERT(indices[j] < keys.rows(), "score index ", indices[j],
+                  " out of ", keys.rows());
+    if (count == 0)
+        return;
+    ops().dotAt(q, keys.data(), keys.cols(), keys.cols(), indices, 0,
+                count, scale, out);
+}
+
+void
+batchDotScaleRange(const float *q, const Matrix &keys, size_t begin,
+                   size_t end, float scale, float *out)
+{
+    LS_ASSERT(begin <= end && end <= keys.rows(), "score range [", begin,
+              ",", end, ") out of ", keys.rows());
+    if (begin == end)
+        return;
+    ops().dotAt(q, keys.data(), keys.cols(), keys.cols(), nullptr, begin,
+                end - begin, scale, out);
+}
+
+} // namespace longsight

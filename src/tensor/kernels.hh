@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Runtime-dispatched batch kernels for the SCF hot path: sign
+ * concordance over whole SignMatrix bursts (the software twin of the
+ * PFU's 128-key popcount sweep) and batched survivor scoring
+ * (query . key dot products with a fused scale).
+ *
+ * Three backends share one contract and are selected once at startup:
+ *
+ *  - scalar: portable std::popcount / double-accumulation loops;
+ *  - avx2:   vpshufb nibble-LUT popcount, 4 packed rows per vector,
+ *            4-key transposed dot products (x86-64, detected via
+ *            __builtin_cpu_supports);
+ *  - neon:   cnt/addv popcount (aarch64, compile-time).
+ *
+ * Every backend is BIT-IDENTICAL: concordance is integer math, and
+ * the dot kernels accumulate each key's products in double precision
+ * in strictly ascending dimension order (no FMA, no reassociation),
+ * which is exactly what the scalar fallback and the pre-existing
+ * linalg dot() compute. Survivor sets, scores, and therefore top-k
+ * selections do not depend on the backend; tests and the bench-smoke
+ * CI job enforce this.
+ *
+ * The backend can be forced (tests, benchmarks, A/B timing) with
+ * setKernelBackend() or the LONGSIGHT_KERNELS=scalar|avx2|neon
+ * environment variable.
+ */
+
+#ifndef LONGSIGHT_TENSOR_KERNELS_HH
+#define LONGSIGHT_TENSOR_KERNELS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/sign_matrix.hh"
+#include "tensor/signbits.hh"
+#include "tensor/tensor.hh"
+
+namespace longsight {
+
+/** Available kernel implementations. */
+enum class KernelBackend { Scalar, Avx2, Neon };
+
+/** Human-readable backend name ("scalar", "avx2", "neon"). */
+const char *kernelBackendName(KernelBackend b);
+
+/** Whether a backend is compiled in AND supported by this CPU. */
+bool kernelBackendAvailable(KernelBackend b);
+
+/** Backend the dispatcher is currently routing through. */
+KernelBackend activeKernelBackend();
+
+/** Best backend available on this machine (what startup picks). */
+KernelBackend detectKernelBackend();
+
+/** Force a backend (must be available). Used by parity tests and the
+ *  scalar-vs-SIMD benchmark; not intended to be switched while other
+ *  threads are inside a kernel. */
+void setKernelBackend(KernelBackend b);
+
+/**
+ * Concordance of `query` with every row in [begin, end):
+ * out[i - begin] = dim - popcount(row_i XOR query).
+ */
+void batchConcordance(const SignBits &query, const SignMatrix &m,
+                      size_t begin, size_t end, int32_t *out);
+
+/**
+ * SCF survivor scan: appends to `survivors` the row indices i in
+ * [begin, end) with concordance(query, row_i) >= threshold, in
+ * ascending order. Returns the number appended.
+ */
+size_t batchConcordanceScan(const SignBits &query, const SignMatrix &m,
+                            size_t begin, size_t end, int threshold,
+                            std::vector<uint32_t> &survivors);
+
+/**
+ * PFU-shaped scan: bitmap over up to 128 rows starting at `begin`;
+ * bit j of out (j < num_keys) is set iff row begin+j passes.
+ * out[0] holds keys 0..63, out[1] keys 64..127.
+ */
+void concordanceBitmap(const SignBits &query, const SignMatrix &m,
+                       size_t begin, uint32_t num_keys, int threshold,
+                       uint64_t out[2]);
+
+/**
+ * Survivor scoring: out[j] = (q . keys[indices[j]]) * scale for
+ * j in [0, count), accumulated in double precision per key in
+ * ascending dimension order (bit-identical to linalg dot()).
+ */
+void batchDotScaleAt(const float *q, const Matrix &keys,
+                     const uint32_t *indices, size_t count, float scale,
+                     float *out);
+
+/** Range flavour: out[i - begin] = (q . keys[i]) * scale. */
+void batchDotScaleRange(const float *q, const Matrix &keys, size_t begin,
+                        size_t end, float scale, float *out);
+
+namespace detail {
+
+/** Raw-pointer kernel table one backend fills in. */
+struct KernelOps
+{
+    /** out[r] = dim - popcount(signs_row_r XOR q), rows rows. */
+    void (*concordance)(const uint64_t *q, const uint64_t *signs,
+                        size_t words_per_row, size_t rows, int dim,
+                        int32_t *out);
+    /** Append base+r for rows passing threshold; returns count. */
+    size_t (*scan)(const uint64_t *q, const uint64_t *signs,
+                   size_t words_per_row, size_t rows, int dim,
+                   int threshold, uint32_t base,
+                   std::vector<uint32_t> &out);
+    /** Set bit r of out[2] for rows passing threshold (rows <= 128). */
+    void (*bitmap)(const uint64_t *q, const uint64_t *signs,
+                   size_t words_per_row, size_t rows, int dim,
+                   int threshold, uint64_t out[2]);
+    /** out[j] = float(sum_d q[d]*key_row[d]) * scale; row j is
+     *  keys + idx[j]*stride when idx, keys + (first+j)*stride else. */
+    void (*dotAt)(const float *q, const float *keys, size_t stride,
+                  size_t dim, const uint32_t *idx, size_t first,
+                  size_t count, float scale, float *out);
+};
+
+/** nullptr when the backend is not compiled into this binary. */
+const KernelOps *scalarKernelOps();
+const KernelOps *avx2KernelOps();
+const KernelOps *neonKernelOps();
+
+} // namespace detail
+
+} // namespace longsight
+
+#endif // LONGSIGHT_TENSOR_KERNELS_HH

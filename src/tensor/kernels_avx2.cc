@@ -1,0 +1,368 @@
+/**
+ * @file
+ * AVX2 batch-scan backend. Compiled into every x86-64 binary behind
+ * function-level target attributes (no -mavx2 global flag needed) and
+ * selected at runtime only when __builtin_cpu_supports("avx2") says
+ * the host can execute it.
+ *
+ * Concordance uses the classic vpshufb nibble-LUT popcount with a
+ * vpsadbw horizontal fold, giving per-64-bit-lane popcounts — four
+ * packed sign rows (d <= 64), two rows (d <= 128), or four words of
+ * one wide row per 256-bit op. Survivor extraction compares lane
+ * counts against (dim - threshold) and walks the movemask bits in
+ * ascending row order, so survivor lists are bit-identical to the
+ * scalar backend.
+ *
+ * The dot kernel processes four survivor keys at once: 4x4 float
+ * blocks are transposed to dimension-major vectors and accumulated
+ * with separate vmulpd/vaddpd (never FMA) so every key's sum is
+ * evaluated in the same ascending-dimension double-precision order as
+ * the scalar dot — scores are bit-identical across backends.
+ */
+
+#include "tensor/kernels.hh"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <bit>
+
+namespace longsight {
+namespace detail {
+namespace {
+
+#define LS_AVX2 __attribute__((target("avx2,popcnt")))
+
+/** Per-64-bit-lane popcount of a 256-bit vector. */
+LS_AVX2 inline __m256i
+popcount64x4(__m256i x)
+{
+    const __m256i lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i nibble = _mm256_set1_epi8(0x0f);
+    const __m256i lo = _mm256_and_si256(x, nibble);
+    const __m256i hi =
+        _mm256_and_si256(_mm256_srli_epi16(x, 4), nibble);
+    const __m256i cnt8 = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                         _mm256_shuffle_epi8(lut, hi));
+    return _mm256_sad_epu8(cnt8, _mm256_setzero_si256());
+}
+
+/** Mismatch popcount of one row against the query (any width). */
+LS_AVX2 inline int
+rowMismatches(const uint64_t *q, const uint64_t *row, size_t wpr)
+{
+    int mismatches = 0;
+    size_t w = 0;
+    for (; w + 4 <= wpr; w += 4) {
+        const __m256i x = _mm256_xor_si256(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(row + w)),
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(q + w)));
+        const __m256i cnt = popcount64x4(x);
+        mismatches += static_cast<int>(
+            _mm256_extract_epi64(cnt, 0) + _mm256_extract_epi64(cnt, 1) +
+            _mm256_extract_epi64(cnt, 2) + _mm256_extract_epi64(cnt, 3));
+    }
+    for (; w < wpr; ++w)
+        mismatches += std::popcount(row[w] ^ q[w]);
+    return mismatches;
+}
+
+/**
+ * Shared burst walker: calls emit(row, concordance_ok) for every row
+ * in ascending order, with the d<=64 / d<=128 layouts fully packed.
+ */
+template <typename Emit>
+LS_AVX2 inline void
+forEachRow(const uint64_t *q, const uint64_t *signs, size_t wpr,
+           size_t rows, int dim, int threshold, Emit emit)
+{
+    // A row passes iff mismatches <= dim - threshold.
+    const long long limit = static_cast<long long>(dim) -
+        static_cast<long long>(threshold);
+    size_t r = 0;
+    if (wpr == 1) {
+        const __m256i qv = _mm256_set1_epi64x(
+            static_cast<long long>(q[0]));
+        const __m256i lim = _mm256_set1_epi64x(limit);
+        for (; r + 4 <= rows; r += 4) {
+            const __m256i x = _mm256_xor_si256(
+                _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(signs + r)),
+                qv);
+            const __m256i cnt = popcount64x4(x);
+            // cnt > limit per lane -> fail; pass bits are the rest.
+            const int fail = _mm256_movemask_pd(_mm256_castsi256_pd(
+                _mm256_cmpgt_epi64(cnt, lim)));
+            emit(r + 0, (fail & 1) == 0);
+            emit(r + 1, (fail & 2) == 0);
+            emit(r + 2, (fail & 4) == 0);
+            emit(r + 3, (fail & 8) == 0);
+        }
+    } else if (wpr == 2) {
+        const __m256i qv = _mm256_setr_epi64x(
+            static_cast<long long>(q[0]), static_cast<long long>(q[1]),
+            static_cast<long long>(q[0]), static_cast<long long>(q[1]));
+        for (; r + 2 <= rows; r += 2) {
+            const __m256i x = _mm256_xor_si256(
+                _mm256_loadu_si256(reinterpret_cast<const __m256i *>(
+                    signs + r * 2)),
+                qv);
+            const __m256i cnt = popcount64x4(x);
+            // Fold word pairs: lanes (0+1) and (2+3) are row totals.
+            const __m256i folded = _mm256_add_epi64(
+                cnt, _mm256_shuffle_epi32(cnt, _MM_SHUFFLE(1, 0, 3, 2)));
+            emit(r + 0, _mm256_extract_epi64(folded, 0) <= limit);
+            emit(r + 1, _mm256_extract_epi64(folded, 2) <= limit);
+        }
+    }
+    for (; r < rows; ++r)
+        emit(r, rowMismatches(q, signs + r * wpr, wpr) <= limit);
+}
+
+LS_AVX2 void
+avx2Concordance(const uint64_t *q, const uint64_t *signs, size_t wpr,
+                size_t rows, int dim, int32_t *out)
+{
+    size_t r = 0;
+    if (wpr == 1) {
+        const __m256i qv = _mm256_set1_epi64x(
+            static_cast<long long>(q[0]));
+        alignas(32) long long cnt4[4];
+        for (; r + 4 <= rows; r += 4) {
+            const __m256i x = _mm256_xor_si256(
+                _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(signs + r)),
+                qv);
+            _mm256_store_si256(reinterpret_cast<__m256i *>(cnt4),
+                               popcount64x4(x));
+            for (int j = 0; j < 4; ++j)
+                out[r + j] = dim - static_cast<int32_t>(cnt4[j]);
+        }
+    } else if (wpr == 2) {
+        const __m256i qv = _mm256_setr_epi64x(
+            static_cast<long long>(q[0]), static_cast<long long>(q[1]),
+            static_cast<long long>(q[0]), static_cast<long long>(q[1]));
+        alignas(32) long long cnt4[4];
+        for (; r + 2 <= rows; r += 2) {
+            const __m256i x = _mm256_xor_si256(
+                _mm256_loadu_si256(reinterpret_cast<const __m256i *>(
+                    signs + r * 2)),
+                qv);
+            _mm256_store_si256(reinterpret_cast<__m256i *>(cnt4),
+                               popcount64x4(x));
+            out[r + 0] =
+                dim - static_cast<int32_t>(cnt4[0] + cnt4[1]);
+            out[r + 1] =
+                dim - static_cast<int32_t>(cnt4[2] + cnt4[3]);
+        }
+    }
+    for (; r < rows; ++r)
+        out[r] = dim - rowMismatches(q, signs + r * wpr, wpr);
+}
+
+LS_AVX2 size_t
+avx2Scan(const uint64_t *q, const uint64_t *signs, size_t wpr,
+         size_t rows, int dim, int threshold, uint32_t base,
+         std::vector<uint32_t> &out)
+{
+    // Branchless compaction: make room for the worst case up front,
+    // store every candidate index unconditionally, and advance the
+    // cursor by the pass bit. At typical ~50% survivor rates the
+    // mispredicted per-row branch costs more than the wasted stores.
+    const size_t before = out.size();
+    out.resize(before + rows);
+    uint32_t *dst = out.data() + before;
+    size_t n = 0;
+
+    const long long limit = static_cast<long long>(dim) -
+        static_cast<long long>(threshold);
+    size_t r = 0;
+    if (wpr == 1) {
+        const __m256i qv = _mm256_set1_epi64x(
+            static_cast<long long>(q[0]));
+        const __m256i lim = _mm256_set1_epi64x(limit);
+        for (; r + 4 <= rows; r += 4) {
+            const __m256i x = _mm256_xor_si256(
+                _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(signs + r)),
+                qv);
+            const __m256i cnt = popcount64x4(x);
+            const int pass = ~_mm256_movemask_pd(_mm256_castsi256_pd(
+                                 _mm256_cmpgt_epi64(cnt, lim))) &
+                0xf;
+            dst[n] = base + static_cast<uint32_t>(r);
+            n += pass & 1;
+            dst[n] = base + static_cast<uint32_t>(r) + 1;
+            n += (pass >> 1) & 1;
+            dst[n] = base + static_cast<uint32_t>(r) + 2;
+            n += (pass >> 2) & 1;
+            dst[n] = base + static_cast<uint32_t>(r) + 3;
+            n += (pass >> 3) & 1;
+        }
+    } else if (wpr == 2) {
+        const __m256i qv = _mm256_setr_epi64x(
+            static_cast<long long>(q[0]), static_cast<long long>(q[1]),
+            static_cast<long long>(q[0]), static_cast<long long>(q[1]));
+        const __m256i lim = _mm256_set1_epi64x(limit);
+        for (; r + 2 <= rows; r += 2) {
+            const __m256i x = _mm256_xor_si256(
+                _mm256_loadu_si256(reinterpret_cast<const __m256i *>(
+                    signs + r * 2)),
+                qv);
+            const __m256i cnt = popcount64x4(x);
+            const __m256i folded = _mm256_add_epi64(
+                cnt, _mm256_shuffle_epi32(cnt, _MM_SHUFFLE(1, 0, 3, 2)));
+            const int fail = _mm256_movemask_pd(_mm256_castsi256_pd(
+                _mm256_cmpgt_epi64(folded, lim)));
+            dst[n] = base + static_cast<uint32_t>(r);
+            n += ~fail & 1;
+            dst[n] = base + static_cast<uint32_t>(r) + 1;
+            n += (~fail >> 2) & 1;
+        }
+    }
+    for (; r < rows; ++r) {
+        dst[n] = base + static_cast<uint32_t>(r);
+        n += rowMismatches(q, signs + r * wpr, wpr) <= limit ? 1 : 0;
+    }
+
+    out.resize(before + n);
+    return n;
+}
+
+LS_AVX2 void
+avx2Bitmap(const uint64_t *q, const uint64_t *signs, size_t wpr,
+           size_t rows, int dim, int threshold, uint64_t out[2])
+{
+    out[0] = out[1] = 0;
+    forEachRow(q, signs, wpr, rows, dim, threshold,
+               [&](size_t r, bool pass) {
+                   if (pass)
+                       out[r >> 6] |= uint64_t{1} << (r & 63);
+               });
+}
+
+/** Transposed 4-key dot block; each lane's accumulation order is the
+ *  scalar ascending-dimension order (mul then add, no FMA). */
+LS_AVX2 inline void
+dot4Keys(const float *q, const float *k0, const float *k1,
+         const float *k2, const float *k3, size_t dim, float scale,
+         float *out0, float *out1, float *out2, float *out3)
+{
+    __m256d acc = _mm256_setzero_pd();
+    size_t i = 0;
+    for (; i + 4 <= dim; i += 4) {
+        const __m256d a0 = _mm256_cvtps_pd(_mm_loadu_ps(k0 + i));
+        const __m256d a1 = _mm256_cvtps_pd(_mm_loadu_ps(k1 + i));
+        const __m256d a2 = _mm256_cvtps_pd(_mm_loadu_ps(k2 + i));
+        const __m256d a3 = _mm256_cvtps_pd(_mm_loadu_ps(k3 + i));
+        const __m256d t0 = _mm256_unpacklo_pd(a0, a1);
+        const __m256d t1 = _mm256_unpackhi_pd(a0, a1);
+        const __m256d t2 = _mm256_unpacklo_pd(a2, a3);
+        const __m256d t3 = _mm256_unpackhi_pd(a2, a3);
+        const __m256d d0 = _mm256_permute2f128_pd(t0, t2, 0x20);
+        const __m256d d1 = _mm256_permute2f128_pd(t1, t3, 0x20);
+        const __m256d d2 = _mm256_permute2f128_pd(t0, t2, 0x31);
+        const __m256d d3 = _mm256_permute2f128_pd(t1, t3, 0x31);
+        acc = _mm256_add_pd(
+            acc, _mm256_mul_pd(
+                     _mm256_set1_pd(static_cast<double>(q[i + 0])), d0));
+        acc = _mm256_add_pd(
+            acc, _mm256_mul_pd(
+                     _mm256_set1_pd(static_cast<double>(q[i + 1])), d1));
+        acc = _mm256_add_pd(
+            acc, _mm256_mul_pd(
+                     _mm256_set1_pd(static_cast<double>(q[i + 2])), d2));
+        acc = _mm256_add_pd(
+            acc, _mm256_mul_pd(
+                     _mm256_set1_pd(static_cast<double>(q[i + 3])), d3));
+    }
+    alignas(32) double lanes[4];
+    _mm256_store_pd(lanes, acc);
+    for (; i < dim; ++i) {
+        const double qd = static_cast<double>(q[i]);
+        lanes[0] += qd * static_cast<double>(k0[i]);
+        lanes[1] += qd * static_cast<double>(k1[i]);
+        lanes[2] += qd * static_cast<double>(k2[i]);
+        lanes[3] += qd * static_cast<double>(k3[i]);
+    }
+    *out0 = static_cast<float>(lanes[0]) * scale;
+    *out1 = static_cast<float>(lanes[1]) * scale;
+    *out2 = static_cast<float>(lanes[2]) * scale;
+    *out3 = static_cast<float>(lanes[3]) * scale;
+}
+
+LS_AVX2 inline float
+dot1Key(const float *q, const float *k, size_t dim, float scale)
+{
+    double acc = 0.0;
+    for (size_t i = 0; i < dim; ++i)
+        acc += static_cast<double>(q[i]) * static_cast<double>(k[i]);
+    return static_cast<float>(acc) * scale;
+}
+
+LS_AVX2 void
+avx2DotAt(const float *q, const float *keys, size_t stride, size_t dim,
+          const uint32_t *idx, size_t first, size_t count, float scale,
+          float *out)
+{
+    size_t j = 0;
+    for (; j + 4 <= count; j += 4) {
+        const float *k0 =
+            keys + (idx ? idx[j + 0] : first + j + 0) * stride;
+        const float *k1 =
+            keys + (idx ? idx[j + 1] : first + j + 1) * stride;
+        const float *k2 =
+            keys + (idx ? idx[j + 2] : first + j + 2) * stride;
+        const float *k3 =
+            keys + (idx ? idx[j + 3] : first + j + 3) * stride;
+        dot4Keys(q, k0, k1, k2, k3, dim, scale, out + j, out + j + 1,
+                 out + j + 2, out + j + 3);
+    }
+    for (; j < count; ++j) {
+        const size_t row = idx ? idx[j] : first + j;
+        out[j] = dot1Key(q, keys + row * stride, dim, scale);
+    }
+}
+
+const KernelOps kAvx2Ops = {avx2Concordance, avx2Scan, avx2Bitmap,
+                            avx2DotAt};
+
+bool
+cpuHasAvx2()
+{
+    return __builtin_cpu_supports("avx2") &&
+        __builtin_cpu_supports("popcnt");
+}
+
+} // namespace
+
+const KernelOps *
+avx2KernelOps()
+{
+    static const bool supported = cpuHasAvx2();
+    return supported ? &kAvx2Ops : nullptr;
+}
+
+} // namespace detail
+} // namespace longsight
+
+#else // !x86
+
+namespace longsight {
+namespace detail {
+
+const KernelOps *
+avx2KernelOps()
+{
+    return nullptr;
+}
+
+} // namespace detail
+} // namespace longsight
+
+#endif

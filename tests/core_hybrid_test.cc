@@ -156,8 +156,9 @@ TEST(Hybrid, SelectionsAreHighestScoringSurvivors)
             worst_attended = std::min(worst_attended, scores[idx]);
     for (uint32_t i = 0; i < n - 8; ++i) {
         if (std::find(r.attended.begin(), r.attended.end(), i) ==
-            r.attended.end())
+            r.attended.end()) {
             EXPECT_LE(scores[i], worst_attended + 1e-6f);
+        }
     }
 }
 

@@ -86,9 +86,11 @@ TEST_P(DrexFuzz, DeviceAgreesWithSoftwareReference)
     for (uint32_t q = 0; q < num_queries; ++q) {
         const SignBits qs(filter_queries.row(q), dim);
         std::vector<uint32_t> survivors;
-        const auto &signs = cache.filterSignsAll();
+        // Scalar reference on purpose: extract() + SignBits keeps this
+        // check independent of the batch kernels the device now uses.
+        const SignMatrix &signs = cache.filterSignsAll();
         for (uint64_t i = begin; i < end; ++i)
-            if (qs.concordance(signs[i]) >= threshold)
+            if (qs.concordance(signs.extract(i)) >= threshold)
                 survivors.push_back(static_cast<uint32_t>(i));
         std::vector<float> scores(survivors.size());
         for (size_t j = 0; j < survivors.size(); ++j) {

@@ -42,6 +42,40 @@ TEST(Bitmap, SetIndicesWithBase)
     EXPECT_EQ(idx[1], 1100u);
 }
 
+TEST(Pfu, SignMatrixOverloadMatchesScalarReference)
+{
+    Rng rng(77);
+    const size_t d = 128, total = 300;
+    const Matrix keys(total, d, rng.gaussianVec(total * d));
+    const auto key_signs = packSignRows(keys.data(), total, d);
+    const SignMatrix packed = SignMatrix::pack(keys.data(), total, d);
+    const auto q1 = rng.gaussianVec(d);
+    const auto q2 = rng.gaussianVec(d);
+    const std::vector<SignBits> queries = {SignBits(q1.data(), d),
+                                           SignBits(q2.data(), d)};
+
+    const struct
+    {
+        size_t begin;
+        uint32_t num;
+    } regions[] = {{0, 128}, {100, 128}, {172, 128}, {40, 77}, {5, 1}};
+    for (int th : {0, 36, 64, 129}) {
+        for (const auto &reg : regions) {
+            const auto ref = Pfu::filterBlock(
+                queries, key_signs.data() + reg.begin, reg.num, th);
+            const auto got =
+                Pfu::filterBlock(queries, packed, reg.begin, reg.num, th);
+            ASSERT_EQ(got.size(), ref.size());
+            for (size_t qi = 0; qi < ref.size(); ++qi)
+                for (uint32_t i = 0; i < 128; ++i)
+                    EXPECT_EQ(got[qi].test(i), ref[qi].test(i))
+                        << "query " << qi << " key " << i << " begin "
+                        << reg.begin << " num " << reg.num
+                        << " threshold " << th;
+        }
+    }
+}
+
 class PfuEquivalence : public ::testing::TestWithParam<int>
 {
 };

@@ -44,6 +44,29 @@ TEST(SignBlock, KeyRoundTrip)
         EXPECT_EQ(img.extractKey(k), signs[k]) << "key " << k;
 }
 
+TEST(SignBlock, SignMatrixConstructorMatchesSignBitsConstructor)
+{
+    Rng rng(21);
+    const uint32_t d = 90, total = 200;
+    const Matrix keys(total, d, rng.gaussianVec(total * d));
+    const auto signs = packSignRows(keys.data(), total, d);
+    const SignMatrix packed = SignMatrix::pack(keys.data(), total, d);
+
+    const struct
+    {
+        size_t begin;
+        uint32_t num;
+    } regions[] = {{0, 128}, {72, 128}, {150, 50}, {33, 1}};
+    for (const auto &reg : regions) {
+        const SignBlockImage ref(signs.data() + reg.begin, reg.num);
+        const SignBlockImage got(packed, reg.begin, reg.num);
+        EXPECT_EQ(got.byteSize(), ref.byteSize());
+        for (uint32_t k = 0; k < reg.num; ++k)
+            EXPECT_EQ(got.extractKey(k), signs[reg.begin + k])
+                << "begin " << reg.begin << " key " << k;
+    }
+}
+
 TEST(SignBlock, PartialBlockRoundTrip)
 {
     const auto signs = randomSigns(37, 64, 4);

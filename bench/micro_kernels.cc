@@ -6,11 +6,13 @@
  * CXL transfers, softmax, and the dense-attention reference kernel.
  *
  * After the google benchmarks, a scalar-vs-SIMD comparison pass times
- * the batch scan and survivor-scoring kernels on every backend this
- * host supports, verifies the results are bit-identical to the scalar
- * backend, and writes BENCH_kernels.json. Exits nonzero if any
- * backend's survivor set or score vector differs from scalar — this
- * is the bit-identity gate CI's bench-smoke job enforces.
+ * the batch scan, survivor-scoring, and fused scan->score->select
+ * kernels on every backend this host supports, verifies the results
+ * are bit-identical to the scalar backend (the fused kernel against
+ * the unfused scan + dot + topkSelect pipeline), and writes
+ * BENCH_kernels.json. Exits nonzero if any backend's survivor set,
+ * score vector, or fused top-k differs from scalar — this is the
+ * bit-identity gate CI's bench-smoke job enforces.
  *
  * Run:  ./build/bench/micro_kernels
  *       ./build/bench/micro_kernels --keys 4096 --reps 3 \
@@ -246,6 +248,31 @@ BM_BatchDotGather(benchmark::State &state)
 }
 BENCHMARK(BM_BatchDotGather)->Arg(64)->Arg(128);
 
+void
+BM_FusedScoreSelect(benchmark::State &state)
+{
+    const size_t d = static_cast<size_t>(state.range(0));
+    const size_t n = 4096;
+    const size_t k = 128;
+    Rng rng(2);
+    const Matrix keys(n, d, rng.gaussianVec(n * d));
+    const SignMatrix signs = SignMatrix::pack(keys.data(), n, d);
+    const auto q = rng.gaussianVec(d);
+    std::vector<uint64_t> qw(signs.wordsPerRow());
+    packSigns(q.data(), d, qw.data());
+    std::vector<ScoredIndex> out(k);
+    for (auto _ : state) {
+        const size_t m = batchScoreSelect(
+            qw.data(), signs, 0, n, static_cast<int>(d) / 2, q.data(),
+            keys, 0.125f, k, out.data());
+        benchmark::DoNotOptimize(m);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+    state.SetLabel(kernelBackendName(activeKernelBackend()));
+}
+BENCHMARK(BM_FusedScoreSelect)->Arg(64)->Arg(128);
+
 // ---------------------------------------------------------------------
 // Scalar-vs-SIMD comparison: keys/sec per backend + bit-identity gate.
 // ---------------------------------------------------------------------
@@ -322,7 +349,14 @@ runKernelComparison(size_t keys, int reps, const std::string &out_path)
         batchDotScaleAt(q.data(), key_mat, ref_survivors.data(),
                         ref_survivors.size(), scale, ref_scores.data());
 
-        double scalar_scan = 0.0, scalar_dot = 0.0;
+        // Fused-kernel reference: the unfused pipeline's exact top-k
+        // (batchScoreSelect contracts to match it bit for bit).
+        const size_t k = 1024;
+        const auto ref_sel = topkSelect(ref_scores, ref_survivors, k);
+        std::vector<uint64_t> qw(signs.wordsPerRow());
+        packSigns(q.data(), dim, qw.data());
+
+        double scalar_scan = 0.0, scalar_dot = 0.0, scalar_fused = 0.0;
         for (KernelBackend b : availableBackends()) {
             setKernelBackend(b);
 
@@ -346,15 +380,33 @@ runKernelComparison(size_t keys, int reps, const std::string &out_path)
                 });
             const bool dot_same = scores == ref_scores;
 
+            std::vector<ScoredIndex> sel(std::min(k, keys));
+            size_t nsel = 0;
+            const double fused_rate =
+                bestKeysPerSec(keys, reps, [&] {
+                    nsel = batchScoreSelect(qw.data(), signs, 0, keys,
+                                            threshold, q.data(),
+                                            key_mat, scale, k,
+                                            sel.data());
+                });
+            bool fused_same = nsel == ref_sel.size();
+            for (size_t i = 0; fused_same && i < nsel; ++i)
+                fused_same = sel[i].score == ref_sel[i].score &&
+                    sel[i].index == ref_sel[i].index;
+
             if (b == KernelBackend::Scalar) {
                 scalar_scan = scan_rate;
                 scalar_dot = dot_rate;
+                scalar_fused = fused_rate;
             }
-            all_identical = all_identical && scan_same && dot_same;
+            all_identical =
+                all_identical && scan_same && dot_same && fused_same;
             rows.push_back({"scan", dim, keys, b, scan_rate,
                             scan_rate / scalar_scan, scan_same});
             rows.push_back({"dot", dim, ref_survivors.size(), b,
                             dot_rate, dot_rate / scalar_dot, dot_same});
+            rows.push_back({"score_select", dim, keys, b, fused_rate,
+                            fused_rate / scalar_fused, fused_same});
             if (!scan_same)
                 std::cerr << "FAIL: " << kernelBackendName(b)
                           << " scan survivors differ from scalar (dim "
@@ -362,6 +414,11 @@ runKernelComparison(size_t keys, int reps, const std::string &out_path)
             if (!dot_same)
                 std::cerr << "FAIL: " << kernelBackendName(b)
                           << " dot scores differ from scalar (dim "
+                          << dim << ")\n";
+            if (!fused_same)
+                std::cerr << "FAIL: " << kernelBackendName(b)
+                          << " fused score_select differs from the "
+                             "unfused scalar pipeline (dim "
                           << dim << ")\n";
         }
     }

@@ -35,15 +35,10 @@ denseAttention(const float *q, const Matrix &keys, const Matrix &values,
                float scale)
 {
     AttentionResult r;
-    r.probs = attentionScores(q, keys, 0, keys.rows(), scale);
-    softmaxInPlace(r.probs);
-    r.output.assign(values.cols(), 0.0f);
-    for (size_t i = 0; i < keys.rows(); ++i) {
-        const float p = r.probs[i];
-        const float *v = values.row(i);
-        for (size_t d = 0; d < values.cols(); ++d)
-            r.output[d] += p * v[d];
-    }
+    r.probs.resize(keys.rows());
+    r.output.resize(values.cols());
+    denseAttentionInto(q, keys, values, scale, r.probs.data(),
+                       r.output.data());
     return r;
 }
 
@@ -52,9 +47,10 @@ subsetAttention(const float *q, const Matrix &keys, const Matrix &values,
                 const std::vector<uint32_t> &indices, float scale)
 {
     AttentionResult r;
-    r.probs = attentionScoresAt(q, keys, indices, scale);
-    softmaxInPlace(r.probs);
-    r.output = weightedValueSum(values, indices, r.probs);
+    r.probs.resize(indices.size());
+    r.output.resize(values.cols());
+    subsetAttentionInto(q, keys, values, indices.data(), indices.size(),
+                        scale, r.probs.data(), r.output.data());
     return r;
 }
 
@@ -64,14 +60,50 @@ weightedValueSum(const Matrix &values, const std::vector<uint32_t> &indices,
 {
     LS_ASSERT(indices.size() == probs.size(),
               "weightedValueSum arity mismatch");
-    std::vector<float> out(values.cols(), 0.0f);
-    for (size_t j = 0; j < indices.size(); ++j) {
+    std::vector<float> out(values.cols());
+    weightedValueSumInto(values, indices.data(), indices.size(),
+                         probs.data(), out.data());
+    return out;
+}
+
+void
+denseAttentionInto(const float *q, const Matrix &keys, const Matrix &values,
+                   float scale, float *probs, float *out)
+{
+    batchDotScaleRange(q, keys, 0, keys.rows(), scale, probs);
+    softmaxInPlace(probs, keys.rows());
+    for (size_t d = 0; d < values.cols(); ++d)
+        out[d] = 0.0f;
+    for (size_t i = 0; i < keys.rows(); ++i) {
+        const float p = probs[i];
+        const float *v = values.row(i);
+        for (size_t d = 0; d < values.cols(); ++d)
+            out[d] += p * v[d];
+    }
+}
+
+void
+subsetAttentionInto(const float *q, const Matrix &keys, const Matrix &values,
+                    const uint32_t *indices, size_t count, float scale,
+                    float *probs, float *out)
+{
+    batchDotScaleAt(q, keys, indices, count, scale, probs);
+    softmaxInPlace(probs, count);
+    weightedValueSumInto(values, indices, count, probs, out);
+}
+
+void
+weightedValueSumInto(const Matrix &values, const uint32_t *indices,
+                     size_t count, const float *probs, float *out)
+{
+    for (size_t d = 0; d < values.cols(); ++d)
+        out[d] = 0.0f;
+    for (size_t j = 0; j < count; ++j) {
         const float *v = values.row(indices[j]);
         const float p = probs[j];
         for (size_t d = 0; d < values.cols(); ++d)
             out[d] += p * v[d];
     }
-    return out;
 }
 
 } // namespace longsight

@@ -59,6 +59,31 @@ std::vector<float> weightedValueSum(const Matrix &values,
                                     const std::vector<uint32_t> &indices,
                                     const std::vector<float> &probs);
 
+// Raw-span flavours for the zero-allocation decode hot path: identical
+// math, but every buffer is caller storage (typically a scratch-arena
+// span), so a steady-state call performs no heap allocation.
+
+/**
+ * denseAttention into caller storage: probs must hold keys.rows()
+ * floats and out values.cols() floats; both are overwritten.
+ */
+void denseAttentionInto(const float *q, const Matrix &keys,
+                        const Matrix &values, float scale, float *probs,
+                        float *out);
+
+/**
+ * subsetAttention into caller storage: probs must hold `count` floats
+ * (probs[j] corresponds to indices[j]) and out values.cols() floats.
+ */
+void subsetAttentionInto(const float *q, const Matrix &keys,
+                         const Matrix &values, const uint32_t *indices,
+                         size_t count, float scale, float *probs,
+                         float *out);
+
+/** weightedValueSum into caller storage (out overwritten). */
+void weightedValueSumInto(const Matrix &values, const uint32_t *indices,
+                          size_t count, const float *probs, float *out);
+
 } // namespace longsight
 
 #endif // LONGSIGHT_CORE_ATTENTION_HH

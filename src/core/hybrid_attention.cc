@@ -9,6 +9,7 @@
 #include "tensor/kernels.hh"
 #include "tensor/linalg.hh"
 #include "util/logging.hh"
+#include "util/scratch_arena.hh"
 
 namespace longsight {
 
@@ -56,61 +57,96 @@ HeadAttentionResult
 LongSightAttn::computeHead(const std::vector<float> &q, const KvCache &cache,
                            uint32_t kv_head) const
 {
+    LS_ASSERT(q.size() == cache.headDim(), "query dim mismatch");
+    HeadAttentionResult r;
+    computeHeadInto(q.data(), cache, kv_head, r);
+    return r;
+}
+
+void
+LongSightAttn::computeHeadInto(const float *q, const KvCache &cache,
+                               uint32_t kv_head,
+                               HeadAttentionResult &r) const
+{
     const size_t n = cache.size();
     LS_ASSERT(n > 0, "attention over an empty context");
-    LS_ASSERT(q.size() == cache.headDim(), "query dim mismatch");
 
-    const float scale =
-        1.0f / std::sqrt(static_cast<float>(cache.headDim()));
+    const size_t dim = cache.headDim();
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dim));
 
-    HeadAttentionResult r;
+    r.attended.clear();
+    r.sparseRaw = r.sparseSurvivors = r.sparseSelected = 0;
+    r.usedSparse = false;
+
     size_t sinks, win_start;
     densePartition(n, sinks, win_start);
 
-    // Dense candidates: sinks plus the sliding window.
+    ScratchFrame frame(ScratchArena::forThisThread());
+
+    // The attended set is built from three disjoint sources, each
+    // already ascending: the sink prefix [0, sinks), the selected
+    // sparse tokens (a subset of [sinks, win_start)), and the window
+    // [win_start, n). Concatenating them in that order — with only the
+    // small selected segment sorted by index — replaces the old
+    // sort+unique over the whole list.
     for (size_t i = 0; i < sinks; ++i)
         r.attended.push_back(static_cast<uint32_t>(i));
-    for (size_t i = win_start; i < n; ++i)
-        r.attended.push_back(static_cast<uint32_t>(i));
 
-    // Sparse region: the middle of the context.
     r.sparseRaw = win_start - sinks;
     if (r.sparseRaw > 0) {
         r.usedSparse = true;
-        const std::vector<float> qf = cache.toFilterSpace(q);
-        const SignBits q_signs(qf.data(), cache.headDim());
         const int th = thresholds_[kv_head];
 
-        // Stage 1: SCF over the sparse region (PFU in hardware),
-        // batch-scanned over the packed sign matrix.
-        std::vector<uint32_t> survivors;
-        batchConcordanceScan(q_signs, cache.filterSignsAll(), sinks,
-                             win_start, th, survivors);
-        r.sparseSurvivors = survivors.size();
+        // Filter-space query and its packed signs, in scratch (a
+        // SignBits would heap-allocate its word vector).
+        float *qf = frame.alloc<float>(dim);
+        cache.toFilterSpace(q, qf);
+        uint64_t *q_words = frame.alloc<uint64_t>((dim + 63) / 64);
+        packSigns(qf, dim, q_words);
 
-        // Stage 2: scores on survivors (NMA scoring) — full precision
-        // or INT8 keys when quantized scoring is enabled.
-        std::vector<float> scores;
+        const size_t kcap = std::min<size_t>(cfg_.topK, r.sparseRaw);
+        ScoredIndex *selected = frame.alloc<ScoredIndex>(kcap);
+        size_t nsel = 0;
+
         if (cfg_.quantizedScoring && cache.keysQuantized()) {
-            scores.resize(survivors.size());
-            for (size_t j = 0; j < survivors.size(); ++j)
-                scores[j] =
-                    cache.scoreKey(q.data(), survivors[j]) * scale;
+            // INT8 scoring reads keys through the cache's quantized
+            // store, which the fused kernel's dot ops cannot; scan
+            // survivors into scratch and heap-select here. Same
+            // ordering contract (topk_heap), same results as the old
+            // score-vector + topkSelect formulation.
+            uint32_t *survivors = frame.alloc<uint32_t>(r.sparseRaw);
+            const size_t nsurv =
+                batchConcordanceScan(q_words, cache.filterSignsAll(),
+                                     sinks, win_start, th, survivors);
+            r.sparseSurvivors = nsurv;
+            for (size_t j = 0; j < nsurv; ++j) {
+                const float s = cache.scoreKey(q, survivors[j]) * scale;
+                nsel = topk_heap::push(selected, nsel, cfg_.topK,
+                                       ScoredIndex{s, survivors[j]});
+            }
+            topk_heap::sortBestFirst(selected, nsel);
         } else {
-            scores =
-                attentionScoresAt(q.data(), cache.keys(), survivors, scale);
+            // Fused SCF → score → select (stages 1-3 in one pass):
+            // survivors stream from the concordance scan through
+            // dot-scale scoring into the bounded heap without the
+            // survivor and score vectors ever existing.
+            size_t nsurv = 0;
+            nsel = batchScoreSelect(q_words, cache.filterSignsAll(),
+                                    sinks, win_start, th, q, cache.keys(),
+                                    scale, cfg_.topK, selected, &nsurv);
+            r.sparseSurvivors = nsurv;
         }
 
-        // Stage 3: top-k ranking (NMA ranking + DCC aggregation).
-        const auto selected = topkSelect(scores, survivors, cfg_.topK);
-        r.sparseSelected = selected.size();
-        for (const auto &s : selected)
-            r.attended.push_back(s.index);
+        r.sparseSelected = nsel;
+        const size_t mid = r.attended.size();
+        for (size_t j = 0; j < nsel; ++j)
+            r.attended.push_back(selected[j].index);
+        // Score order -> index order; only this (<= k) segment needs it.
+        std::sort(r.attended.begin() + mid, r.attended.end());
     }
 
-    std::sort(r.attended.begin(), r.attended.end());
-    r.attended.erase(std::unique(r.attended.begin(), r.attended.end()),
-                     r.attended.end());
+    for (size_t i = win_start; i < n; ++i)
+        r.attended.push_back(static_cast<uint32_t>(i));
 
     // Degenerate guard: nothing survived anywhere (possible only with
     // W = 0, no sinks, and a maximal threshold) — attend the most
@@ -119,10 +155,12 @@ LongSightAttn::computeHead(const std::vector<float> &q, const KvCache &cache,
         r.attended.push_back(static_cast<uint32_t>(n - 1));
 
     // GPU-side combined softmax and SV accumulation (Fig. 2b (5)-(7)).
-    const AttentionResult att = subsetAttention(
-        q.data(), cache.keys(), cache.values(), r.attended, scale);
-    r.output = att.output;
-    return r;
+    // Probabilities are scratch; the output vector is the caller's.
+    float *probs = frame.alloc<float>(r.attended.size());
+    r.output.resize(dim);
+    subsetAttentionInto(q, cache.keys(), cache.values(),
+                        r.attended.data(), r.attended.size(), scale,
+                        probs, r.output.data());
 }
 
 void

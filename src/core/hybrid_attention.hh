@@ -93,6 +93,18 @@ class LongSightAttn
                                     const KvCache &cache,
                                     uint32_t kv_head) const;
 
+    /**
+     * computeHead into an existing result — the decode hot-path form.
+     * `q` is a raw headDim span; `r`'s vectors are cleared and refilled
+     * in place (their capacity is reused, so repeated calls on the
+     * same result object are heap-allocation-free). All intermediate
+     * buffers live in the calling thread's scratch arena; the SCF →
+     * score → select stage runs through the fused batchScoreSelect
+     * kernel without materializing survivor or score vectors.
+     */
+    void computeHeadInto(const float *q, const KvCache &cache,
+                         uint32_t kv_head, HeadAttentionResult &r) const;
+
     /** Fold a result's counts into running filter statistics. */
     static void recordStats(const HeadAttentionResult &r, FilterStats &fs);
 

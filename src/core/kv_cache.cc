@@ -17,15 +17,36 @@ KvCache::append(const std::vector<float> &key, const std::vector<float> &value)
 {
     LS_ASSERT(key.size() == headDim_ && value.size() == headDim_,
               "KvCache append dim mismatch");
-    keys_.appendRow(key.data());
-    values_.appendRow(value.data());
-    rawSigns_.appendRow(key.data());
+    append(key.data(), value.data());
+}
+
+void
+KvCache::append(const float *key, const float *value)
+{
+    keys_.appendRow(key);
+    values_.appendRow(value);
+    rawSigns_.appendRow(key);
     if (quantizeKeys_)
-        quantizedKeys_.push_back(quantizeInt8(key.data(), headDim_));
+        quantizedKeys_.push_back(quantizeInt8(key, headDim_));
     if (rotation_) {
-        const std::vector<float> rk = gemvT(*rotation_, key);
-        rotatedSigns_.appendRow(rk.data());
+        // Member scratch: capacity persists across appends, so the
+        // rotation adds no steady-state allocation to the decode step.
+        rotScratch_.resize(headDim_);
+        gemvT(*rotation_, key, rotScratch_.data());
+        rotatedSigns_.appendRow(rotScratch_.data());
     }
+}
+
+void
+KvCache::reserve(size_t n)
+{
+    keys_.reserveRows(n);
+    values_.reserveRows(n);
+    rawSigns_.reserveRows(n);
+    if (rotation_)
+        rotatedSigns_.reserveRows(n);
+    if (quantizeKeys_)
+        quantizedKeys_.reserve(n);
 }
 
 void
@@ -108,6 +129,17 @@ KvCache::toFilterSpace(const std::vector<float> &q) const
     if (!rotation_)
         return q;
     return gemvT(*rotation_, q);
+}
+
+void
+KvCache::toFilterSpace(const float *q, float *out) const
+{
+    if (!rotation_) {
+        for (uint32_t d = 0; d < headDim_; ++d)
+            out[d] = q[d];
+        return;
+    }
+    gemvT(*rotation_, q, out);
 }
 
 } // namespace longsight

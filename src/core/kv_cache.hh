@@ -37,6 +37,18 @@ class KvCache
     /** Append one (post-RoPE key, value) pair. */
     void append(const std::vector<float> &key, const std::vector<float> &value);
 
+    /** Raw-span append (key/value: headDim() floats each). */
+    void append(const float *key, const float *value);
+
+    /**
+     * Reserve capacity for n total entries across every backing store
+     * (keys, values, sign rows, quantized keys), so subsequent appends
+     * up to n perform no heap allocation. Decode loops that know their
+     * context ceiling call this once up front to keep the steady-state
+     * step allocation-free.
+     */
+    void reserve(size_t n);
+
     /** Bulk-append rows of two (n x headDim) matrices. */
     void appendAll(const Matrix &keys, const Matrix &values);
 
@@ -73,6 +85,9 @@ class KvCache
      */
     std::vector<float> toFilterSpace(const std::vector<float> &q) const;
 
+    /** toFilterSpace into caller storage (out: headDim() floats). */
+    void toFilterSpace(const float *q, float *out) const;
+
     /**
      * Maintain INT8-quantized copies of the keys (one scale per key)
      * so scoring can run on half-width fetches; quantizes existing
@@ -100,6 +115,7 @@ class KvCache
     std::optional<Matrix> rotation_;
     bool quantizeKeys_ = false;
     std::vector<QuantizedVector> quantizedKeys_;
+    std::vector<float> rotScratch_; //!< reused rotated-key buffer
 };
 
 } // namespace longsight

@@ -21,33 +21,40 @@ LayerAttentionResult
 MultiHeadLongSight::compute(const Matrix &queries,
                             const std::vector<KvCache> &caches) const
 {
+    LayerAttentionResult r;
+    computeInto(queries, caches, r);
+    return r;
+}
+
+void
+MultiHeadLongSight::computeInto(const Matrix &queries,
+                                const std::vector<KvCache> &caches,
+                                LayerAttentionResult &r) const
+{
     LS_ASSERT(queries.rows() == numQueryHeads_ &&
                   queries.cols() == headDim_,
               "query matrix must be numQueryHeads x headDim");
     LS_ASSERT(caches.size() == numKvHeads(),
               "need one KV cache per KV head");
 
-    LayerAttentionResult r;
     r.outputs.resize(numQueryHeads_, headDim_);
-    r.perQuery.reserve(numQueryHeads_);
+    r.stats = FilterStats{};
+    r.perQuery.resize(numQueryHeads_);
     const uint32_t group = groupSize();
 
     // Query heads are independent: each reads its group's cache and
-    // writes its own slot. Stats are merged serially afterwards in
-    // fixed head order, so the result is bit-identical for any thread
-    // count.
-    std::vector<HeadAttentionResult> heads(numQueryHeads_);
-    ThreadPool::global().parallelFor(0, numQueryHeads_, [&](size_t q) {
+    // writes its own slot (computeHeadInto refills the slot's buffers
+    // in place). Stats are merged serially afterwards in fixed head
+    // order, so the result is bit-identical for any thread count.
+    ThreadPool::global().parallelForEach(0, numQueryHeads_, [&](size_t q) {
         const uint32_t kv_head = static_cast<uint32_t>(q) / group;
-        heads[q] = attn_.computeHead(queries.rowVec(q), caches[kv_head],
-                                     kv_head);
+        attn_.computeHeadInto(queries.row(q), caches[kv_head], kv_head,
+                              r.perQuery[q]);
     });
     for (uint32_t q = 0; q < numQueryHeads_; ++q) {
-        r.outputs.setRow(q, heads[q].output.data());
-        LongSightAttn::recordStats(heads[q], r.stats);
-        r.perQuery.push_back(std::move(heads[q]));
+        r.outputs.setRow(q, r.perQuery[q].output.data());
+        LongSightAttn::recordStats(r.perQuery[q], r.stats);
     }
-    return r;
 }
 
 } // namespace longsight

@@ -63,6 +63,17 @@ class MultiHeadLongSight
     LayerAttentionResult compute(const Matrix &queries,
                                  const std::vector<KvCache> &caches) const;
 
+    /**
+     * compute into an existing result — the decode hot-path form.
+     * r.perQuery is resized (not reallocated) to one slot per query
+     * head and each slot's buffers are refilled in place, so a decode
+     * loop that reuses one LayerAttentionResult per layer performs no
+     * steady-state heap allocation here. r.stats is reset first.
+     */
+    void computeInto(const Matrix &queries,
+                     const std::vector<KvCache> &caches,
+                     LayerAttentionResult &r) const;
+
   private:
     LongSightAttn attn_;
     uint32_t numQueryHeads_;

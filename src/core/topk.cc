@@ -31,25 +31,15 @@ TopK::TopK(size_t k) : k_(k)
     heap_.reserve(k);
 }
 
-bool
-TopK::worse(const ScoredIndex &a, const ScoredIndex &b)
-{
-    return b.betterThan(a);
-}
-
 void
 TopK::push(float score, uint32_t index)
 {
-    const ScoredIndex cand{score, index};
-    if (heap_.size() < k_) {
-        heap_.push_back(cand);
-        siftUp(heap_.size() - 1);
-        return;
-    }
-    if (cand.betterThan(heap_[0])) {
-        heap_[0] = cand;
-        siftDown(0);
-    }
+    const size_t old = heap_.size();
+    if (old < k_)
+        heap_.resize(old + 1); // room for the insert path
+    const size_t n = topk_heap::push(heap_.data(), old, k_,
+                                     ScoredIndex{score, index});
+    heap_.resize(n);
 }
 
 void
@@ -81,34 +71,14 @@ TopK::sortedResults() const
     return out;
 }
 
-void
-TopK::siftUp(size_t i)
+size_t
+TopK::drainSorted(ScoredIndex *out)
 {
-    while (i > 0) {
-        const size_t parent = (i - 1) / 2;
-        if (!worse(heap_[i], heap_[parent]))
-            break;
-        std::swap(heap_[i], heap_[parent]);
-        i = parent;
-    }
-}
-
-void
-TopK::siftDown(size_t i)
-{
-    for (;;) {
-        const size_t l = 2 * i + 1;
-        const size_t r = 2 * i + 2;
-        size_t smallest = i;
-        if (l < heap_.size() && worse(heap_[l], heap_[smallest]))
-            smallest = l;
-        if (r < heap_.size() && worse(heap_[r], heap_[smallest]))
-            smallest = r;
-        if (smallest == i)
-            break;
-        std::swap(heap_[i], heap_[smallest]);
-        i = smallest;
-    }
+    const size_t n = heap_.size();
+    std::copy(heap_.begin(), heap_.end(), out);
+    topk_heap::sortBestFirst(out, n);
+    heap_.clear(); // capacity stays; the accumulator is reusable
+    return n;
 }
 
 } // namespace longsight

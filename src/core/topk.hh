@@ -14,22 +14,12 @@
 #include <cstdint>
 #include <vector>
 
+// ScoredIndex and the bounded-heap primitives live in the tensor layer
+// so the fused batchScoreSelect kernel shares the exact same ordering
+// implementation; this header re-exports them for existing callers.
+#include "tensor/topk_heap.hh"
+
 namespace longsight {
-
-/**
- * A scored candidate key.
- */
-struct ScoredIndex
-{
-    float score;
-    uint32_t index;
-
-    /** Ordering: higher score wins; ties break toward lower index. */
-    bool betterThan(const ScoredIndex &o) const
-    {
-        return score > o.score || (score == o.score && index < o.index);
-    }
-};
 
 /**
  * Select the k best (score, index) pairs from parallel arrays.
@@ -63,15 +53,19 @@ class TopK
     /** Extract results sorted best-first (accumulator stays intact). */
     std::vector<ScoredIndex> sortedResults() const;
 
+    /**
+     * Drain into the caller's span (capacity >= size()) sorted
+     * best-first via in-place heapsort — no allocation, unlike
+     * sortedResults. Returns the number of entries written. The
+     * accumulator is left empty (capacity retained) for reuse.
+     */
+    size_t drainSorted(ScoredIndex *out);
+
   private:
     size_t k_;
-    // Min-heap on betterThan-inverted ordering: heap_[0] is the entry
-    // that the next better candidate evicts.
+    // Min-heap on betterThan-inverted ordering (topk_heap helpers):
+    // heap_[0] is the entry that the next better candidate evicts.
     std::vector<ScoredIndex> heap_;
-
-    void siftUp(size_t i);
-    void siftDown(size_t i);
-    static bool worse(const ScoredIndex &a, const ScoredIndex &b);
 };
 
 } // namespace longsight

@@ -6,6 +6,7 @@
 #include "tensor/kernels.hh"
 #include "tensor/linalg.hh"
 #include "util/logging.hh"
+#include "util/scratch_arena.hh"
 
 namespace longsight {
 
@@ -17,16 +18,22 @@ Nma::Nma(const NmaConfig &cfg, const DataLayout &layout,
               "hardware top-k must be in (0, 1024]");
 }
 
-std::vector<uint32_t>
+size_t
 Nma::filterEpochFunctional(const OffloadSpec &spec,
-                           const std::vector<SignBits> &query_signs,
-                           uint64_t epoch_begin, uint64_t epoch_end,
-                           std::vector<std::vector<uint32_t>> &per_query)
-    const
+                           const uint64_t *query_words,
+                           size_t words_per_query, uint64_t epoch_begin,
+                           uint64_t epoch_end, uint32_t *union_survivors,
+                           uint32_t *per_query, size_t stride,
+                           size_t *per_query_counts) const
 {
     const auto &signs = spec.cache->filterSignsAll();
-    std::vector<uint32_t> union_survivors;
-    per_query.assign(query_signs.size(), {});
+    const uint32_t nq = spec.numQueries;
+    for (uint32_t q = 0; q < nq; ++q)
+        per_query_counts[q] = 0;
+    size_t union_count = 0;
+
+    // One bitmap per query of the group, refilled per block.
+    Bitmap128 bitmaps[Pfu::kMaxQueries];
 
     // Blocks are 128-key aligned in the slice; filter whole blocks and
     // mask tokens outside the requested range.
@@ -40,24 +47,24 @@ Nma::filterEpochFunctional(const OffloadSpec &spec,
         const uint32_t num_keys = static_cast<uint32_t>(tok_end - tok_begin);
         if (num_keys == 0)
             continue;
-        const auto bitmaps = Pfu::filterBlock(
-            query_signs, signs, tok_begin, num_keys, spec.threshold);
+        Pfu::filterBlock(query_words, words_per_query, nq, signs,
+                         tok_begin, num_keys, spec.threshold, bitmaps);
         for (uint32_t i = 0; i < num_keys; ++i) {
             const uint32_t tok = static_cast<uint32_t>(tok_begin) + i;
             if (tok < epoch_begin || tok >= epoch_end)
                 continue;
             bool any = false;
-            for (size_t q = 0; q < bitmaps.size(); ++q) {
+            for (uint32_t q = 0; q < nq; ++q) {
                 if (bitmaps[q].test(i)) {
-                    per_query[q].push_back(tok);
+                    per_query[q * stride + per_query_counts[q]++] = tok;
                     any = true;
                 }
             }
             if (any)
-                union_survivors.push_back(tok);
+                union_survivors[union_count++] = tok;
         }
     }
-    return union_survivors;
+    return union_count;
 }
 
 uint64_t
@@ -90,17 +97,31 @@ Nma::process(Tick start, const OffloadSpec &spec)
     const uint32_t k = std::min(spec.k, cfg_.maxTopK);
     const float scale = 1.0f / std::sqrt(static_cast<float>(d));
 
+    // Offload-lifetime scratch: packed query signs, per-query top-k
+    // heaps. Everything here is bump-allocated and reclaimed when the
+    // frame dies, so repeated offloads are heap-allocation-free in the
+    // filter/score/rank stages (the response payload in OffloadResult
+    // still uses ordinary vectors).
+    ScratchFrame frame(ScratchArena::forThisThread());
+
     // Pack query sign bits once (done by the DCC when staging the
     // request; cost is negligible next to addrGen).
-    std::vector<SignBits> query_signs;
+    const size_t wpq = (d + 63) / 64;
+    uint64_t *query_words = nullptr;
     if (functional) {
+        query_words = frame.alloc<uint64_t>(spec.numQueries * wpq);
         for (uint32_t q = 0; q < spec.numQueries; ++q)
-            query_signs.emplace_back(spec.filterQueries->row(q), d);
+            packSigns(spec.filterQueries->row(q), d,
+                      query_words + q * wpq);
     }
 
-    std::vector<TopK> rankers;
+    // Bounded per-query rankers on scratch storage, driven by the same
+    // topk_heap primitives as TopK (identical ordering by construction).
+    ScoredIndex *heaps = frame.alloc<ScoredIndex>(
+        static_cast<size_t>(spec.numQueries) * k);
+    size_t *heap_sizes = frame.alloc<size_t>(spec.numQueries);
     for (uint32_t q = 0; q < spec.numQueries; ++q)
-        rankers.emplace_back(k);
+        heap_sizes[q] = 0;
 
     // Epoch span: every bank filters one 128-key block per epoch, so
     // one epoch covers up to banks x 128 tokens of the slice.
@@ -140,15 +161,22 @@ Nma::process(Tick start, const OffloadSpec &spec)
         t += t_bitmap;
         r.timing.bitmapRead += t_bitmap;
 
-        // Survivors of this epoch.
-        std::vector<uint32_t> survivors;
-        std::vector<std::vector<uint32_t>> per_query_survivors;
+        // Survivors of this epoch, in epoch-lifetime scratch (rewound
+        // at the end of each loop iteration).
+        ScratchFrame epoch_frame(frame.arena());
+        uint32_t *survivors = nullptr;
+        uint32_t *per_query = nullptr;
+        size_t *per_query_counts = nullptr;
         uint64_t survivor_count;
         if (functional) {
-            survivors = filterEpochFunctional(spec, query_signs, pos,
-                                              epoch_end,
-                                              per_query_survivors);
-            survivor_count = survivors.size();
+            survivors = epoch_frame.alloc<uint32_t>(epoch_tokens);
+            per_query = epoch_frame.alloc<uint32_t>(
+                static_cast<size_t>(spec.numQueries) * epoch_tokens);
+            per_query_counts =
+                epoch_frame.alloc<size_t>(spec.numQueries);
+            survivor_count = filterEpochFunctional(
+                spec, query_words, wpq, pos, epoch_end, survivors,
+                per_query, epoch_tokens, per_query_counts);
         } else {
             survivor_count = survivorsModelled(spec, epoch_tokens);
         }
@@ -168,29 +196,36 @@ Nma::process(Tick start, const OffloadSpec &spec)
                       "quantized scoring needs a quantized Key Object");
             // Union survivors drive memory traffic; each query ranks
             // only the keys its own bitmap kept.
-            for (uint32_t tok : survivors) {
+            for (size_t i = 0; i < survivor_count; ++i) {
                 const TokenPlace p = layout_.place(
-                    spec.user, spec.layer, spec.kvHead, tok);
+                    spec.user, spec.layer, spec.kvHead, survivors[i]);
                 mem_done = package_.readStriped(t, p.bank, p.keyRow,
                                                 fetch_bytes);
             }
             for (uint32_t q = 0; q < spec.numQueries; ++q) {
-                const auto &kept = per_query_survivors[q];
+                const uint32_t *kept = per_query + q * epoch_tokens;
+                const size_t kept_n = per_query_counts[q];
+                ScoredIndex *heap = heaps + static_cast<size_t>(q) * k;
+                size_t &hs = heap_sizes[q];
                 if (spec.quantizedScoring) {
-                    for (uint32_t tok : kept)
-                        rankers[q].push(
+                    for (size_t j = 0; j < kept_n; ++j) {
+                        const float s =
                             spec.cache->scoreKey(spec.queries->row(q),
-                                                 tok) * scale,
-                            tok);
+                                                 kept[j]) * scale;
+                        hs = topk_heap::push(heap, hs, k,
+                                             ScoredIndex{s, kept[j]});
+                    }
                 } else {
                     // Batched survivor scoring (vectorized fused
-                    // dot+scale; bit-identical to the scalar dot).
-                    std::vector<float> s(kept.size());
+                    // dot+scale; bit-identical to the scalar dot),
+                    // scores in epoch scratch.
+                    float *s = epoch_frame.alloc<float>(kept_n);
                     batchDotScaleAt(spec.queries->row(q),
-                                    spec.cache->keys(), kept.data(),
-                                    kept.size(), scale, s.data());
-                    for (size_t j = 0; j < kept.size(); ++j)
-                        rankers[q].push(s[j], kept[j]);
+                                    spec.cache->keys(), kept, kept_n,
+                                    scale, s);
+                    for (size_t j = 0; j < kept_n; ++j)
+                        hs = topk_heap::push(heap, hs, k,
+                                             ScoredIndex{s[j], kept[j]});
                 }
             }
         } else {
@@ -218,10 +253,14 @@ Nma::process(Tick start, const OffloadSpec &spec)
         pos = epoch_end;
     }
 
-    // Collect selections and read the corresponding value vectors.
+    // Collect selections (in-place heapsort, then copy into the
+    // response payload) and read the corresponding value vectors.
     if (functional) {
-        for (uint32_t q = 0; q < spec.numQueries; ++q)
-            r.topk.push_back(rankers[q].sortedResults());
+        for (uint32_t q = 0; q < spec.numQueries; ++q) {
+            ScoredIndex *heap = heaps + static_cast<size_t>(q) * k;
+            topk_heap::sortBestFirst(heap, heap_sizes[q]);
+            r.topk.emplace_back(heap, heap + heap_sizes[q]);
+        }
         for (const auto &list : r.topk)
             for (const auto &e : list)
                 r.valueTokens.push_back(e.index);

@@ -138,17 +138,24 @@ class Nma
 
   private:
     /**
-     * Functional filtering of one epoch. Fills per-query survivor
-     * lists (each query ranks only keys its own bitmap kept) and
-     * returns the union (each key is fetched from DRAM once even when
-     * several queries of the group kept it).
+     * Functional filtering of one epoch, entirely on caller (scratch)
+     * storage. query_words holds numQueries packed sign rows of
+     * words_per_query words each. Per-query survivor lists land in
+     * per_query (numQueries rows of `stride` capacity; each query
+     * ranks only keys its own bitmap kept) with counts in
+     * per_query_counts; the union of survivors (each key is fetched
+     * from DRAM once even when several queries of the group kept it)
+     * lands in union_survivors (capacity `stride`). Returns the union
+     * count. All spans must hold at least epoch_end - epoch_begin
+     * entries per row.
      */
-    std::vector<uint32_t>
-    filterEpochFunctional(const OffloadSpec &spec,
-                          const std::vector<SignBits> &query_signs,
-                          uint64_t epoch_begin, uint64_t epoch_end,
-                          std::vector<std::vector<uint32_t>> &per_query)
-        const;
+    size_t filterEpochFunctional(const OffloadSpec &spec,
+                                 const uint64_t *query_words,
+                                 size_t words_per_query,
+                                 uint64_t epoch_begin, uint64_t epoch_end,
+                                 uint32_t *union_survivors,
+                                 uint32_t *per_query, size_t stride,
+                                 size_t *per_query_counts) const;
 
     /** Timing-only survivor count for one epoch (deterministic). */
     uint64_t survivorsModelled(const OffloadSpec &spec,

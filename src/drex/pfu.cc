@@ -87,6 +87,23 @@ Pfu::filterBlock(const std::vector<SignBits> &query_signs,
     return bitmaps;
 }
 
+void
+Pfu::filterBlock(const uint64_t *query_words, size_t words_per_query,
+                 uint32_t num_queries, const SignMatrix &keys, size_t begin,
+                 uint32_t num_keys, int threshold, Bitmap128 *bitmaps)
+{
+    LS_ASSERT(num_keys <= kBlockKeys, "PFU block holds at most 128 keys");
+    LS_ASSERT(num_queries >= 1 && num_queries <= kMaxQueries,
+              "PFU supports 1..16 queries per offload, got ", num_queries);
+
+    for (uint32_t q = 0; q < num_queries; ++q) {
+        uint64_t words[2];
+        concordanceBitmap(query_words + q * words_per_query, keys, begin,
+                          num_keys, threshold, words);
+        bitmaps[q] = Bitmap128::fromWords(words[0], words[1]);
+    }
+}
+
 Tick
 Pfu::bitmapGenTime(uint32_t head_dim, uint32_t num_queries)
 {

@@ -82,6 +82,19 @@ class Pfu
                 int threshold);
 
     /**
+     * Allocation-free flavour over caller storage (scratch memory in
+     * the NMA hot loop): queries are `num_queries` pre-packed
+     * sign-word rows of `words_per_query` words each (see packSigns),
+     * and `bitmaps` must hold num_queries entries. Bit-identical to
+     * the other overloads.
+     */
+    static void filterBlock(const uint64_t *query_words,
+                            size_t words_per_query, uint32_t num_queries,
+                            const SignMatrix &keys, size_t begin,
+                            uint32_t num_keys, int threshold,
+                            Bitmap128 *bitmaps);
+
+    /**
      * Bitmap generation latency: one 128-wide dimension comparison per
      * cycle at 1.25 ns, times the number of queries in the group.
      */

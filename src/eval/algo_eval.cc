@@ -101,6 +101,10 @@ AlgoEvaluator::evaluate(const EvalConfig &cfg) const
     size_t evals = 0;
     size_t recall_evals = 0;
 
+    // Reused drain span: drainSorted heapsorts into this in place, so
+    // after the first sample at each size no allocation happens here.
+    std::vector<ScoredIndex> selected;
+
     for (uint32_t h = 0; h < numHeads_; ++h) {
         FilterStats head_stats;
         const int threshold =
@@ -133,14 +137,17 @@ AlgoEvaluator::evaluate(const EvalConfig &cfg) const
                                     static_cast<uint32_t>(i));
                     }
                 }
-                const auto selected = ranker.sortedResults();
+                // Drain in place: heapsort into the reused span
+                // instead of sortedResults' copy + full sort.
+                selected.resize(ranker.size());
+                const size_t nsel = ranker.drainSorted(selected.data());
                 std::vector<uint32_t> picked;
-                picked.reserve(selected.size());
-                for (const auto &e : selected) {
-                    retained += s.probs[e.index];
-                    picked.push_back(e.index);
+                picked.reserve(nsel);
+                for (size_t i = 0; i < nsel; ++i) {
+                    retained += s.probs[selected[i].index];
+                    picked.push_back(selected[i].index);
                 }
-                head_stats.record(region, survivors, selected.size());
+                head_stats.record(region, survivors, nsel);
 
                 // Recall: compare against the region's true top
                 // |selected| tokens by dense probability.

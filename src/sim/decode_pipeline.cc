@@ -9,6 +9,7 @@
 #include "core/topk.hh"
 #include "tensor/kernels.hh"
 #include "util/logging.hh"
+#include "util/scratch_arena.hh"
 #include "util/thread_pool.hh"
 
 namespace longsight {
@@ -133,13 +134,13 @@ DecodePipeline::decodeStep()
     PipelineStepResult result;
 
     // 1. New token: every (layer, head) appends one KV pair.
-    ThreadPool::global().parallelFor(
+    ThreadPool::global().parallelForEach(
         0, workloads_.size(), [&](size_t idx) {
             HeadWorkload &wl = workloads_[idx];
             wl.appendToken();
             const size_t pos = wl.contextLength() - 1;
-            gpuCaches_[idx]->append(wl.keys().rowVec(pos),
-                                    wl.values().rowVec(pos));
+            gpuCaches_[idx]->append(wl.keys().row(pos),
+                                    wl.values().row(pos));
         });
 
     // 2. Bulk updates off the critical path.
@@ -154,10 +155,13 @@ DecodePipeline::decodeStep()
     const float scale =
         1.0f / std::sqrt(static_cast<float>(cfg_.headDim));
 
+    stepQueries_.resize(cfg_.numKvHeads);
+    stepFilterQueries_.resize(cfg_.numKvHeads);
+
     for (uint32_t l = 0; l < cfg_.numLayers; ++l) {
         // 3. Request: one offload per KV head, grouped GQA queries.
-        std::vector<Matrix> queries(cfg_.numKvHeads);
-        std::vector<Matrix> filter_queries(cfg_.numKvHeads);
+        std::vector<Matrix> &queries = stepQueries_;
+        std::vector<Matrix> &filter_queries = stepFilterQueries_;
         AttentionRequest req;
         req.uid = uid_;
         req.layer = l;
@@ -165,7 +169,7 @@ DecodePipeline::decodeStep()
         // Draw the layer's queries in parallel: each KV head advances
         // only its own workload RNG, so the streams are the same ones
         // a serial loop would produce.
-        ThreadPool::global().parallelFor(
+        ThreadPool::global().parallelForEach(
             0, cfg_.numKvHeads, [&](size_t hi) {
                 const auto h = static_cast<uint32_t>(hi);
                 HeadWorkload &wl = workloads_[l * cfg_.numKvHeads + h];
@@ -175,8 +179,7 @@ DecodePipeline::decodeStep()
                 for (uint32_t g = 0; g < group; ++g) {
                     const auto q = wl.drawQuery();
                     queries[h].setRow(g, q.data());
-                    const auto qf = cache.toFilterSpace(q);
-                    filter_queries[h].setRow(g, qf.data());
+                    cache.toFilterSpace(q.data(), filter_queries[h].row(g));
                 }
             });
         for (uint32_t h = 0; h < cfg_.numKvHeads; ++h) {
@@ -207,78 +210,98 @@ DecodePipeline::decodeStep()
         // 4. GPU-side combine + verification per query head. Lanes
         // (one per query) only read shared state; their verdicts land
         // in per-lane slots and fold into the step result with
-        // order-independent reductions (min / logical and).
+        // order-independent reductions (min / logical and). All lane
+        // buffers come from the lane's scratch arena, so the steady
+        // state performs no heap allocation here.
         const size_t lanes =
             static_cast<size_t>(cfg_.numKvHeads) * group;
-        std::vector<double> lane_mass(lanes, 1.0);
-        std::vector<uint8_t> lane_matched(lanes, 1);
-        ThreadPool::global().parallelFor(0, lanes, [&](size_t lane) {
+        laneMass_.assign(lanes, 1.0);
+        laneMatched_.assign(lanes, 1);
+        ThreadPool::global().parallelForEach(0, lanes, [&](size_t lane) {
             const auto h = static_cast<uint32_t>(lane / group);
             const auto g = static_cast<uint32_t>(lane % group);
             const KvCache &cache = gpuCache(l, h);
+            ScratchFrame frame(ScratchArena::forThisThread());
 
-            // Dense part: sinks + everything not yet flushed
-            // (window plus staging buffer).
-            std::vector<uint32_t> attended;
+            // Dense part: sinks, device top-k, and everything not yet
+            // flushed (window plus staging buffer). The three sources
+            // are disjoint ascending ranges — the top-k lives in
+            // [sinks, flushed_) and the staged tail starts at
+            // max(flushed_, sinks) — so concatenating them in order
+            // replaces the old sort + unique.
+            const size_t staged_begin = std::max(flushed_, sinks);
+            uint32_t *attended = frame.alloc<uint32_t>(
+                sinks + (n - staged_begin) + cfg_.hybrid.topK);
+            size_t na = 0;
             for (size_t i = 0; i < sinks; ++i)
-                attended.push_back(static_cast<uint32_t>(i));
-            for (size_t i = std::max(flushed_, sinks); i < n; ++i)
-                attended.push_back(static_cast<uint32_t>(i));
+                attended[na++] = static_cast<uint32_t>(i);
 
-            std::vector<uint32_t> hw_topk;
+            uint32_t *hw_topk = nullptr;
+            size_t n_hw = 0;
             if (offload) {
                 const auto &head_result = responses[0].headResults[h];
-                for (const auto &e : head_result.topk[g]) {
-                    attended.push_back(e.index);
-                    hw_topk.push_back(e.index);
-                }
+                const auto &tk = head_result.topk[g];
+                n_hw = tk.size();
+                hw_topk = frame.alloc<uint32_t>(n_hw);
+                for (size_t i = 0; i < n_hw; ++i)
+                    hw_topk[i] = tk[i].index;
+                std::sort(hw_topk, hw_topk + n_hw);
+                for (size_t i = 0; i < n_hw; ++i)
+                    attended[na++] = hw_topk[i];
             }
-            std::sort(attended.begin(), attended.end());
-            attended.erase(
-                std::unique(attended.begin(), attended.end()),
-                attended.end());
+            for (size_t i = staged_begin; i < n; ++i)
+                attended[na++] = static_cast<uint32_t>(i);
 
-            const auto q = queries[h].rowVec(g);
-            const auto combined = subsetAttention(
-                q.data(), cache.keys(), cache.values(), attended,
-                scale);
+            const float *q = queries[h].row(g);
+            float *probs = frame.alloc<float>(na);
+            float *combined = frame.alloc<float>(cfg_.headDim);
+            subsetAttentionInto(q, cache.keys(), cache.values(),
+                                attended, na, scale, probs, combined);
             (void)combined;
 
             // Verification A: device top-k equals the software
-            // filter -> score -> rank over the same region.
+            // filter -> score -> rank over the same region, run here
+            // through the fused scan -> score -> select kernel.
             if (offload) {
-                const auto qf = cache.toFilterSpace(q);
-                const SignBits qs(qf.data(), cfg_.headDim);
-                std::vector<uint32_t> survivors;
-                batchConcordanceScan(qs, cache.filterSignsAll(), sinks,
-                                     flushed_,
-                                     cfg_.hybrid.defaultThreshold,
-                                     survivors);
-                const auto scores = attentionScoresAt(
-                    q.data(), cache.keys(), survivors, scale);
-                auto expect = topkSelect(scores, survivors,
-                                         cfg_.hybrid.topK);
-                std::vector<uint32_t> sw_topk;
-                for (const auto &e : expect)
-                    sw_topk.push_back(e.index);
-                std::sort(sw_topk.begin(), sw_topk.end());
-                std::sort(hw_topk.begin(), hw_topk.end());
-                if (sw_topk != hw_topk)
-                    lane_matched[lane] = 0;
+                float *qf = frame.alloc<float>(cfg_.headDim);
+                cache.toFilterSpace(q, qf);
+                const SignMatrix &signs = cache.filterSignsAll();
+                uint64_t *qw =
+                    frame.alloc<uint64_t>(signs.wordsPerRow());
+                packSigns(qf, cfg_.headDim, qw);
+                const size_t kcap = std::min<size_t>(
+                    cfg_.hybrid.topK, flushed_ - sinks);
+                ScoredIndex *expect = frame.alloc<ScoredIndex>(kcap);
+                const size_t nsel = batchScoreSelect(
+                    qw, signs, sinks, flushed_,
+                    cfg_.hybrid.defaultThreshold, q, cache.keys(),
+                    scale, cfg_.hybrid.topK, expect);
+                bool matched = nsel == n_hw;
+                if (matched) {
+                    uint32_t *sw = frame.alloc<uint32_t>(nsel);
+                    for (size_t i = 0; i < nsel; ++i)
+                        sw[i] = expect[i].index;
+                    std::sort(sw, sw + nsel);
+                    matched = std::equal(sw, sw + nsel, hw_topk);
+                }
+                if (!matched)
+                    laneMatched_[lane] = 0;
             }
 
             // Verification B: retained dense softmax mass.
-            const auto dense = denseAttention(
-                q.data(), cache.keys(), cache.values(), scale);
+            float *dense_probs = frame.alloc<float>(n);
+            float *dense_out = frame.alloc<float>(cfg_.headDim);
+            denseAttentionInto(q, cache.keys(), cache.values(), scale,
+                               dense_probs, dense_out);
             double mass = 0.0;
-            for (uint32_t idx : attended)
-                mass += dense.probs[idx];
-            lane_mass[lane] = mass;
+            for (size_t i = 0; i < na; ++i)
+                mass += dense_probs[attended[i]];
+            laneMass_[lane] = mass;
         });
         for (size_t lane = 0; lane < lanes; ++lane) {
             result.minRetainedMass =
-                std::min(result.minRetainedMass, lane_mass[lane]);
-            if (!lane_matched[lane])
+                std::min(result.minRetainedMass, laneMass_[lane]);
+            if (!laneMatched_[lane])
                 result.deviceMatchedSoftware = false;
         }
     }

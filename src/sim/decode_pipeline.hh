@@ -93,6 +93,13 @@ class DecodePipeline
     std::vector<std::unique_ptr<KvCache>> gpuCaches_;
     size_t flushed_ = 0;
     bool itqInstalled_ = false;
+
+    // Decode-step scratch reused across steps (capacities persist, so
+    // the steady-state step re-fills these without heap allocation).
+    std::vector<Matrix> stepQueries_;       //!< per KV head: group x d
+    std::vector<Matrix> stepFilterQueries_; //!< ITQ-space twins
+    std::vector<double> laneMass_;          //!< per-lane retained mass
+    std::vector<uint8_t> laneMatched_;      //!< per-lane A-verdict
 };
 
 } // namespace longsight

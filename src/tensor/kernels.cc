@@ -1,5 +1,6 @@
 #include "tensor/kernels.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <cstdlib>
@@ -43,14 +44,14 @@ scalarConcordance(const uint64_t *q, const uint64_t *signs, size_t wpr,
 size_t
 scalarScan(const uint64_t *q, const uint64_t *signs, size_t wpr,
            size_t rows, int dim, int threshold, uint32_t base,
-           std::vector<uint32_t> &out)
+           uint32_t *out)
 {
-    const size_t before = out.size();
+    size_t n = 0;
     for (size_t r = 0; r < rows; ++r) {
         if (rowConcordance(q, signs + r * wpr, wpr, dim) >= threshold)
-            out.push_back(base + static_cast<uint32_t>(r));
+            out[n++] = base + static_cast<uint32_t>(r);
     }
-    return out.size() - before;
+    return n;
 }
 
 void
@@ -212,15 +213,43 @@ batchConcordanceScan(const SignBits &query, const SignMatrix &m,
 {
     LS_ASSERT(query.dim() == m.dim(), "batchConcordanceScan dim mismatch: ",
               query.dim(), " vs ", m.dim());
+    // Worst-case room up front, shrink after; at steady state the
+    // vector's capacity persists, so this does not allocate per call.
+    const size_t before = survivors.size();
+    survivors.resize(before + (end - begin));
+    const size_t n = batchConcordanceScan(query.words().data(), m, begin,
+                                          end, threshold,
+                                          survivors.data() + before);
+    survivors.resize(before + n);
+    return n;
+}
+
+size_t
+batchConcordanceScan(const uint64_t *query_words, const SignMatrix &m,
+                     size_t begin, size_t end, int threshold,
+                     uint32_t *survivors)
+{
     LS_ASSERT(begin <= end && end <= m.rows(),
               "batchConcordanceScan range [", begin, ",", end, ") out of ",
               m.rows());
     if (begin == end)
         return 0;
-    return ops().scan(query.words().data(),
-                      m.data() + begin * m.wordsPerRow(), m.wordsPerRow(),
-                      end - begin, static_cast<int>(m.dim()), threshold,
+    return ops().scan(query_words, m.data() + begin * m.wordsPerRow(),
+                      m.wordsPerRow(), end - begin,
+                      static_cast<int>(m.dim()), threshold,
                       static_cast<uint32_t>(begin), survivors);
+}
+
+void
+packSigns(const float *v, size_t dim, uint64_t *words)
+{
+    const size_t nwords = (dim + 63) / 64;
+    for (size_t w = 0; w < nwords; ++w)
+        words[w] = 0;
+    for (size_t i = 0; i < dim; ++i) {
+        if (v[i] >= 0.0f)
+            words[i >> 6] |= uint64_t{1} << (i & 63);
+    }
 }
 
 void
@@ -228,6 +257,15 @@ concordanceBitmap(const SignBits &query, const SignMatrix &m, size_t begin,
                   uint32_t num_keys, int threshold, uint64_t out[2])
 {
     LS_ASSERT(query.dim() == m.dim(), "concordanceBitmap dim mismatch");
+    concordanceBitmap(query.words().data(), m, begin, num_keys, threshold,
+                      out);
+}
+
+void
+concordanceBitmap(const uint64_t *query_words, const SignMatrix &m,
+                  size_t begin, uint32_t num_keys, int threshold,
+                  uint64_t out[2])
+{
     LS_ASSERT(num_keys <= 128, "concordanceBitmap holds at most 128 keys");
     LS_ASSERT(begin + num_keys <= m.rows(), "concordanceBitmap range [",
               begin, ",", begin + num_keys, ") out of ", m.rows());
@@ -235,7 +273,7 @@ concordanceBitmap(const SignBits &query, const SignMatrix &m, size_t begin,
         out[0] = out[1] = 0;
         return;
     }
-    ops().bitmap(query.words().data(), m.data() + begin * m.wordsPerRow(),
+    ops().bitmap(query_words, m.data() + begin * m.wordsPerRow(),
                  m.wordsPerRow(), num_keys, static_cast<int>(m.dim()),
                  threshold, out);
 }
@@ -263,6 +301,53 @@ batchDotScaleRange(const float *q, const Matrix &keys, size_t begin,
         return;
     ops().dotAt(q, keys.data(), keys.cols(), keys.cols(), nullptr, begin,
                 end - begin, scale, out);
+}
+
+size_t
+batchScoreSelect(const uint64_t *query_words, const SignMatrix &signs,
+                 size_t begin, size_t end, int threshold, const float *q,
+                 const Matrix &keys, float scale, size_t k,
+                 ScoredIndex *out, size_t *survivor_count)
+{
+    LS_ASSERT(begin <= end && end <= signs.rows(), "batchScoreSelect ",
+              "range [", begin, ",", end, ") out of ", signs.rows());
+    LS_ASSERT(end <= keys.rows(), "batchScoreSelect sign/key row "
+              "mismatch: ", end, " > ", keys.rows());
+    LS_ASSERT(k > 0, "batchScoreSelect k must be positive");
+
+    // Stack-local tiles keep the working set in L1 and off the heap.
+    // Tile size trades scan/dot call overhead against the survivors
+    // living in cache while they are scored; the results are identical
+    // for any tile size because the scan emits survivors in ascending
+    // row order and every key's dot is computed independently.
+    constexpr size_t kTile = 512;
+    uint32_t idx[kTile];
+    float score[kTile];
+
+    const detail::KernelOps &o = ops();
+    const size_t wpr = signs.wordsPerRow();
+    const int dim = static_cast<int>(signs.dim());
+
+    size_t heap_size = 0;
+    size_t survivors = 0;
+    for (size_t at = begin; at < end; at += kTile) {
+        const size_t rows = std::min(kTile, end - at);
+        const size_t n =
+            o.scan(query_words, signs.data() + at * wpr, wpr, rows, dim,
+                   threshold, static_cast<uint32_t>(at), idx);
+        if (n == 0)
+            continue;
+        survivors += n;
+        o.dotAt(q, keys.data(), keys.cols(), keys.cols(), idx, 0, n,
+                scale, score);
+        for (size_t j = 0; j < n; ++j)
+            heap_size = topk_heap::push(out, heap_size, k,
+                                        ScoredIndex{score[j], idx[j]});
+    }
+    topk_heap::sortBestFirst(out, heap_size);
+    if (survivor_count)
+        *survivor_count = survivors;
+    return heap_size;
 }
 
 } // namespace longsight

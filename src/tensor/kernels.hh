@@ -21,6 +21,17 @@
  * selections do not depend on the backend; tests and the bench-smoke
  * CI job enforce this.
  *
+ * batchScoreSelect is the fused scan -> score -> select driver for the
+ * decode hot path: it streams survivors tile by tile from the
+ * concordance scan straight through dot-scale scoring into a bounded
+ * top-k heap (early-rejecting against the current k-th score), never
+ * materializing the full survivor or score vectors. The driver itself
+ * is backend-agnostic — it composes the dispatched scan and dot ops —
+ * so AVX2, NEON, and scalar all get the fused path with identical
+ * results for free: NEON parity with AVX2 is by construction (NEON
+ * supplies its own scan/dot primitives; there is no scalar-only
+ * fallback branch inside the fused driver).
+ *
  * The backend can be forced (tests, benchmarks, A/B timing) with
  * setKernelBackend() or the LONGSIGHT_KERNELS=scalar|avx2|neon
  * environment variable.
@@ -36,6 +47,7 @@
 #include "tensor/sign_matrix.hh"
 #include "tensor/signbits.hh"
 #include "tensor/tensor.hh"
+#include "tensor/topk_heap.hh"
 
 namespace longsight {
 
@@ -76,11 +88,34 @@ size_t batchConcordanceScan(const SignBits &query, const SignMatrix &m,
                             std::vector<uint32_t> &survivors);
 
 /**
+ * Allocation-free flavour over caller storage: query is pre-packed
+ * sign words (see packSigns), survivors must hold end - begin entries.
+ * Returns the survivor count. Identical order and contents to the
+ * vector flavour.
+ */
+size_t batchConcordanceScan(const uint64_t *query_words,
+                            const SignMatrix &m, size_t begin, size_t end,
+                            int threshold, uint32_t *survivors);
+
+/**
+ * Pack the sign pattern of v[0..dim) into words ((dim + 63) / 64 of
+ * them, fully overwritten): bit i set iff v[i] >= 0. Exactly the
+ * SignBits packing, for callers that keep packed queries in scratch
+ * memory instead of constructing a SignBits (which allocates).
+ */
+void packSigns(const float *v, size_t dim, uint64_t *words);
+
+/**
  * PFU-shaped scan: bitmap over up to 128 rows starting at `begin`;
  * bit j of out (j < num_keys) is set iff row begin+j passes.
  * out[0] holds keys 0..63, out[1] keys 64..127.
  */
 void concordanceBitmap(const SignBits &query, const SignMatrix &m,
+                       size_t begin, uint32_t num_keys, int threshold,
+                       uint64_t out[2]);
+
+/** Packed-query-words flavour of concordanceBitmap. */
+void concordanceBitmap(const uint64_t *query_words, const SignMatrix &m,
                        size_t begin, uint32_t num_keys, int threshold,
                        uint64_t out[2]);
 
@@ -97,6 +132,29 @@ void batchDotScaleAt(const float *q, const Matrix &keys,
 void batchDotScaleRange(const float *q, const Matrix &keys, size_t begin,
                         size_t end, float scale, float *out);
 
+/**
+ * Fused scan -> score -> select over key rows [begin, end): every row
+ * whose sign concordance with query_words reaches `threshold` is
+ * scored ((q . key_row) * scale, standard double accumulation) and
+ * offered to a bounded top-k heap in `out` (caller storage, capacity
+ * >= min(k, end - begin) entries). Survivors stream through in fixed-
+ * size tiles; the full survivor index and score vectors are never
+ * materialized, and candidates that cannot beat the current k-th
+ * entry are rejected with a single compare.
+ *
+ * Returns the number of entries written to `out`, sorted best-first
+ * (score descending, index ascending on ties) — element-for-element
+ * identical to running batchConcordanceScan + batchDotScaleAt +
+ * topkSelect over the same range, on every backend. When
+ * survivor_count is non-null it receives the total number of rows
+ * that passed the concordance filter (the SCF survivor statistic).
+ */
+size_t batchScoreSelect(const uint64_t *query_words,
+                        const SignMatrix &signs, size_t begin, size_t end,
+                        int threshold, const float *q, const Matrix &keys,
+                        float scale, size_t k, ScoredIndex *out,
+                        size_t *survivor_count = nullptr);
+
 namespace detail {
 
 /** Raw-pointer kernel table one backend fills in. */
@@ -106,11 +164,11 @@ struct KernelOps
     void (*concordance)(const uint64_t *q, const uint64_t *signs,
                         size_t words_per_row, size_t rows, int dim,
                         int32_t *out);
-    /** Append base+r for rows passing threshold; returns count. */
+    /** Write base+r for rows passing threshold to out (caller storage,
+     *  capacity >= rows); returns the count. */
     size_t (*scan)(const uint64_t *q, const uint64_t *signs,
                    size_t words_per_row, size_t rows, int dim,
-                   int threshold, uint32_t base,
-                   std::vector<uint32_t> &out);
+                   int threshold, uint32_t base, uint32_t *out);
     /** Set bit r of out[2] for rows passing threshold (rows <= 128). */
     void (*bitmap)(const uint64_t *q, const uint64_t *signs,
                    size_t words_per_row, size_t rows, int dim,

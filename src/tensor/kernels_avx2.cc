@@ -168,15 +168,14 @@ avx2Concordance(const uint64_t *q, const uint64_t *signs, size_t wpr,
 LS_AVX2 size_t
 avx2Scan(const uint64_t *q, const uint64_t *signs, size_t wpr,
          size_t rows, int dim, int threshold, uint32_t base,
-         std::vector<uint32_t> &out)
+         uint32_t *out)
 {
-    // Branchless compaction: make room for the worst case up front,
-    // store every candidate index unconditionally, and advance the
-    // cursor by the pass bit. At typical ~50% survivor rates the
-    // mispredicted per-row branch costs more than the wasted stores.
-    const size_t before = out.size();
-    out.resize(before + rows);
-    uint32_t *dst = out.data() + before;
+    // Branchless compaction into the caller's span (contract: capacity
+    // >= rows): store every candidate index unconditionally and
+    // advance the cursor by the pass bit. At typical ~50% survivor
+    // rates the mispredicted per-row branch costs more than the
+    // wasted stores.
+    uint32_t *dst = out;
     size_t n = 0;
 
     const long long limit = static_cast<long long>(dim) -
@@ -230,7 +229,6 @@ avx2Scan(const uint64_t *q, const uint64_t *signs, size_t wpr,
         n += rowMismatches(q, signs + r * wpr, wpr) <= limit ? 1 : 0;
     }
 
-    out.resize(before + n);
     return n;
 }
 

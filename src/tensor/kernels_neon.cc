@@ -7,6 +7,10 @@
  * accumulation (NEON's two-lane f64 gives no win at head dims 64/128
  * once the bit-identity contract rules out reassociation), so scores
  * are trivially identical too.
+ *
+ * The fused batchScoreSelect driver composes this backend's scan and
+ * dot ops, so aarch64 gets the fused decode hot path at full feature
+ * parity with AVX2 — no scalar-only fallback is involved.
  */
 
 #include "tensor/kernels.hh"
@@ -48,15 +52,17 @@ neonConcordance(const uint64_t *q, const uint64_t *signs, size_t wpr,
 size_t
 neonScan(const uint64_t *q, const uint64_t *signs, size_t wpr,
          size_t rows, int dim, int threshold, uint32_t base,
-         std::vector<uint32_t> &out)
+         uint32_t *out)
 {
-    const size_t before = out.size();
+    // Branchless compaction into the caller's span (capacity >= rows),
+    // mirroring the AVX2 backend's store-then-advance shape.
     const int limit = dim - threshold;
+    size_t n = 0;
     for (size_t r = 0; r < rows; ++r) {
-        if (rowMismatches(q, signs + r * wpr, wpr) <= limit)
-            out.push_back(base + static_cast<uint32_t>(r));
+        out[n] = base + static_cast<uint32_t>(r);
+        n += rowMismatches(q, signs + r * wpr, wpr) <= limit ? 1 : 0;
     }
-    return out.size() - before;
+    return n;
 }
 
 void

@@ -74,14 +74,22 @@ std::vector<float>
 gemvT(const Matrix &a, const std::vector<float> &x)
 {
     LS_ASSERT(a.rows() == x.size(), "gemvT shape mismatch");
-    std::vector<float> y(a.cols(), 0.0f);
+    std::vector<float> y(a.cols());
+    gemvT(a, x.data(), y.data());
+    return y;
+}
+
+void
+gemvT(const Matrix &a, const float *x, float *y)
+{
+    for (size_t j = 0; j < a.cols(); ++j)
+        y[j] = 0.0f;
     for (size_t i = 0; i < a.rows(); ++i) {
         const float xi = x[i];
         const float *arow = a.row(i);
         for (size_t j = 0; j < a.cols(); ++j)
             y[j] += xi * arow[j];
     }
-    return y;
 }
 
 Matrix

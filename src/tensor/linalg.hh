@@ -36,6 +36,9 @@ std::vector<float> gemv(const Matrix &a, const std::vector<float> &x);
 /** y = a^T * x (a: m x n, x: length m). */
 std::vector<float> gemvT(const Matrix &a, const std::vector<float> &x);
 
+/** gemvT into caller storage (y: length a.cols(), overwritten). */
+void gemvT(const Matrix &a, const float *x, float *y);
+
 /** Transposed copy. */
 Matrix transpose(const Matrix &a);
 

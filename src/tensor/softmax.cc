@@ -9,17 +9,25 @@ namespace longsight {
 void
 softmaxInPlace(std::vector<float> &scores)
 {
-    if (scores.empty())
+    softmaxInPlace(scores.data(), scores.size());
+}
+
+void
+softmaxInPlace(float *scores, size_t n)
+{
+    if (n == 0)
         return;
-    const float mx = maxScore(scores);
+    float mx = -std::numeric_limits<float>::infinity();
+    for (size_t i = 0; i < n; ++i)
+        mx = std::max(mx, scores[i]);
     double denom = 0.0;
-    for (auto &s : scores) {
-        s = std::exp(s - mx);
-        denom += s;
+    for (size_t i = 0; i < n; ++i) {
+        scores[i] = std::exp(scores[i] - mx);
+        denom += scores[i];
     }
     const float inv = static_cast<float>(1.0 / denom);
-    for (auto &s : scores)
-        s *= inv;
+    for (size_t i = 0; i < n; ++i)
+        scores[i] *= inv;
 }
 
 std::vector<float>

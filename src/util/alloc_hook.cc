@@ -1,0 +1,160 @@
+#include "util/alloc_hook.hh"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace longsight {
+namespace {
+
+std::atomic<uint64_t> g_allocs{0};
+std::atomic<uint64_t> g_frees{0};
+std::atomic<uint64_t> g_bytes{0};
+
+void *
+countedAlloc(std::size_t size, std::size_t align)
+{
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    g_bytes.fetch_add(size, std::memory_order_relaxed);
+    void *p = align > alignof(std::max_align_t)
+        ? std::aligned_alloc(align,
+                             (size + align - 1) / align * align)
+        : std::malloc(size);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+void
+countedFree(void *p) noexcept
+{
+    if (!p)
+        return;
+    g_frees.fetch_add(1, std::memory_order_relaxed);
+    std::free(p);
+}
+
+} // namespace
+
+AllocCounters
+allocSnapshot()
+{
+    return {g_allocs.load(std::memory_order_relaxed),
+            g_frees.load(std::memory_order_relaxed),
+            g_bytes.load(std::memory_order_relaxed)};
+}
+
+bool
+allocHookActive()
+{
+    return true;
+}
+
+} // namespace longsight
+
+// Replaceable global allocation functions (throwing, nothrow, sized,
+// and aligned forms all funnel through the two counted primitives).
+void *
+operator new(std::size_t size)
+{
+    return longsight::countedAlloc(size, alignof(std::max_align_t));
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return longsight::countedAlloc(size, alignof(std::max_align_t));
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    return longsight::countedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return longsight::countedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    try {
+        return longsight::countedAlloc(size, alignof(std::max_align_t));
+    } catch (...) {
+        return nullptr;
+    }
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    try {
+        return longsight::countedAlloc(size, alignof(std::max_align_t));
+    } catch (...) {
+        return nullptr;
+    }
+}
+
+void
+operator delete(void *p) noexcept
+{
+    longsight::countedFree(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    longsight::countedFree(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    longsight::countedFree(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    longsight::countedFree(p);
+}
+
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    longsight::countedFree(p);
+}
+
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    longsight::countedFree(p);
+}
+
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    longsight::countedFree(p);
+}
+
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    longsight::countedFree(p);
+}
+
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    longsight::countedFree(p);
+}
+
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    longsight::countedFree(p);
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Global operator new/delete counting hook for allocation-regression
+ * tests and the decode-hot-path bench. Linking the ls_alloc_hook
+ * library (and referencing allocCounters()) replaces the global
+ * allocation functions with counting wrappers around std::malloc /
+ * std::free; nothing else in the library links it, so ordinary builds
+ * pay no bookkeeping cost.
+ *
+ * Counters are process-wide atomics. The intended use is differential:
+ * snapshot(), run the region under test, snapshot() again, subtract.
+ */
+
+#ifndef LONGSIGHT_UTIL_ALLOC_HOOK_HH
+#define LONGSIGHT_UTIL_ALLOC_HOOK_HH
+
+#include <cstdint>
+
+namespace longsight {
+
+/** Monotonic allocation totals since process start. */
+struct AllocCounters
+{
+    uint64_t allocs = 0; //!< operator new calls
+    uint64_t frees = 0;  //!< operator delete calls
+    uint64_t bytes = 0;  //!< bytes requested through operator new
+
+    AllocCounters operator-(const AllocCounters &o) const
+    {
+        return {allocs - o.allocs, frees - o.frees, bytes - o.bytes};
+    }
+};
+
+/** Current totals (relaxed loads; exact when the region is quiescent). */
+AllocCounters allocSnapshot();
+
+/** True when the counting operator new is actually linked in. */
+bool allocHookActive();
+
+} // namespace longsight
+
+#endif // LONGSIGHT_UTIL_ALLOC_HOOK_HH

@@ -1,0 +1,118 @@
+#include "util/scratch_arena.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace longsight {
+
+namespace {
+
+/** Every block is at least this big so tiny first allocations do not
+ *  cause a cascade of growths during warmup. */
+constexpr size_t kMinBlockBytes = 64 * 1024;
+
+size_t
+alignUp(size_t v, size_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+} // namespace
+
+ScratchArena::ScratchArena(size_t initial_bytes)
+{
+    if (initial_bytes > 0) {
+        Block b;
+        b.size = alignUp(initial_bytes, 64);
+        b.mem = std::make_unique<std::byte[]>(b.size);
+        blocks_.push_back(std::move(b));
+        ++growths_;
+    }
+}
+
+size_t
+ScratchArena::capacity() const
+{
+    size_t total = 0;
+    for (const Block &b : blocks_)
+        total += b.size;
+    return total;
+}
+
+void *
+ScratchArena::allocBytes(size_t bytes, size_t align)
+{
+    LS_ASSERT((align & (align - 1)) == 0, "alignment must be a power of 2");
+    // Arena blocks start 64-byte aligned (operator new for std::byte[]
+    // of this size is at least 16-aligned; we over-align cursors
+    // manually), so aligning the cursor suffices.
+    align = std::max<size_t>(align, alignof(std::max_align_t));
+
+    for (;;) {
+        if (current_ < blocks_.size()) {
+            Block &b = blocks_[current_];
+            const size_t base = reinterpret_cast<size_t>(b.mem.get());
+            const size_t at = alignUp(base + cursor_, align) - base;
+            if (at + bytes <= b.size) {
+                cursor_ = at + bytes;
+                used_ += bytes;
+                highWater_ = std::max(highWater_, used_);
+                return b.mem.get() + at;
+            }
+            // Spill to the next block (freshly grown or left over from
+            // an earlier, larger cycle).
+            if (current_ + 1 < blocks_.size()) {
+                ++current_;
+                cursor_ = 0;
+                continue;
+            }
+        }
+        // Growth (warmup) path: chain a block big enough for the
+        // request and for geometric growth overall.
+        Block b;
+        b.size = std::max({kMinBlockBytes, alignUp(bytes + align, 64),
+                           capacity()});
+        b.mem = std::make_unique<std::byte[]>(b.size);
+        blocks_.push_back(std::move(b));
+        current_ = blocks_.size() - 1;
+        cursor_ = 0;
+        ++growths_;
+    }
+}
+
+void
+ScratchArena::rewind(const Mark &m)
+{
+    current_ = m.block;
+    cursor_ = m.offset;
+    used_ = m.used;
+    // A full rewind with more than one block means some cycle spilled:
+    // coalesce to a single block covering the high-water mark so the
+    // next cycles run block-local and allocation-free.
+    if (used_ == 0 && blocks_.size() > 1) {
+        // Slack over the high-water byte count absorbs per-allocation
+        // alignment padding, which used_ does not track; if a later
+        // cycle still spills, the next coalesce simply sizes larger.
+        const size_t want = alignUp(
+            std::max(kMinBlockBytes, highWater_ + highWater_ / 4 + 1024),
+            64);
+        blocks_.clear();
+        Block b;
+        b.size = want;
+        b.mem = std::make_unique<std::byte[]>(b.size);
+        blocks_.push_back(std::move(b));
+        ++growths_;
+        current_ = 0;
+        cursor_ = 0;
+    }
+}
+
+ScratchArena &
+ScratchArena::forThisThread()
+{
+    thread_local ScratchArena arena;
+    return arena;
+}
+
+} // namespace longsight

@@ -120,7 +120,7 @@ ThreadPool::workerLoop()
             if (job->next.load(std::memory_order_relaxed) >= job->end) {
                 // Exhausted; the owner will also remove it, but drop
                 // it eagerly so later jobs are reachable.
-                queue_.pop_front();
+                queue_.erase(queue_.begin());
                 continue;
             }
             std::lock_guard<std::mutex> done(job->doneMu);

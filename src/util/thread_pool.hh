@@ -30,7 +30,6 @@
 
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -68,6 +67,22 @@ class ThreadPool
     void parallelFor(size_t begin, size_t end,
                      const std::function<void(size_t)> &fn);
 
+    /**
+     * parallelFor for the allocation-free hot paths: wraps `fn` in a
+     * single-pointer closure so the std::function fits its small-object
+     * buffer and no heap allocation happens at the call site. Use this
+     * for lambdas with large capture lists inside decode-step loops;
+     * semantics are identical to parallelFor.
+     */
+    template <class Fn>
+    void parallelForEach(size_t begin, size_t end, Fn &&fn)
+    {
+        Fn *body = &fn;
+        const std::function<void(size_t)> wrapped =
+            [body](size_t i) { (*body)(i); };
+        parallelFor(begin, end, wrapped);
+    }
+
     /** std::thread::hardware_concurrency with a sane floor of 1. */
     static unsigned hardwareThreads();
 
@@ -92,7 +107,12 @@ class ThreadPool
     std::vector<std::thread> workers_;
     std::mutex mu_;
     std::condition_variable cv_;
-    std::deque<Job *> queue_;
+    // FIFO of outstanding jobs. A vector, not a deque: the queue depth
+    // is the nesting level of concurrent parallelFor calls (almost
+    // always 1), erase-from-front is O(depth), and a vector's capacity
+    // persists so steady-state queue traffic performs no heap
+    // allocations (deque node churn would).
+    std::vector<Job *> queue_;
     bool stop_ = false;
 };
 

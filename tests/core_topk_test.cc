@@ -188,5 +188,50 @@ TEST(TopK, DuplicateScoresKeepDeterministicWinners)
     EXPECT_EQ(res[2].index, 30u);
 }
 
+TEST(TopK, DrainSortedMatchesSortedResults)
+{
+    Rng rng(13);
+    for (size_t k : {size_t{1}, size_t{8}, size_t{100}}) {
+        TopK acc(k);
+        const size_t n = 1 + rng.below(300);
+        for (size_t i = 0; i < n; ++i)
+            acc.push(static_cast<float>(rng.gaussian()),
+                     static_cast<uint32_t>(i));
+        const auto want = acc.sortedResults();
+        std::vector<ScoredIndex> got(acc.size());
+        const size_t m = acc.drainSorted(got.data());
+        ASSERT_EQ(m, want.size());
+        for (size_t i = 0; i < m; ++i) {
+            EXPECT_EQ(got[i].index, want[i].index);
+            EXPECT_EQ(got[i].score, want[i].score);
+        }
+        // Drained: empty but immediately reusable.
+        EXPECT_EQ(acc.size(), 0u);
+        acc.push(1.0f, 7);
+        ScoredIndex one;
+        EXPECT_EQ(acc.drainSorted(&one), 1u);
+        EXPECT_EQ(one.index, 7u);
+    }
+}
+
+TEST(TopK, DrainSortedBreaksTiesByIndex)
+{
+    TopK acc(4);
+    for (uint32_t idx : {9u, 3u, 12u, 1u, 6u})
+        acc.push(2.5f, idx);
+    ScoredIndex out[4];
+    ASSERT_EQ(acc.drainSorted(out), 4u);
+    EXPECT_EQ(out[0].index, 1u);
+    EXPECT_EQ(out[1].index, 3u);
+    EXPECT_EQ(out[2].index, 6u);
+    EXPECT_EQ(out[3].index, 9u);
+}
+
+TEST(TopK, DrainSortedEmptyIsZero)
+{
+    TopK acc(5);
+    EXPECT_EQ(acc.drainSorted(nullptr), 0u);
+}
+
 } // namespace
 } // namespace longsight

@@ -2,7 +2,31 @@
 
 #include <sstream>
 
+#include "tensor/kernels.hh"
+#include "util/thread_pool.hh"
+
+// Injected by bench/CMakeLists.txt from `git rev-parse --short HEAD`.
+#ifndef LONGSIGHT_GIT_COMMIT
+#define LONGSIGHT_GIT_COMMIT "unknown"
+#endif
+
 namespace longsight {
+
+std::string
+benchMeta(const std::string &bench, const BenchModelShape &shape)
+{
+    std::ostringstream os;
+    os << "  \"bench\": \"" << bench << "\",\n"
+       << "  \"git_commit\": \"" << LONGSIGHT_GIT_COMMIT << "\",\n"
+       << "  \"threads\": " << ThreadPool::global().threads() << ",\n"
+       << "  \"kernel_backend\": \""
+       << kernelBackendName(activeKernelBackend()) << "\",\n";
+    if (shape.queryHeads != 0)
+        os << "  \"model_shape\": {\"query_heads\": " << shape.queryHeads
+           << ", \"kv_heads\": " << shape.kvHeads
+           << ", \"head_dim\": " << shape.headDim << "},\n";
+    return os.str();
+}
 
 std::optional<TuneResult>
 tuneThresholds(const AlgoEvaluator &eval, EvalConfig base,

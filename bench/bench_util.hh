@@ -14,6 +14,7 @@
 #ifndef LONGSIGHT_BENCH_BENCH_UTIL_HH
 #define LONGSIGHT_BENCH_BENCH_UTIL_HH
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
@@ -22,6 +23,32 @@
 #include "eval/algo_eval.hh"
 
 namespace longsight {
+
+/** Model shape recorded in every bench's provenance stamp. */
+struct BenchModelShape
+{
+    uint32_t queryHeads = 0;
+    uint32_t kvHeads = 0;
+    uint32_t headDim = 0;
+};
+
+/**
+ * Provenance stamp shared by every BENCH_*.json: bench name, the git
+ * commit the binary was built from (baked in at configure time;
+ * "unknown" outside a git checkout), worker thread count, active
+ * kernel backend, and — when a shape is given — the model shape.
+ *
+ * Returns the leading lines of a JSON object body (no surrounding
+ * braces, two-space indent, trailing comma + newline), so a bench
+ * opens its file with
+ *
+ *     os << "{\n" << benchMeta("decode_hotpath", shape) << ...
+ *
+ * and every artifact is self-describing enough to compare across
+ * commits, hosts, and backends.
+ */
+std::string benchMeta(const std::string &bench,
+                      const BenchModelShape &shape = {});
 
 /**
  * Tune per-head SCF thresholds for one (evaluator, base config) pair

@@ -18,6 +18,14 @@
  * steady state is expected to be zero (the allocation-regression test
  * asserts exactly that).
  *
+ * A final grouped-scan section isolates the scan stage for one KV
+ * head's whole GQA query group at the current cache state: one
+ * multi-query pass (batchScanMulti / batchScoreSelectMulti) against
+ * the group-size single-query passes the pre-grouping decode issued.
+ * Per-query results must be bit-identical — any mismatch exits
+ * nonzero (CI's bench-smoke gate) — and the measured speedups land in
+ * BENCH_decode.json under "grouped_scan".
+ *
  * Writes BENCH_decode.json.
  *
  * Run:  ./build/bench/decode_hotpath
@@ -33,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.hh"
 #include "core/attention.hh"
 #include "core/kv_cache.hh"
 #include "core/multi_head.hh"
@@ -112,6 +121,140 @@ baselineStep(const BenchShape &sh, const Matrix &queries,
                                        cache.values(), attended, scale);
         out.setRow(qh, r.output.data());
     });
+}
+
+/** What the grouped-scan comparison measured (rates in key-query
+ *  tests per second; both paths do group x keys of them). */
+struct GroupedScanNumbers
+{
+    size_t keys = 0;
+    double scanGrouped = 0.0;
+    double scanUngrouped = 0.0;
+    double fusedGrouped = 0.0;
+    double fusedUngrouped = 0.0;
+    bool bitIdentical = true;
+};
+
+/** Best-of-reps rate of fn(), which performs `work` key-query tests;
+ *  rep 0 is warmup and the inner loop sizes each timed sample to
+ *  enough work for the clock. */
+template <class F>
+double
+bestRate(size_t work, int reps, F &&fn)
+{
+    const size_t inner = std::max<size_t>(1, (1u << 22) / work);
+    double best = 0.0;
+    for (int r = 0; r <= reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (size_t i = 0; i < inner; ++i)
+            fn();
+        const double sec = seconds(t0);
+        if (r > 0)
+            best = std::max(best,
+                            static_cast<double>(inner * work) / sec);
+    }
+    return best;
+}
+
+/**
+ * Scan-stage comparison on KV head 0's query group: one grouped
+ * multi-query pass over the sparse region versus the `group`
+ * single-query passes the ungrouped decode issued, for both the raw
+ * concordance scan and the fused scan->score->select kernel.
+ */
+GroupedScanNumbers
+groupedScanComparison(const BenchShape &sh, const Matrix &queries,
+                      const KvCache &cache, int reps)
+{
+    GroupedScanNumbers gn;
+    const uint32_t group = sh.qheads / sh.kvheads;
+    const float scale = 1.0f / std::sqrt(static_cast<float>(sh.dim));
+    const size_t n = cache.size();
+    const size_t sinks = std::min<size_t>(sh.hybrid.sinkTokens, n);
+    size_t win_start =
+        n > sh.hybrid.windowSize ? n - sh.hybrid.windowSize : 0;
+    win_start = std::max(win_start, sinks);
+    if (win_start <= sinks + group)
+        return gn; // context too small for a meaningful sparse region
+    gn.keys = win_start - sinks;
+
+    const SignMatrix &signs = cache.filterSignsAll();
+    const size_t wpr = signs.wordsPerRow();
+    std::vector<float> qf(sh.dim);
+    std::vector<uint64_t> qw(group * wpr);
+    std::vector<SignBits> qbits;
+    for (uint32_t g = 0; g < group; ++g) {
+        cache.toFilterSpace(queries.row(g), qf.data());
+        packSigns(qf.data(), sh.dim, qw.data() + g * wpr);
+        qbits.emplace_back(qf.data(), sh.dim);
+    }
+    const size_t work = static_cast<size_t>(group) * gn.keys;
+
+    // Raw scan: group single passes vs one grouped pass.
+    std::vector<std::vector<uint32_t>> single(group);
+    for (auto &v : single)
+        v.reserve(gn.keys);
+    gn.scanUngrouped = bestRate(work, reps, [&] {
+        for (uint32_t g = 0; g < group; ++g) {
+            single[g].clear();
+            batchConcordanceScan(qbits[g], signs, sinks, win_start,
+                                 sh.threshold, single[g]);
+        }
+    });
+    std::vector<uint32_t> multi(work);
+    std::vector<size_t> counts(group);
+    gn.scanGrouped = bestRate(work, reps, [&] {
+        batchScanMulti(qw.data(), group, signs, sinks, win_start,
+                       sh.threshold, multi.data(), gn.keys,
+                       counts.data());
+    });
+    for (uint32_t g = 0; g < group; ++g) {
+        bool same = counts[g] == single[g].size();
+        for (size_t i = 0; same && i < counts[g]; ++i)
+            same = multi[g * gn.keys + i] == single[g][i];
+        if (!same) {
+            std::cerr << "FAIL: grouped scan diverged from the "
+                         "single-query scan for group query "
+                      << g << "\n";
+            gn.bitIdentical = false;
+        }
+    }
+
+    // Fused scan->score->select: same comparison through the top-k.
+    const size_t kcap = std::min<size_t>(sh.hybrid.topK, gn.keys);
+    std::vector<ScoredIndex> sel_single(group * kcap);
+    std::vector<size_t> nsel_single(group);
+    gn.fusedUngrouped = bestRate(work, reps, [&] {
+        for (uint32_t g = 0; g < group; ++g)
+            nsel_single[g] = batchScoreSelect(
+                qw.data() + g * wpr, signs, sinks, win_start,
+                sh.threshold, queries.row(g), cache.keys(), scale,
+                sh.hybrid.topK, sel_single.data() + g * kcap);
+    });
+    std::vector<ScoredIndex> sel_multi(group * kcap);
+    std::vector<size_t> nsel_multi(group);
+    gn.fusedGrouped = bestRate(work, reps, [&] {
+        batchScoreSelectMulti(qw.data(), group, signs, sinks, win_start,
+                              sh.threshold, queries.row(0),
+                              queries.cols(), cache.keys(), scale,
+                              sh.hybrid.topK, sel_multi.data(), kcap,
+                              nsel_multi.data());
+    });
+    for (uint32_t g = 0; g < group; ++g) {
+        bool same = nsel_multi[g] == nsel_single[g];
+        for (size_t i = 0; same && i < nsel_multi[g]; ++i)
+            same = sel_multi[g * kcap + i].index ==
+                    sel_single[g * kcap + i].index &&
+                sel_multi[g * kcap + i].score ==
+                    sel_single[g * kcap + i].score;
+        if (!same) {
+            std::cerr << "FAIL: grouped score-select diverged from the "
+                         "single-query kernel for group query "
+                      << g << "\n";
+            gn.bitIdentical = false;
+        }
+    }
+    return gn;
 }
 
 int
@@ -210,6 +353,10 @@ run(const BenchShape &sh, const std::string &out_path)
     const double fused_sec = seconds(ft0);
     const AllocCounters fused_alloc = allocSnapshot() - f0;
 
+    // Scan-stage isolation: KV head 0's group at the final cache state.
+    const GroupedScanNumbers gn =
+        groupedScanComparison(sh, step_queries[0], caches[0], 3);
+
     const double steps_d = static_cast<double>(sh.steps);
     const double base_tps = steps_d / base_sec;
     const double fused_tps = steps_d / fused_sec;
@@ -217,15 +364,10 @@ run(const BenchShape &sh, const std::string &out_path)
 
     std::ofstream os(out_path);
     LS_ASSERT(os.good(), "cannot write ", out_path);
-    os << "{\n  \"bench\": \"decode_hotpath\",\n"
-       << "  \"backend\": \""
-       << kernelBackendName(activeKernelBackend()) << "\",\n"
-       << "  \"threads\": " << ThreadPool::global().threads() << ",\n"
+    os << "{\n"
+       << benchMeta("decode_hotpath", {sh.qheads, sh.kvheads, sh.dim})
        << "  \"context\": " << sh.context << ",\n"
        << "  \"steps\": " << sh.steps << ",\n"
-       << "  \"query_heads\": " << sh.qheads << ",\n"
-       << "  \"kv_heads\": " << sh.kvheads << ",\n"
-       << "  \"head_dim\": " << sh.dim << ",\n"
        << "  \"threshold\": " << sh.threshold << ",\n"
        << "  \"top_k\": " << sh.hybrid.topK << ",\n"
        << "  \"alloc_hook_active\": " << (hook ? "true" : "false")
@@ -240,7 +382,20 @@ run(const BenchShape &sh, const std::string &out_path)
        << static_cast<double>(fused_alloc.allocs) / steps_d
        << ", \"bytes_per_token\": "
        << static_cast<double>(fused_alloc.bytes) / steps_d << "},\n"
-       << "  \"speedup\": " << fused_tps / base_tps << "\n}\n";
+       << "  \"speedup\": " << fused_tps / base_tps << ",\n"
+       << "  \"grouped_scan\": {\"queries\": " << group
+       << ", \"keys\": " << gn.keys
+       << ", \"scan_grouped_keys_per_s\": " << gn.scanGrouped
+       << ", \"scan_ungrouped_keys_per_s\": " << gn.scanUngrouped
+       << ", \"scan_speedup\": "
+       << (gn.scanUngrouped > 0 ? gn.scanGrouped / gn.scanUngrouped : 0)
+       << ", \"fused_grouped_keys_per_s\": " << gn.fusedGrouped
+       << ", \"fused_ungrouped_keys_per_s\": " << gn.fusedUngrouped
+       << ", \"fused_speedup\": "
+       << (gn.fusedUngrouped > 0 ? gn.fusedGrouped / gn.fusedUngrouped
+                                 : 0)
+       << ", \"bit_identical\": "
+       << (gn.bitIdentical ? "true" : "false") << "}\n}\n";
 
     std::cout << "baseline: " << base_tps << " tokens/s, "
               << static_cast<double>(base_alloc.allocs) / steps_d
@@ -250,9 +405,17 @@ run(const BenchShape &sh, const std::string &out_path)
               << " allocs/token (" << fused_tps / base_tps
               << "x)\n"
               << (hook ? "" : "note: alloc hook inactive; "
-                              "allocation counts are zero-valued\n")
-              << "wrote " << out_path << "\n";
-    return 0;
+                              "allocation counts are zero-valued\n");
+    if (gn.keys > 0)
+        std::cout << "grouped scan (" << group << " queries, " << gn.keys
+                  << " keys): scan "
+                  << gn.scanGrouped / gn.scanUngrouped
+                  << "x, fused select "
+                  << gn.fusedGrouped / gn.fusedUngrouped << "x ("
+                  << (gn.bitIdentical ? "bit-identical" : "MISMATCH")
+                  << ")\n";
+    std::cout << "wrote " << out_path << "\n";
+    return gn.bitIdentical ? 0 : 1;
 }
 
 } // namespace

@@ -6,12 +6,15 @@
  * CXL transfers, softmax, and the dense-attention reference kernel.
  *
  * After the google benchmarks, a scalar-vs-SIMD comparison pass times
- * the batch scan, survivor-scoring, and fused scan->score->select
- * kernels on every backend this host supports, verifies the results
- * are bit-identical to the scalar backend (the fused kernel against
- * the unfused scan + dot + topkSelect pipeline), and writes
- * BENCH_kernels.json. Exits nonzero if any backend's survivor set,
- * score vector, or fused top-k differs from scalar — this is the
+ * the batch scan, survivor-scoring, fused scan->score->select, and
+ * GQA-group multi-query (batchScanMulti / batchScoreSelectMulti, four
+ * queries per pass) kernels on every backend this host supports,
+ * verifies the results are bit-identical to the scalar backend (the
+ * fused kernel against the unfused scan + dot + topkSelect pipeline,
+ * and every multi-query output against the scalar single-query result
+ * for the same query), and writes BENCH_kernels.json. Exits nonzero
+ * if any backend's survivor set, score vector, fused top-k, or
+ * grouped per-query result differs from scalar — this is the
  * bit-identity gate CI's bench-smoke job enforces.
  *
  * Run:  ./build/bench/micro_kernels
@@ -28,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_util.hh"
 #include "core/attention.hh"
 #include "core/itq.hh"
 #include "core/scf.hh"
@@ -356,7 +360,40 @@ runKernelComparison(size_t keys, int reps, const std::string &out_path)
         std::vector<uint64_t> qw(signs.wordsPerRow());
         packSigns(q.data(), dim, qw.data());
 
+        // GQA-group multi-query shape: 4 queries, one pass. References
+        // are the scalar backend's per-query single-kernel results, so
+        // the gate closes the whole contract — multi on any backend
+        // must equal single-query scalar, query by query.
+        const size_t nq = 4;
+        const size_t wpr = signs.wordsPerRow();
+        Matrix qm(nq, dim);
+        std::vector<uint64_t> qwm(nq * wpr);
+        for (size_t g = 0; g < nq; ++g) {
+            const auto v = rng.gaussianVec(dim);
+            qm.setRow(g, v.data());
+            packSigns(v.data(), dim, qwm.data() + g * wpr);
+        }
+        std::vector<std::vector<uint32_t>> ref_msurv(nq);
+        std::vector<std::vector<ScoredIndex>> ref_msel(nq);
+        const size_t kcap = std::min(k, keys);
+        for (size_t g = 0; g < nq; ++g) {
+            ref_msurv[g].resize(keys);
+            std::vector<size_t> one(1);
+            batchScanMulti(qwm.data() + g * wpr, 1, signs, 0, keys,
+                           threshold, ref_msurv[g].data(), keys,
+                           one.data());
+            ref_msurv[g].resize(one[0]);
+            ref_msel[g].resize(kcap);
+            one[0] = 0;
+            batchScoreSelectMulti(qwm.data() + g * wpr, 1, signs, 0,
+                                  keys, threshold, qm.row(g), dim,
+                                  key_mat, scale, k, ref_msel[g].data(),
+                                  kcap, one.data());
+            ref_msel[g].resize(one[0]);
+        }
+
         double scalar_scan = 0.0, scalar_dot = 0.0, scalar_fused = 0.0;
+        double scalar_mscan = 0.0, scalar_mfused = 0.0;
         for (KernelBackend b : availableBackends()) {
             setKernelBackend(b);
 
@@ -394,19 +431,64 @@ runKernelComparison(size_t keys, int reps, const std::string &out_path)
                 fused_same = sel[i].score == ref_sel[i].score &&
                     sel[i].index == ref_sel[i].index;
 
+            // Grouped 4-query pass; rates count key-query tests so
+            // they compare directly with the single-query rows.
+            std::vector<uint32_t> msurv(nq * keys);
+            std::vector<size_t> mcounts(nq);
+            const double mscan_rate =
+                bestKeysPerSec(nq * keys, reps, [&] {
+                    batchScanMulti(qwm.data(), nq, signs, 0, keys,
+                                   threshold, msurv.data(), keys,
+                                   mcounts.data());
+                });
+            bool mscan_same = true;
+            for (size_t g = 0; g < nq; ++g) {
+                bool same = mcounts[g] == ref_msurv[g].size();
+                for (size_t i = 0; same && i < mcounts[g]; ++i)
+                    same = msurv[g * keys + i] == ref_msurv[g][i];
+                mscan_same = mscan_same && same;
+            }
+
+            std::vector<ScoredIndex> msel(nq * kcap);
+            std::vector<size_t> mnsel(nq);
+            const double mfused_rate =
+                bestKeysPerSec(nq * keys, reps, [&] {
+                    batchScoreSelectMulti(qwm.data(), nq, signs, 0,
+                                          keys, threshold, qm.row(0),
+                                          dim, key_mat, scale, k,
+                                          msel.data(), kcap,
+                                          mnsel.data());
+                });
+            bool mfused_same = true;
+            for (size_t g = 0; g < nq; ++g) {
+                bool same = mnsel[g] == ref_msel[g].size();
+                for (size_t i = 0; same && i < mnsel[g]; ++i)
+                    same = msel[g * kcap + i].score ==
+                            ref_msel[g][i].score &&
+                        msel[g * kcap + i].index == ref_msel[g][i].index;
+                mfused_same = mfused_same && same;
+            }
+
             if (b == KernelBackend::Scalar) {
                 scalar_scan = scan_rate;
                 scalar_dot = dot_rate;
                 scalar_fused = fused_rate;
+                scalar_mscan = mscan_rate;
+                scalar_mfused = mfused_rate;
             }
-            all_identical =
-                all_identical && scan_same && dot_same && fused_same;
+            all_identical = all_identical && scan_same && dot_same &&
+                fused_same && mscan_same && mfused_same;
             rows.push_back({"scan", dim, keys, b, scan_rate,
                             scan_rate / scalar_scan, scan_same});
             rows.push_back({"dot", dim, ref_survivors.size(), b,
                             dot_rate, dot_rate / scalar_dot, dot_same});
             rows.push_back({"score_select", dim, keys, b, fused_rate,
                             fused_rate / scalar_fused, fused_same});
+            rows.push_back({"scan_multi_q4", dim, keys, b, mscan_rate,
+                            mscan_rate / scalar_mscan, mscan_same});
+            rows.push_back({"score_select_multi_q4", dim, keys, b,
+                            mfused_rate, mfused_rate / scalar_mfused,
+                            mfused_same});
             if (!scan_same)
                 std::cerr << "FAIL: " << kernelBackendName(b)
                           << " scan survivors differ from scalar (dim "
@@ -420,16 +502,23 @@ runKernelComparison(size_t keys, int reps, const std::string &out_path)
                           << " fused score_select differs from the "
                              "unfused scalar pipeline (dim "
                           << dim << ")\n";
+            if (!mscan_same)
+                std::cerr << "FAIL: " << kernelBackendName(b)
+                          << " grouped scan differs per query from the "
+                             "scalar single-query scan (dim "
+                          << dim << ")\n";
+            if (!mfused_same)
+                std::cerr << "FAIL: " << kernelBackendName(b)
+                          << " grouped score_select differs per query "
+                             "from the scalar single-query kernel (dim "
+                          << dim << ")\n";
         }
     }
     setKernelBackend(active);
 
     std::ofstream os(out_path);
     LS_ASSERT(os.good(), "cannot write ", out_path);
-    os << "{\n  \"bench\": \"micro_kernels\",\n"
-       << "  \"active_backend\": \""
-       << kernelBackendName(detectKernelBackend()) << "\",\n"
-       << "  \"results\": [\n";
+    os << "{\n" << benchMeta("micro_kernels") << "  \"results\": [\n";
     for (size_t i = 0; i < rows.size(); ++i) {
         const KernelRow &r = rows[i];
         os << "    {\"kernel\": \"" << r.kernel << "\", \"dim\": "

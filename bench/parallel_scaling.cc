@@ -138,7 +138,9 @@ writeJson(const std::string &path, const std::vector<Row> &rows,
 {
     std::ofstream os(path);
     LS_ASSERT(os.good(), "cannot write ", path);
-    os << "{\n  \"bench\": \"parallel_scaling\",\n"
+    // benchMeta's thread count reflects the last configured pool; the
+    // per-row "threads" field is the one that varies by design.
+    os << "{\n" << benchMeta("parallel_scaling")
        << "  \"hardware_threads\": " << ThreadPool::hardwareThreads()
        << ",\n  \"decode_steps\": " << steps << ",\n  \"results\": [\n";
     for (size_t i = 0; i < rows.size(); ++i) {

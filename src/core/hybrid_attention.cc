@@ -68,18 +68,28 @@ LongSightAttn::computeHeadInto(const float *q, const KvCache &cache,
                                uint32_t kv_head,
                                HeadAttentionResult &r) const
 {
+    // The group path with one query IS the single-query path: the
+    // multi-query kernels degenerate to the single-query scan/select
+    // order, so there is exactly one implementation to keep correct.
+    computeGroupInto(q, cache.headDim(), 1, cache, kv_head, &r);
+}
+
+void
+LongSightAttn::computeGroupInto(const float *queries, size_t query_stride,
+                                uint32_t num_queries, const KvCache &cache,
+                                uint32_t kv_head,
+                                HeadAttentionResult *rs) const
+{
     const size_t n = cache.size();
     LS_ASSERT(n > 0, "attention over an empty context");
+    LS_ASSERT(num_queries > 0, "attention needs at least one query");
 
     const size_t dim = cache.headDim();
     const float scale = 1.0f / std::sqrt(static_cast<float>(dim));
 
-    r.attended.clear();
-    r.sparseRaw = r.sparseSurvivors = r.sparseSelected = 0;
-    r.usedSparse = false;
-
     size_t sinks, win_start;
     densePartition(n, sinks, win_start);
+    const size_t sparse_raw = win_start - sinks;
 
     ScratchFrame frame(ScratchArena::forThisThread());
 
@@ -89,78 +99,111 @@ LongSightAttn::computeHeadInto(const float *q, const KvCache &cache,
     // [win_start, n). Concatenating them in that order — with only the
     // small selected segment sorted by index — replaces the old
     // sort+unique over the whole list.
-    for (size_t i = 0; i < sinks; ++i)
-        r.attended.push_back(static_cast<uint32_t>(i));
+    for (uint32_t g = 0; g < num_queries; ++g) {
+        HeadAttentionResult &r = rs[g];
+        r.attended.clear();
+        r.sparseRaw = sparse_raw;
+        r.sparseSurvivors = r.sparseSelected = 0;
+        r.usedSparse = sparse_raw > 0;
+        for (size_t i = 0; i < sinks; ++i)
+            r.attended.push_back(static_cast<uint32_t>(i));
+    }
 
-    r.sparseRaw = win_start - sinks;
-    if (r.sparseRaw > 0) {
-        r.usedSparse = true;
+    if (sparse_raw > 0) {
         const int th = thresholds_[kv_head];
+        const size_t wpr = (dim + 63) / 64;
 
-        // Filter-space query and its packed signs, in scratch (a
-        // SignBits would heap-allocate its word vector).
+        // Filter-space projections and packed signs for the whole
+        // group, in scratch (a SignBits would heap-allocate).
         float *qf = frame.alloc<float>(dim);
-        cache.toFilterSpace(q, qf);
-        uint64_t *q_words = frame.alloc<uint64_t>((dim + 63) / 64);
-        packSigns(qf, dim, q_words);
+        uint64_t *q_words = frame.alloc<uint64_t>(num_queries * wpr);
+        for (uint32_t g = 0; g < num_queries; ++g) {
+            cache.toFilterSpace(queries + g * query_stride, qf);
+            packSigns(qf, dim, q_words + g * wpr);
+        }
 
-        const size_t kcap = std::min<size_t>(cfg_.topK, r.sparseRaw);
-        ScoredIndex *selected = frame.alloc<ScoredIndex>(kcap);
-        size_t nsel = 0;
+        const size_t kcap = std::min<size_t>(cfg_.topK, sparse_raw);
+        ScoredIndex *selected =
+            frame.alloc<ScoredIndex>(num_queries * kcap);
+        size_t *nsel = frame.alloc<size_t>(num_queries);
 
         if (cfg_.quantizedScoring && cache.keysQuantized()) {
             // INT8 scoring reads keys through the cache's quantized
-            // store, which the fused kernel's dot ops cannot; scan
-            // survivors into scratch and heap-select here. Same
-            // ordering contract (topk_heap), same results as the old
-            // score-vector + topkSelect formulation.
-            uint32_t *survivors = frame.alloc<uint32_t>(r.sparseRaw);
-            const size_t nsurv =
-                batchConcordanceScan(q_words, cache.filterSignsAll(),
-                                     sinks, win_start, th, survivors);
-            r.sparseSurvivors = nsurv;
-            for (size_t j = 0; j < nsurv; ++j) {
-                const float s = cache.scoreKey(q, survivors[j]) * scale;
-                nsel = topk_heap::push(selected, nsel, cfg_.topK,
-                                       ScoredIndex{s, survivors[j]});
+            // store, which the fused kernel's dot ops cannot; scan the
+            // whole group's survivors in one pass over the sign rows,
+            // then heap-select per query. Same ordering contract
+            // (topk_heap), same per-query results as the single-query
+            // formulation.
+            uint32_t *survivors =
+                frame.alloc<uint32_t>(num_queries * sparse_raw);
+            size_t *counts = frame.alloc<size_t>(num_queries);
+            batchScanMulti(q_words, num_queries, cache.filterSignsAll(),
+                           sinks, win_start, th, survivors, sparse_raw,
+                           counts);
+            for (uint32_t g = 0; g < num_queries; ++g) {
+                const float *q = queries + g * query_stride;
+                const uint32_t *surv = survivors + g * sparse_raw;
+                ScoredIndex *heap = selected + g * kcap;
+                size_t hs = 0;
+                rs[g].sparseSurvivors = counts[g];
+                for (size_t j = 0; j < counts[g]; ++j) {
+                    const float s = cache.scoreKey(q, surv[j]) * scale;
+                    hs = topk_heap::push(heap, hs, cfg_.topK,
+                                         ScoredIndex{s, surv[j]});
+                }
+                topk_heap::sortBestFirst(heap, hs);
+                nsel[g] = hs;
             }
-            topk_heap::sortBestFirst(selected, nsel);
         } else {
-            // Fused SCF → score → select (stages 1-3 in one pass):
-            // survivors stream from the concordance scan through
-            // dot-scale scoring into the bounded heap without the
-            // survivor and score vectors ever existing.
-            size_t nsurv = 0;
-            nsel = batchScoreSelect(q_words, cache.filterSignsAll(),
-                                    sinks, win_start, th, q, cache.keys(),
-                                    scale, cfg_.topK, selected, &nsurv);
-            r.sparseSurvivors = nsurv;
+            // Fused SCF → score → select for the whole group: the sign
+            // rows and survivor key tiles are read once and stream
+            // through every query's concordance test and top-k heap.
+            size_t *nsurv = frame.alloc<size_t>(num_queries);
+            batchScoreSelectMulti(q_words, num_queries,
+                                  cache.filterSignsAll(), sinks, win_start,
+                                  th, queries, query_stride, cache.keys(),
+                                  scale, cfg_.topK, selected, kcap, nsel,
+                                  nsurv);
+            for (uint32_t g = 0; g < num_queries; ++g)
+                rs[g].sparseSurvivors = nsurv[g];
         }
 
-        r.sparseSelected = nsel;
-        const size_t mid = r.attended.size();
-        for (size_t j = 0; j < nsel; ++j)
-            r.attended.push_back(selected[j].index);
-        // Score order -> index order; only this (<= k) segment needs it.
-        std::sort(r.attended.begin() + mid, r.attended.end());
+        for (uint32_t g = 0; g < num_queries; ++g) {
+            HeadAttentionResult &r = rs[g];
+            const ScoredIndex *sel = selected + g * kcap;
+            r.sparseSelected = nsel[g];
+            const size_t mid = r.attended.size();
+            for (size_t j = 0; j < nsel[g]; ++j)
+                r.attended.push_back(sel[j].index);
+            // Score order -> index order; only this (<= k) segment
+            // needs the sort.
+            std::sort(r.attended.begin() + mid, r.attended.end());
+        }
     }
 
-    for (size_t i = win_start; i < n; ++i)
-        r.attended.push_back(static_cast<uint32_t>(i));
+    for (uint32_t g = 0; g < num_queries; ++g) {
+        HeadAttentionResult &r = rs[g];
+        for (size_t i = win_start; i < n; ++i)
+            r.attended.push_back(static_cast<uint32_t>(i));
 
-    // Degenerate guard: nothing survived anywhere (possible only with
-    // W = 0, no sinks, and a maximal threshold) — attend the most
-    // recent token so the softmax stays well-defined.
-    if (r.attended.empty())
-        r.attended.push_back(static_cast<uint32_t>(n - 1));
+        // Degenerate guard: nothing survived anywhere (possible only
+        // with W = 0, no sinks, and a maximal threshold) — attend the
+        // most recent token so the softmax stays well-defined.
+        if (r.attended.empty())
+            r.attended.push_back(static_cast<uint32_t>(n - 1));
 
-    // GPU-side combined softmax and SV accumulation (Fig. 2b (5)-(7)).
-    // Probabilities are scratch; the output vector is the caller's.
-    float *probs = frame.alloc<float>(r.attended.size());
-    r.output.resize(dim);
-    subsetAttentionInto(q, cache.keys(), cache.values(),
-                        r.attended.data(), r.attended.size(), scale,
-                        probs, r.output.data());
+        // GPU-side combined softmax and SV accumulation (Fig. 2b
+        // (5)-(7)). Probabilities are scratch, reclaimed per query so
+        // the group's peak does not scale with num_queries; the output
+        // vector is the caller's.
+        ScratchFrame probs_frame(frame.arena());
+        float *probs = probs_frame.alloc<float>(r.attended.size());
+        r.output.resize(dim);
+        subsetAttentionInto(queries + g * query_stride, cache.keys(),
+                            cache.values(), r.attended.data(),
+                            r.attended.size(), scale, probs,
+                            r.output.data());
+    }
 }
 
 void

@@ -105,6 +105,21 @@ class LongSightAttn
     void computeHeadInto(const float *q, const KvCache &cache,
                          uint32_t kv_head, HeadAttentionResult &r) const;
 
+    /**
+     * Query-group form: evaluate num_queries queries that share one KV
+     * head's cache (the GQA group, or any batch of queries pinned to
+     * this KV head) in ONE pass over the cache. Query g's headDim
+     * vector is queries + g * query_stride; its result lands in rs[g].
+     * The sparse region's packed sign rows and survivor key tiles
+     * stream through every query's concordance test and top-k heap
+     * together (batchScoreSelectMulti), so the cache is read once for
+     * the whole group instead of once per query — per query, results
+     * are bit-identical to computeHeadInto.
+     */
+    void computeGroupInto(const float *queries, size_t query_stride,
+                          uint32_t num_queries, const KvCache &cache,
+                          uint32_t kv_head, HeadAttentionResult *rs) const;
+
     /** Fold a result's counts into running filter statistics. */
     static void recordStats(const HeadAttentionResult &r, FilterStats &fs);
 

@@ -42,14 +42,18 @@ MultiHeadLongSight::computeInto(const Matrix &queries,
     r.perQuery.resize(numQueryHeads_);
     const uint32_t group = groupSize();
 
-    // Query heads are independent: each reads its group's cache and
-    // writes its own slot (computeHeadInto refills the slot's buffers
-    // in place). Stats are merged serially afterwards in fixed head
-    // order, so the result is bit-identical for any thread count.
-    ThreadPool::global().parallelForEach(0, numQueryHeads_, [&](size_t q) {
-        const uint32_t kv_head = static_cast<uint32_t>(q) / group;
-        attn_.computeHeadInto(queries.row(q), caches[kv_head], kv_head,
-                              r.perQuery[q]);
+    // One work item per KV HEAD, not per query head: the item's whole
+    // GQA group shares that head's cache, so computeGroupInto streams
+    // the packed sign rows and survivor key tiles through all `group`
+    // queries in one pass instead of scanning the cache `group` times.
+    // Each item writes only its group's contiguous result slots; stats
+    // are merged serially afterwards in fixed head order, so the
+    // result is bit-identical for any thread count.
+    ThreadPool::global().parallelForEach(0, numKvHeads(), [&](size_t h) {
+        attn_.computeGroupInto(queries.row(h * group), queries.cols(),
+                               group, caches[h],
+                               static_cast<uint32_t>(h),
+                               r.perQuery.data() + h * group);
     });
     for (uint32_t q = 0; q < numQueryHeads_; ++q) {
         r.outputs.setRow(q, r.perQuery[q].output.data());

@@ -4,7 +4,9 @@
  * numQueryHeads query vectors attend through numKvHeads KV caches
  * (each GQA group of groupSize() queries shares one cache and one SCF
  * threshold). This is the layer-level API a serving integration uses;
- * LongSightAttn::computeHead is the per-head primitive underneath.
+ * LongSightAttn::computeGroupInto is the per-KV-head primitive
+ * underneath — one thread-pool work item per KV head scans that head's
+ * cache once for its whole query group (not once per query head).
  */
 
 #ifndef LONGSIGHT_CORE_MULTI_HEAD_HH

@@ -139,7 +139,11 @@ class Nma
   private:
     /**
      * Functional filtering of one epoch, entirely on caller (scratch)
-     * storage. query_words holds numQueries packed sign rows of
+     * storage. Each 128-key block's sign rows are streamed ONCE
+     * through the whole query group (Pfu::filterBlock's multi-query
+     * path), matching the hardware PFU's dataflow of testing all
+     * in-flight queries against a key word as it passes by.
+     * query_words holds numQueries packed sign rows of
      * words_per_query words each. Per-query survivor lists land in
      * per_query (numQueries rows of `stride` capacity; each query
      * ranks only keys its own bitmap kept) with counts in

@@ -1,5 +1,6 @@
 #include "drex/pfu.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "tensor/kernels.hh"
@@ -77,13 +78,23 @@ Pfu::filterBlock(const std::vector<SignBits> &query_signs,
               "PFU supports 1..16 queries per offload, got ",
               query_signs.size());
 
-    std::vector<Bitmap128> bitmaps;
-    bitmaps.reserve(query_signs.size());
-    for (const SignBits &qs : query_signs) {
-        uint64_t words[2];
-        concordanceBitmap(qs, keys, begin, num_keys, threshold, words);
-        bitmaps.push_back(Bitmap128::fromWords(words[0], words[1]));
+    // Pack the group's sign words contiguously so the whole block is
+    // filtered in ONE pass over its sign rows (the hardware PFU tests
+    // every in-flight query against a key word as it streams by; the
+    // multi-query kernel is the software twin of that dataflow).
+    const size_t wpr = keys.wordsPerRow();
+    std::vector<uint64_t> q_words(query_signs.size() * wpr);
+    for (size_t q = 0; q < query_signs.size(); ++q) {
+        LS_ASSERT(query_signs[q].dim() == keys.dim(),
+                  "PFU query/key dim mismatch");
+        std::copy(query_signs[q].words().begin(),
+                  query_signs[q].words().end(),
+                  q_words.begin() + q * wpr);
     }
+    std::vector<Bitmap128> bitmaps(query_signs.size());
+    filterBlock(q_words.data(), wpr,
+                static_cast<uint32_t>(query_signs.size()), keys, begin,
+                num_keys, threshold, bitmaps.data());
     return bitmaps;
 }
 
@@ -95,13 +106,18 @@ Pfu::filterBlock(const uint64_t *query_words, size_t words_per_query,
     LS_ASSERT(num_keys <= kBlockKeys, "PFU block holds at most 128 keys");
     LS_ASSERT(num_queries >= 1 && num_queries <= kMaxQueries,
               "PFU supports 1..16 queries per offload, got ", num_queries);
+    LS_ASSERT(words_per_query == keys.wordsPerRow(),
+              "PFU packed query width ", words_per_query,
+              " != sign-matrix row width ", keys.wordsPerRow());
 
-    for (uint32_t q = 0; q < num_queries; ++q) {
-        uint64_t words[2];
-        concordanceBitmap(query_words + q * words_per_query, keys, begin,
-                          num_keys, threshold, words);
-        bitmaps[q] = Bitmap128::fromWords(words[0], words[1]);
-    }
+    // One streaming pass over the block's sign rows serves the whole
+    // query group (concordanceBitmapMulti), instead of re-reading the
+    // block once per query.
+    uint64_t words[2 * kMaxQueries];
+    concordanceBitmapMulti(query_words, num_queries, keys, begin, num_keys,
+                           threshold, words);
+    for (uint32_t q = 0; q < num_queries; ++q)
+        bitmaps[q] = Bitmap128::fromWords(words[q * 2], words[q * 2 + 1]);
 }
 
 Tick

@@ -61,6 +61,8 @@ runBatchSchedule(std::vector<ServingJob> jobs, const EngineModel &engine)
             ServingJob job = waiting.front();
             waiting.pop_front();
             now += engine.prefillTime(job.promptLen);
+            if (engine.onAdmit)
+                engine.onAdmit(job);
             ActiveJob aj;
             aj.job = job;
             aj.context = job.promptLen;
@@ -99,6 +101,8 @@ runBatchSchedule(std::vector<ServingJob> jobs, const EngineModel &engine)
                 m.completion = now;
                 m.tokens = it->generated;
                 result.jobs.push_back(m);
+                if (engine.onRetire)
+                    engine.onRetire(it->job.id);
                 it = active.erase(it);
             } else {
                 ++it;

@@ -61,6 +61,18 @@ struct EngineModel
 
     /** Max jobs resident at once (KV capacity / queue depth). */
     uint32_t maxBatch = 8;
+
+    /**
+     * Optional residency hooks. A functional engine (e.g. one real
+     * DecodePipeline per resident job, stepped together through the
+     * grouped batch-decode path) uses them to mirror the scheduler's
+     * admit/retire decisions: onAdmit fires after the job's prefill is
+     * charged, just before it joins the batch; onRetire fires when the
+     * job leaves (drain), so the slot can be refilled by the next
+     * admission. Both may be null.
+     */
+    std::function<void(const ServingJob &job)> onAdmit;
+    std::function<void(uint32_t job_id)> onRetire;
 };
 
 /**

@@ -22,6 +22,9 @@ DecodePipeline::DecodePipeline(const PipelineConfig &cfg, DrexDevice &device,
               "GQA requires query heads % KV heads == 0");
     LS_ASSERT(device.config().headDim == cfg.headDim,
               "device head dim mismatch");
+    // The query-head -> KV-head mapping is fixed for the pipeline's
+    // lifetime; derive it once here, not per decode step.
+    group_ = cfg_.numQueryHeads / cfg_.numKvHeads;
     WorkloadConfig wcfg;
     wcfg.headDim = cfg_.headDim;
     Rng root(cfg_.seed);
@@ -131,8 +134,82 @@ DecodePipeline::flushEligibleGroups()
 PipelineStepResult
 DecodePipeline::decodeStep()
 {
-    PipelineStepResult result;
+    // The batch path with one request IS the single-request path; the
+    // per-layer phases run in exactly the order the pre-batch step
+    // did, so there is one implementation to keep correct.
+    std::vector<DecodePipeline *> one{this};
+    std::vector<PipelineStepResult> results;
+    decodeStepBatch(one, results);
+    return results.front();
+}
 
+GroupedScanStats
+DecodePipeline::decodeStepBatch(const std::vector<DecodePipeline *> &batch,
+                                std::vector<PipelineStepResult> &results)
+{
+    GroupedScanStats stats;
+    results.clear();
+    results.resize(batch.size());
+    if (batch.empty())
+        return stats;
+    stats.requests = batch.size();
+    const PipelineConfig &shape = batch.front()->cfg_;
+    for (const DecodePipeline *p : batch)
+        LS_ASSERT(p->cfg_.numLayers == shape.numLayers &&
+                      p->cfg_.numQueryHeads == shape.numQueryHeads &&
+                      p->cfg_.numKvHeads == shape.numKvHeads &&
+                      p->cfg_.headDim == shape.headDim,
+                  "batched decode requires a uniform model shape");
+
+    // Phases 1-2 per request: token append and bulk flush only touch
+    // the request's own state.
+    for (size_t ri = 0; ri < batch.size(); ++ri)
+        batch[ri]->stepAppendAndFlush(results[ri]);
+
+    const size_t nreq = batch.size();
+    std::vector<std::vector<AttentionResponse>> responses(nreq);
+    std::vector<uint8_t> offloaded(nreq, 0);
+
+    for (uint32_t l = 0; l < shape.numLayers; ++l) {
+        // Phase 3 per request: draw the layer's grouped queries and
+        // run the device offload (FIFO per request, as one request at
+        // a time would).
+        for (size_t ri = 0; ri < nreq; ++ri)
+            offloaded[ri] = batch[ri]->stepOffloadLayer(
+                                l, results[ri], responses[ri])
+                ? 1
+                : 0;
+
+        // Phase 4, grouped across the batch: one work item per
+        // (KV head, request), KV-head-major, so every request's
+        // queries against the same (layer, KV head) are adjacent in
+        // the dispatch order. Each item combines and verifies its
+        // head's WHOLE query group with one grouped scan. Items write
+        // disjoint per-request lane slots; verdicts fold serially per
+        // request, so results are bit-identical for any thread count
+        // and any batch composition.
+        ThreadPool::global().parallelForEach(
+            0, nreq * shape.numKvHeads, [&](size_t item) {
+                const auto h = static_cast<uint32_t>(item / nreq);
+                const size_t ri = item % nreq;
+                batch[ri]->stepCombineHead(l, h, offloaded[ri] != 0,
+                                           responses[ri]);
+            });
+        for (size_t ri = 0; ri < nreq; ++ri) {
+            batch[ri]->stepFoldLayer(results[ri]);
+            stats.groupedItems += shape.numKvHeads;
+            if (offloaded[ri]) {
+                stats.scanPasses += shape.numKvHeads;
+                stats.ungroupedEquivalent += shape.numQueryHeads;
+            }
+        }
+    }
+    return stats;
+}
+
+void
+DecodePipeline::stepAppendAndFlush(PipelineStepResult &result)
+{
     // 1. New token: every (layer, head) appends one KV pair.
     ThreadPool::global().parallelForEach(
         0, workloads_.size(), [&](size_t idx) {
@@ -149,163 +226,193 @@ DecodePipeline::decodeStep()
     result.tokensFlushed = (flushed_ - before) * cfg_.numLayers *
         cfg_.numKvHeads;
 
-    const size_t n = contextLength();
-    const size_t sinks = std::min<size_t>(cfg_.hybrid.sinkTokens, n);
-    const uint32_t group = cfg_.numQueryHeads / cfg_.numKvHeads;
-    const float scale =
-        1.0f / std::sqrt(static_cast<float>(cfg_.headDim));
-
     stepQueries_.resize(cfg_.numKvHeads);
     stepFilterQueries_.resize(cfg_.numKvHeads);
+}
 
-    for (uint32_t l = 0; l < cfg_.numLayers; ++l) {
-        // 3. Request: one offload per KV head, grouped GQA queries.
-        std::vector<Matrix> &queries = stepQueries_;
-        std::vector<Matrix> &filter_queries = stepFilterQueries_;
-        AttentionRequest req;
-        req.uid = uid_;
-        req.layer = l;
-        const bool offload = flushed_ > sinks;
-        // Draw the layer's queries in parallel: each KV head advances
-        // only its own workload RNG, so the streams are the same ones
-        // a serial loop would produce.
-        ThreadPool::global().parallelForEach(
-            0, cfg_.numKvHeads, [&](size_t hi) {
-                const auto h = static_cast<uint32_t>(hi);
-                HeadWorkload &wl = workloads_[l * cfg_.numKvHeads + h];
-                const KvCache &cache = gpuCache(l, h);
-                queries[h].resize(group, cfg_.headDim);
-                filter_queries[h].resize(group, cfg_.headDim);
-                for (uint32_t g = 0; g < group; ++g) {
-                    const auto q = wl.drawQuery();
-                    queries[h].setRow(g, q.data());
-                    cache.toFilterSpace(q.data(), filter_queries[h].row(g));
-                }
-            });
-        for (uint32_t h = 0; h < cfg_.numKvHeads; ++h) {
-            if (!offload)
-                continue;
-            OffloadSpec spec;
-            spec.user = uid_;
-            spec.layer = l;
-            spec.kvHead = h;
-            spec.sparseBegin = sinks;
-            spec.sparseEnd = flushed_;
-            spec.numQueries = group;
-            spec.k = cfg_.hybrid.topK;
-            spec.threshold = cfg_.hybrid.defaultThreshold;
-            spec.cache = &device_.context(uid_, l, h);
-            spec.queries = &queries[h];
-            spec.filterQueries = &filter_queries[h];
-            req.headOffloads.push_back(spec);
-        }
+bool
+DecodePipeline::stepOffloadLayer(uint32_t l, PipelineStepResult &result,
+                                 std::vector<AttentionResponse> &responses)
+{
+    const size_t n = contextLength();
+    const size_t sinks = std::min<size_t>(cfg_.hybrid.sinkTokens, n);
 
-        std::vector<AttentionResponse> responses;
-        if (offload) {
-            device_.submit(std::move(req));
-            responses = device_.processAll();
-            ++result.offloadsIssued;
-        }
-
-        // 4. GPU-side combine + verification per query head. Lanes
-        // (one per query) only read shared state; their verdicts land
-        // in per-lane slots and fold into the step result with
-        // order-independent reductions (min / logical and). All lane
-        // buffers come from the lane's scratch arena, so the steady
-        // state performs no heap allocation here.
-        const size_t lanes =
-            static_cast<size_t>(cfg_.numKvHeads) * group;
-        laneMass_.assign(lanes, 1.0);
-        laneMatched_.assign(lanes, 1);
-        ThreadPool::global().parallelForEach(0, lanes, [&](size_t lane) {
-            const auto h = static_cast<uint32_t>(lane / group);
-            const auto g = static_cast<uint32_t>(lane % group);
+    // 3. Request: one offload per KV head, grouped GQA queries.
+    std::vector<Matrix> &queries = stepQueries_;
+    std::vector<Matrix> &filter_queries = stepFilterQueries_;
+    AttentionRequest req;
+    req.uid = uid_;
+    req.layer = l;
+    const bool offload = flushed_ > sinks;
+    // Draw the layer's queries in parallel: each KV head advances
+    // only its own workload RNG, so the streams are the same ones
+    // a serial loop would produce.
+    ThreadPool::global().parallelForEach(
+        0, cfg_.numKvHeads, [&](size_t hi) {
+            const auto h = static_cast<uint32_t>(hi);
+            HeadWorkload &wl = workloads_[l * cfg_.numKvHeads + h];
             const KvCache &cache = gpuCache(l, h);
-            ScratchFrame frame(ScratchArena::forThisThread());
-
-            // Dense part: sinks, device top-k, and everything not yet
-            // flushed (window plus staging buffer). The three sources
-            // are disjoint ascending ranges — the top-k lives in
-            // [sinks, flushed_) and the staged tail starts at
-            // max(flushed_, sinks) — so concatenating them in order
-            // replaces the old sort + unique.
-            const size_t staged_begin = std::max(flushed_, sinks);
-            uint32_t *attended = frame.alloc<uint32_t>(
-                sinks + (n - staged_begin) + cfg_.hybrid.topK);
-            size_t na = 0;
-            for (size_t i = 0; i < sinks; ++i)
-                attended[na++] = static_cast<uint32_t>(i);
-
-            uint32_t *hw_topk = nullptr;
-            size_t n_hw = 0;
-            if (offload) {
-                const auto &head_result = responses[0].headResults[h];
-                const auto &tk = head_result.topk[g];
-                n_hw = tk.size();
-                hw_topk = frame.alloc<uint32_t>(n_hw);
-                for (size_t i = 0; i < n_hw; ++i)
-                    hw_topk[i] = tk[i].index;
-                std::sort(hw_topk, hw_topk + n_hw);
-                for (size_t i = 0; i < n_hw; ++i)
-                    attended[na++] = hw_topk[i];
+            queries[h].resize(group_, cfg_.headDim);
+            filter_queries[h].resize(group_, cfg_.headDim);
+            for (uint32_t g = 0; g < group_; ++g) {
+                const auto q = wl.drawQuery();
+                queries[h].setRow(g, q.data());
+                cache.toFilterSpace(q.data(), filter_queries[h].row(g));
             }
-            for (size_t i = staged_begin; i < n; ++i)
-                attended[na++] = static_cast<uint32_t>(i);
-
-            const float *q = queries[h].row(g);
-            float *probs = frame.alloc<float>(na);
-            float *combined = frame.alloc<float>(cfg_.headDim);
-            subsetAttentionInto(q, cache.keys(), cache.values(),
-                                attended, na, scale, probs, combined);
-            (void)combined;
-
-            // Verification A: device top-k equals the software
-            // filter -> score -> rank over the same region, run here
-            // through the fused scan -> score -> select kernel.
-            if (offload) {
-                float *qf = frame.alloc<float>(cfg_.headDim);
-                cache.toFilterSpace(q, qf);
-                const SignMatrix &signs = cache.filterSignsAll();
-                uint64_t *qw =
-                    frame.alloc<uint64_t>(signs.wordsPerRow());
-                packSigns(qf, cfg_.headDim, qw);
-                const size_t kcap = std::min<size_t>(
-                    cfg_.hybrid.topK, flushed_ - sinks);
-                ScoredIndex *expect = frame.alloc<ScoredIndex>(kcap);
-                const size_t nsel = batchScoreSelect(
-                    qw, signs, sinks, flushed_,
-                    cfg_.hybrid.defaultThreshold, q, cache.keys(),
-                    scale, cfg_.hybrid.topK, expect);
-                bool matched = nsel == n_hw;
-                if (matched) {
-                    uint32_t *sw = frame.alloc<uint32_t>(nsel);
-                    for (size_t i = 0; i < nsel; ++i)
-                        sw[i] = expect[i].index;
-                    std::sort(sw, sw + nsel);
-                    matched = std::equal(sw, sw + nsel, hw_topk);
-                }
-                if (!matched)
-                    laneMatched_[lane] = 0;
-            }
-
-            // Verification B: retained dense softmax mass.
-            float *dense_probs = frame.alloc<float>(n);
-            float *dense_out = frame.alloc<float>(cfg_.headDim);
-            denseAttentionInto(q, cache.keys(), cache.values(), scale,
-                               dense_probs, dense_out);
-            double mass = 0.0;
-            for (size_t i = 0; i < na; ++i)
-                mass += dense_probs[attended[i]];
-            laneMass_[lane] = mass;
         });
-        for (size_t lane = 0; lane < lanes; ++lane) {
-            result.minRetainedMass =
-                std::min(result.minRetainedMass, laneMass_[lane]);
-            if (!laneMatched_[lane])
-                result.deviceMatchedSoftware = false;
-        }
+    for (uint32_t h = 0; h < cfg_.numKvHeads; ++h) {
+        if (!offload)
+            continue;
+        OffloadSpec spec;
+        spec.user = uid_;
+        spec.layer = l;
+        spec.kvHead = h;
+        spec.sparseBegin = sinks;
+        spec.sparseEnd = flushed_;
+        spec.numQueries = group_;
+        spec.k = cfg_.hybrid.topK;
+        spec.threshold = cfg_.hybrid.defaultThreshold;
+        spec.cache = &device_.context(uid_, l, h);
+        spec.queries = &queries[h];
+        spec.filterQueries = &filter_queries[h];
+        req.headOffloads.push_back(spec);
     }
-    return result;
+
+    responses.clear();
+    if (offload) {
+        device_.submit(std::move(req));
+        responses = device_.processAll();
+        ++result.offloadsIssued;
+    }
+
+    // Fresh lane verdicts for this layer's combine phase.
+    const size_t lanes = static_cast<size_t>(cfg_.numKvHeads) * group_;
+    laneMass_.assign(lanes, 1.0);
+    laneMatched_.assign(lanes, 1);
+    return offload;
+}
+
+void
+DecodePipeline::stepCombineHead(
+    uint32_t l, uint32_t h, bool offload,
+    const std::vector<AttentionResponse> &responses)
+{
+    const size_t n = contextLength();
+    const size_t sinks = std::min<size_t>(cfg_.hybrid.sinkTokens, n);
+    const float scale =
+        1.0f / std::sqrt(static_cast<float>(cfg_.headDim));
+    const KvCache &cache = gpuCache(l, h);
+    const Matrix &queries = stepQueries_[h];
+    ScratchFrame frame(ScratchArena::forThisThread());
+
+    // Verification A precompute, grouped: ONE scan over the offloaded
+    // region [sinks, flushed_) serves the head's whole query group —
+    // the sign rows and survivor key tiles stream through all group_
+    // concordance tests and top-k heaps together, where the per-query
+    // dispatch re-read them group_ times. Per query the expected
+    // selection is bit-identical to the single-query kernel.
+    ScoredIndex *expect = nullptr;
+    size_t *expect_sizes = nullptr;
+    size_t kcap = 0;
+    if (offload) {
+        const SignMatrix &signs = cache.filterSignsAll();
+        const size_t wpr = signs.wordsPerRow();
+        uint64_t *qw = frame.alloc<uint64_t>(group_ * wpr);
+        for (uint32_t g = 0; g < group_; ++g)
+            packSigns(stepFilterQueries_[h].row(g), cfg_.headDim,
+                      qw + g * wpr);
+        kcap = std::min<size_t>(cfg_.hybrid.topK, flushed_ - sinks);
+        expect = frame.alloc<ScoredIndex>(group_ * kcap);
+        expect_sizes = frame.alloc<size_t>(group_);
+        batchScoreSelectMulti(qw, group_, signs, sinks, flushed_,
+                              cfg_.hybrid.defaultThreshold,
+                              queries.row(0), queries.cols(),
+                              cache.keys(), scale, cfg_.hybrid.topK,
+                              expect, kcap, expect_sizes);
+    }
+
+    // GPU-side combine + verification, per query of the group. Lane
+    // buffers come from this thread's scratch arena, reclaimed per
+    // query; verdicts land in this head's disjoint lane slots.
+    for (uint32_t g = 0; g < group_; ++g) {
+        const size_t lane = static_cast<size_t>(h) * group_ + g;
+        ScratchFrame lane_frame(frame.arena());
+
+        // Dense part: sinks, device top-k, and everything not yet
+        // flushed (window plus staging buffer). The three sources
+        // are disjoint ascending ranges — the top-k lives in
+        // [sinks, flushed_) and the staged tail starts at
+        // max(flushed_, sinks) — so concatenating them in order
+        // replaces the old sort + unique.
+        const size_t staged_begin = std::max(flushed_, sinks);
+        uint32_t *attended = lane_frame.alloc<uint32_t>(
+            sinks + (n - staged_begin) + cfg_.hybrid.topK);
+        size_t na = 0;
+        for (size_t i = 0; i < sinks; ++i)
+            attended[na++] = static_cast<uint32_t>(i);
+
+        uint32_t *hw_topk = nullptr;
+        size_t n_hw = 0;
+        if (offload) {
+            const auto &head_result = responses[0].headResults[h];
+            const auto &tk = head_result.topk[g];
+            n_hw = tk.size();
+            hw_topk = lane_frame.alloc<uint32_t>(n_hw);
+            for (size_t i = 0; i < n_hw; ++i)
+                hw_topk[i] = tk[i].index;
+            std::sort(hw_topk, hw_topk + n_hw);
+            for (size_t i = 0; i < n_hw; ++i)
+                attended[na++] = hw_topk[i];
+        }
+        for (size_t i = staged_begin; i < n; ++i)
+            attended[na++] = static_cast<uint32_t>(i);
+
+        const float *q = queries.row(g);
+        float *probs = lane_frame.alloc<float>(na);
+        float *combined = lane_frame.alloc<float>(cfg_.headDim);
+        subsetAttentionInto(q, cache.keys(), cache.values(), attended,
+                            na, scale, probs, combined);
+        (void)combined;
+
+        // Verification A: device top-k equals the software filter ->
+        // score -> rank selection precomputed by the grouped scan.
+        if (offload) {
+            const ScoredIndex *sel = expect + g * kcap;
+            const size_t nsel = expect_sizes[g];
+            bool matched = nsel == n_hw;
+            if (matched) {
+                uint32_t *sw = lane_frame.alloc<uint32_t>(nsel);
+                for (size_t i = 0; i < nsel; ++i)
+                    sw[i] = sel[i].index;
+                std::sort(sw, sw + nsel);
+                matched = std::equal(sw, sw + nsel, hw_topk);
+            }
+            if (!matched)
+                laneMatched_[lane] = 0;
+        }
+
+        // Verification B: retained dense softmax mass.
+        float *dense_probs = lane_frame.alloc<float>(n);
+        float *dense_out = lane_frame.alloc<float>(cfg_.headDim);
+        denseAttentionInto(q, cache.keys(), cache.values(), scale,
+                           dense_probs, dense_out);
+        double mass = 0.0;
+        for (size_t i = 0; i < na; ++i)
+            mass += dense_probs[attended[i]];
+        laneMass_[lane] = mass;
+    }
+}
+
+void
+DecodePipeline::stepFoldLayer(PipelineStepResult &result)
+{
+    const size_t lanes = static_cast<size_t>(cfg_.numKvHeads) * group_;
+    for (size_t lane = 0; lane < lanes; ++lane) {
+        result.minRetainedMass =
+            std::min(result.minRetainedMass, laneMass_[lane]);
+        if (!laneMatched_[lane])
+            result.deviceMatchedSoftware = false;
+    }
 }
 
 } // namespace longsight

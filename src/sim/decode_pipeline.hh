@@ -12,6 +12,13 @@
  * it doubles as the strongest cross-module correctness check (the
  * GPU-side and device-side states evolve independently and must stay
  * consistent token by token).
+ *
+ * Attention work is dispatched per (layer, KV HEAD): each work item
+ * serves its head's whole GQA query group with one pass over the
+ * cache (the grouped multi-query kernels), and decodeStepBatch
+ * extends the same grouping across concurrent requests — all queries
+ * that hit the same (layer, KV head) across a serving batch are
+ * adjacent in the dispatch order.
  */
 
 #ifndef LONGSIGHT_SIM_DECODE_PIPELINE_HH
@@ -25,6 +32,7 @@
 #include "core/kv_cache.hh"
 #include "drex/drex_device.hh"
 #include "model/workload.hh"
+#include "sim/serving.hh"
 
 namespace longsight {
 
@@ -71,6 +79,22 @@ class DecodePipeline
     /** Generate one token: append KV, maybe flush, offload, combine. */
     PipelineStepResult decodeStep();
 
+    /**
+     * Batched decode step for several concurrent requests (one
+     * pipeline per resident serving job; all must share one model
+     * shape). Produces results[i] bit-identical to calling
+     * batch[i]->decodeStep() in order — only the work-item dispatch
+     * changes: within each layer, combine/verify items are issued
+     * KV-head-major across the whole batch, so every request's queries
+     * against the same (layer, KV head) are adjacent and each item
+     * serves its whole GQA group with ONE pass over that head's cache
+     * (batchScoreSelectMulti). Returns the step's scan-amortization
+     * accounting.
+     */
+    static GroupedScanStats decodeStepBatch(
+        const std::vector<DecodePipeline *> &batch,
+        std::vector<PipelineStepResult> &results);
+
     /** Current context length (tokens). */
     size_t contextLength() const;
 
@@ -80,14 +104,36 @@ class DecodePipeline
     /** Tokens still staged GPU-side beyond the flushed prefix. */
     size_t stagedTokens() const { return contextLength() - flushed_; }
 
+    /** Query heads sharing each KV head (fixed GQA group size). */
+    uint32_t groupSize() const { return group_; }
+
   private:
     KvCache &gpuCache(uint32_t layer, uint32_t head);
     void flushEligibleGroups();
     void maybeTrainItq();
 
+    /** Step phase 1-2: append one token everywhere, flush, size the
+     *  per-step scratch. */
+    void stepAppendAndFlush(PipelineStepResult &result);
+    /** Step phase 3 for one layer: draw the grouped queries, submit
+     *  the offload, drain responses. Returns whether an offload was
+     *  issued (false while the flushed prefix is still dense). */
+    bool stepOffloadLayer(uint32_t layer, PipelineStepResult &result,
+                          std::vector<AttentionResponse> &responses);
+    /** Step phase 4 for one (layer, KV head): combine + verify the
+     *  head's WHOLE query group — one grouped scan serves all its
+     *  queries' verifications. Writes only this head's lane slots. */
+    void stepCombineHead(uint32_t layer, uint32_t kv_head, bool offload,
+                         const std::vector<AttentionResponse> &responses);
+    /** Fold the layer's lane verdicts into the step result. */
+    void stepFoldLayer(PipelineStepResult &result);
+
     PipelineConfig cfg_;
     DrexDevice &device_;
     uint32_t uid_;
+    /** Query-head -> KV-head group size, derived once at construction
+     *  (numQueryHeads / numKvHeads) instead of per decode step. */
+    uint32_t group_ = 1;
     // One workload per (layer, KV head) drives keys/values/queries.
     std::vector<HeadWorkload> workloads_;
     std::vector<std::unique_ptr<KvCache>> gpuCaches_;

@@ -3,6 +3,24 @@
 namespace longsight {
 
 void
+GroupedScanStats::merge(const GroupedScanStats &o)
+{
+    requests += o.requests;
+    groupedItems += o.groupedItems;
+    scanPasses += o.scanPasses;
+    ungroupedEquivalent += o.ungroupedEquivalent;
+}
+
+double
+GroupedScanStats::amortization() const
+{
+    if (scanPasses == 0)
+        return 1.0;
+    return static_cast<double>(ungroupedEquivalent) /
+        static_cast<double>(scanPasses);
+}
+
+void
 ServingResult::finalize()
 {
     if (!feasible || stepTime == 0 || users == 0) {

@@ -41,6 +41,29 @@ struct StepBreakdown
 };
 
 /**
+ * Scan-amortization accounting for a batched decode step: how many
+ * KV-cache passes the grouped (per-KV-head) dispatch actually ran
+ * versus how many the ungrouped per-query-head dispatch would have
+ * run over the same work. Under the paper's GQA Table-1 shapes the
+ * ratio is the group size (e.g. 4 for 32 query heads / 8 KV heads);
+ * batching concurrent requests keeps the ratio while multiplying the
+ * work items that enjoy it.
+ */
+struct GroupedScanStats
+{
+    uint64_t requests = 0;     //!< pipelines stepped in the batch
+    uint64_t groupedItems = 0; //!< (layer, KV head, request) work items
+    uint64_t scanPasses = 0;   //!< grouped cache scans actually run
+    uint64_t ungroupedEquivalent = 0; //!< per-query-head scans replaced
+
+    /** Accumulate another batch step's counters. */
+    void merge(const GroupedScanStats &o);
+
+    /** ungroupedEquivalent / scanPasses (1.0 when nothing scanned). */
+    double amortization() const;
+};
+
+/**
  * Outcome of one serving configuration (model, context, users).
  */
 struct ServingResult

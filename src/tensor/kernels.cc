@@ -76,8 +76,45 @@ scalarDotAt(const float *q, const float *keys, size_t stride, size_t dim,
     }
 }
 
+void
+scalarScanMulti(const uint64_t *qs, size_t num_queries,
+                const uint64_t *signs, size_t wpr, size_t rows, int dim,
+                int threshold, uint32_t base, uint32_t *out, size_t stride,
+                size_t *counts)
+{
+    // Row-major walk: each sign row is read once and tested against
+    // every query while it is hot. Per query the emission order is
+    // ascending rows — exactly scalarScan's.
+    for (size_t r = 0; r < rows; ++r) {
+        const uint64_t *row = signs + r * wpr;
+        for (size_t q = 0; q < num_queries; ++q) {
+            if (rowConcordance(qs + q * wpr, row, wpr, dim) >= threshold)
+                out[q * stride + counts[q]++] =
+                    base + static_cast<uint32_t>(r);
+        }
+    }
+}
+
+void
+scalarBitmapMulti(const uint64_t *qs, size_t num_queries,
+                  const uint64_t *signs, size_t wpr, size_t rows, int dim,
+                  int threshold, uint64_t *out)
+{
+    for (size_t i = 0; i < 2 * num_queries; ++i)
+        out[i] = 0;
+    for (size_t r = 0; r < rows; ++r) {
+        const uint64_t *row = signs + r * wpr;
+        const uint64_t bit = uint64_t{1} << (r & 63);
+        for (size_t q = 0; q < num_queries; ++q) {
+            if (rowConcordance(qs + q * wpr, row, wpr, dim) >= threshold)
+                out[q * 2 + (r >> 6)] |= bit;
+        }
+    }
+}
+
 const KernelOps kScalarOps = {scalarConcordance, scalarScan, scalarBitmap,
-                              scalarDotAt};
+                              scalarDotAt, scalarScanMulti,
+                              scalarBitmapMulti};
 
 } // namespace
 
@@ -348,6 +385,132 @@ batchScoreSelect(const uint64_t *query_words, const SignMatrix &signs,
     if (survivor_count)
         *survivor_count = survivors;
     return heap_size;
+}
+
+void
+batchScanMulti(const uint64_t *query_words, size_t num_queries,
+               const SignMatrix &m, size_t begin, size_t end, int threshold,
+               uint32_t *survivors, size_t stride, size_t *counts)
+{
+    LS_ASSERT(begin <= end && end <= m.rows(), "batchScanMulti range [",
+              begin, ",", end, ") out of ", m.rows());
+    LS_ASSERT(stride >= end - begin, "batchScanMulti stride ", stride,
+              " < range ", end - begin);
+    for (size_t q = 0; q < num_queries; ++q)
+        counts[q] = 0;
+    if (begin == end || num_queries == 0)
+        return;
+    const size_t wpr = m.wordsPerRow();
+    for (size_t q0 = 0; q0 < num_queries; q0 += kMaxScanQueries) {
+        const size_t nq = std::min(kMaxScanQueries, num_queries - q0);
+        ops().scanMulti(query_words + q0 * wpr, nq,
+                        m.data() + begin * wpr, wpr, end - begin,
+                        static_cast<int>(m.dim()), threshold,
+                        static_cast<uint32_t>(begin),
+                        survivors + q0 * stride, stride, counts + q0);
+    }
+}
+
+void
+concordanceBitmapMulti(const uint64_t *query_words, size_t num_queries,
+                       const SignMatrix &m, size_t begin, uint32_t num_keys,
+                       int threshold, uint64_t *out)
+{
+    LS_ASSERT(num_keys <= 128,
+              "concordanceBitmapMulti holds at most 128 keys");
+    LS_ASSERT(begin + num_keys <= m.rows(), "concordanceBitmapMulti ",
+              "range [", begin, ",", begin + num_keys, ") out of ",
+              m.rows());
+    if (num_keys == 0) {
+        for (size_t i = 0; i < 2 * num_queries; ++i)
+            out[i] = 0;
+        return;
+    }
+    if (num_queries == 0)
+        return;
+    const size_t wpr = m.wordsPerRow();
+    for (size_t q0 = 0; q0 < num_queries; q0 += kMaxScanQueries) {
+        const size_t nq = std::min(kMaxScanQueries, num_queries - q0);
+        ops().bitmapMulti(query_words + q0 * wpr, nq,
+                          m.data() + begin * wpr, wpr, num_keys,
+                          static_cast<int>(m.dim()), threshold,
+                          out + q0 * 2);
+    }
+}
+
+void
+batchScoreSelectMulti(const uint64_t *query_words, size_t num_queries,
+                      const SignMatrix &signs, size_t begin, size_t end,
+                      int threshold, const float *queries,
+                      size_t query_stride, const Matrix &keys, float scale,
+                      size_t k, ScoredIndex *out, size_t out_stride,
+                      size_t *out_sizes, size_t *survivor_counts)
+{
+    LS_ASSERT(begin <= end && end <= signs.rows(),
+              "batchScoreSelectMulti range [", begin, ",", end, ") out of ",
+              signs.rows());
+    LS_ASSERT(end <= keys.rows(), "batchScoreSelectMulti sign/key row "
+              "mismatch: ", end, " > ", keys.rows());
+    LS_ASSERT(k > 0, "batchScoreSelectMulti k must be positive");
+    LS_ASSERT(out_stride >= std::min(k, end - begin),
+              "batchScoreSelectMulti out_stride ", out_stride,
+              " < heap capacity ", std::min(k, end - begin));
+
+    for (size_t q = 0; q < num_queries; ++q) {
+        out_sizes[q] = 0;
+        if (survivor_counts)
+            survivor_counts[q] = 0;
+    }
+    if (begin == end || num_queries == 0)
+        return;
+
+    // Same tile size as batchScoreSelect: the per-query tile survivor
+    // lists are then exactly the single-query tile lists, so heap push
+    // order — and therefore every per-query result — is identical by
+    // construction. Within a tile the key rows a group's survivors
+    // gather from overlap heavily, so the shared pass also reuses key
+    // tiles while they are hot, not just the packed sign rows.
+    constexpr size_t kTile = 512;
+    uint32_t idx[kMaxScanQueries * kTile];
+    float score[kTile];
+    size_t tile_counts[kMaxScanQueries];
+
+    const detail::KernelOps &o = ops();
+    const size_t wpr = signs.wordsPerRow();
+    const int dim = static_cast<int>(signs.dim());
+
+    for (size_t q0 = 0; q0 < num_queries; q0 += kMaxScanQueries) {
+        const size_t nq = std::min(kMaxScanQueries, num_queries - q0);
+        for (size_t at = begin; at < end; at += kTile) {
+            const size_t rows = std::min(kTile, end - at);
+            for (size_t qi = 0; qi < nq; ++qi)
+                tile_counts[qi] = 0;
+            o.scanMulti(query_words + q0 * wpr, nq,
+                        signs.data() + at * wpr, wpr, rows, dim, threshold,
+                        static_cast<uint32_t>(at), idx, kTile,
+                        tile_counts);
+            for (size_t qi = 0; qi < nq; ++qi) {
+                const size_t n = tile_counts[qi];
+                if (n == 0)
+                    continue;
+                const size_t q = q0 + qi;
+                if (survivor_counts)
+                    survivor_counts[q] += n;
+                const uint32_t *qidx = idx + qi * kTile;
+                o.dotAt(queries + q * query_stride, keys.data(),
+                        keys.cols(), keys.cols(), qidx, 0, n, scale,
+                        score);
+                ScoredIndex *heap = out + q * out_stride;
+                size_t hs = out_sizes[q];
+                for (size_t j = 0; j < n; ++j)
+                    hs = topk_heap::push(heap, hs, k,
+                                         ScoredIndex{score[j], qidx[j]});
+                out_sizes[q] = hs;
+            }
+        }
+    }
+    for (size_t q = 0; q < num_queries; ++q)
+        topk_heap::sortBestFirst(out + q * out_stride, out_sizes[q]);
 }
 
 } // namespace longsight

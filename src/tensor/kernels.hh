@@ -32,6 +32,16 @@
  * supplies its own scan/dot primitives; there is no scalar-only
  * fallback branch inside the fused driver).
  *
+ * The *Multi variants serve a whole query group — the GQA heads that
+ * share one KV head, plus optionally queries from other batched
+ * requests pinned to the same KV head — in ONE streaming pass: each
+ * packed sign row (and, in the fused driver, each survivor key tile)
+ * is loaded once and run through every query's concordance test /
+ * score-select heap before the stream advances. Per query the
+ * survivors, scores, and top-k selections are bit-identical to
+ * running the single-query kernel Q times; only the memory-traffic
+ * shape changes (Q passes over the cache become one).
+ *
  * The backend can be forced (tests, benchmarks, A/B timing) with
  * setKernelBackend() or the LONGSIGHT_KERNELS=scalar|avx2|neon
  * environment variable.
@@ -155,6 +165,60 @@ size_t batchScoreSelect(const uint64_t *query_words,
                         float scale, size_t k, ScoredIndex *out,
                         size_t *survivor_count = nullptr);
 
+/** Queries one multi-query kernel call serves at most; the public
+ *  drivers below chunk larger groups transparently (each chunk is one
+ *  streaming pass). Matches the PFU's per-block query capacity. */
+inline constexpr size_t kMaxScanQueries = 16;
+
+/**
+ * Multi-query SCF survivor scan over rows [begin, end): query q's
+ * packed sign words live at query_words + q * m.wordsPerRow() (see
+ * packSigns); its survivors land at survivors + q * stride in
+ * ascending row order and counts[q] receives how many. `stride` must
+ * be >= end - begin and `counts` holds num_queries entries (zeroed by
+ * this call). Per query, output is identical to batchConcordanceScan
+ * with that query alone — but all queries in a chunk share one pass
+ * over the sign rows.
+ */
+void batchScanMulti(const uint64_t *query_words, size_t num_queries,
+                    const SignMatrix &m, size_t begin, size_t end,
+                    int threshold, uint32_t *survivors, size_t stride,
+                    size_t *counts);
+
+/**
+ * Multi-query flavour of concordanceBitmap: out + q * 2 receives
+ * query q's 128-bit survivor bitmap over keys [begin, begin +
+ * num_keys). One pass over the block's sign rows serves every query;
+ * per query the bitmap equals the single-query concordanceBitmap.
+ */
+void concordanceBitmapMulti(const uint64_t *query_words,
+                            size_t num_queries, const SignMatrix &m,
+                            size_t begin, uint32_t num_keys,
+                            int threshold, uint64_t *out);
+
+/**
+ * Multi-query fused scan -> score -> select: batchScoreSelect for a
+ * whole query group in one pass over the sign rows and key tiles.
+ * Query q's packed signs are at query_words + q * signs.wordsPerRow(),
+ * its float vector at queries + q * query_stride, its result heap at
+ * out + q * out_stride (out_stride >= min(k, end - begin)), and
+ * out_sizes[q] receives its entry count (sorted best-first). When
+ * survivor_counts is non-null, survivor_counts[q] receives query q's
+ * SCF survivor total. Every per-query output is element-identical to
+ * batchScoreSelect run with that query alone, on every backend; the
+ * shared pass only changes how many times the sign rows and survivor
+ * key tiles travel through the cache hierarchy (once per chunk of
+ * kMaxScanQueries queries instead of once per query).
+ */
+void batchScoreSelectMulti(const uint64_t *query_words,
+                           size_t num_queries, const SignMatrix &signs,
+                           size_t begin, size_t end, int threshold,
+                           const float *queries, size_t query_stride,
+                           const Matrix &keys, float scale, size_t k,
+                           ScoredIndex *out, size_t out_stride,
+                           size_t *out_sizes,
+                           size_t *survivor_counts = nullptr);
+
 namespace detail {
 
 /** Raw-pointer kernel table one backend fills in. */
@@ -178,6 +242,23 @@ struct KernelOps
     void (*dotAt)(const float *q, const float *keys, size_t stride,
                   size_t dim, const uint32_t *idx, size_t first,
                   size_t count, float scale, float *out);
+    /** One streaming pass over `rows` sign rows serving num_queries
+     *  (<= kMaxScanQueries) queries: query q's words start at
+     *  qs + q * words_per_row, its survivors append at
+     *  out + q * stride + counts[q], and counts[q] advances in place
+     *  (callers zero counts before the first tile, so tiles
+     *  accumulate). Per query identical to scan(). */
+    void (*scanMulti)(const uint64_t *qs, size_t num_queries,
+                      const uint64_t *signs, size_t words_per_row,
+                      size_t rows, int dim, int threshold, uint32_t base,
+                      uint32_t *out, size_t stride, size_t *counts);
+    /** One pass over rows <= 128 sign rows filling out + q * 2 with
+     *  query q's survivor bitmap (out fully overwritten). Per query
+     *  identical to bitmap(). */
+    void (*bitmapMulti)(const uint64_t *qs, size_t num_queries,
+                        const uint64_t *signs, size_t words_per_row,
+                        size_t rows, int dim, int threshold,
+                        uint64_t *out);
 };
 
 /** nullptr when the backend is not compiled into this binary. */

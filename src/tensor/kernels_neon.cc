@@ -92,8 +92,48 @@ neonDotAt(const float *q, const float *keys, size_t stride, size_t dim,
     }
 }
 
+void
+neonScanMulti(const uint64_t *qs, size_t num_queries,
+              const uint64_t *signs, size_t wpr, size_t rows, int dim,
+              int threshold, uint32_t base, uint32_t *out, size_t stride,
+              size_t *counts)
+{
+    // Row-outer walk: the 128-bit sign row loads are shared across all
+    // queries (one pass over the sign stream); per query the
+    // branchless store-then-advance compaction matches neonScan.
+    const int limit = dim - threshold;
+    for (size_t r = 0; r < rows; ++r) {
+        const uint64_t *row = signs + r * wpr;
+        for (size_t q = 0; q < num_queries; ++q) {
+            uint32_t *dst = out + q * stride;
+            size_t n = counts[q];
+            dst[n] = base + static_cast<uint32_t>(r);
+            n += rowMismatches(qs + q * wpr, row, wpr) <= limit ? 1 : 0;
+            counts[q] = n;
+        }
+    }
+}
+
+void
+neonBitmapMulti(const uint64_t *qs, size_t num_queries,
+                const uint64_t *signs, size_t wpr, size_t rows, int dim,
+                int threshold, uint64_t *out)
+{
+    for (size_t i = 0; i < 2 * num_queries; ++i)
+        out[i] = 0;
+    const int limit = dim - threshold;
+    for (size_t r = 0; r < rows; ++r) {
+        const uint64_t *row = signs + r * wpr;
+        const uint64_t bit = uint64_t{1} << (r & 63);
+        for (size_t q = 0; q < num_queries; ++q) {
+            if (rowMismatches(qs + q * wpr, row, wpr) <= limit)
+                out[q * 2 + (r >> 6)] |= bit;
+        }
+    }
+}
+
 const KernelOps kNeonOps = {neonConcordance, neonScan, neonBitmap,
-                            neonDotAt};
+                            neonDotAt, neonScanMulti, neonBitmapMulti};
 
 } // namespace
 

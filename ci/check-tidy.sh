@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Advisory clang-tidy gate (non-blocking in CI).
+#
+# Runs the checked-in .clang-tidy profile over the project sources
+# using the compilation database the build exports unconditionally
+# (CMAKE_EXPORT_COMPILE_COMMANDS is ON in CMakeLists.txt). The gate is
+# advisory: findings are reported and uploaded as a CI artifact, but
+# the exit status is always 0 when clang-tidy ran — tidy versions skew
+# across distros and a blocking gate would make CI green depend on the
+# runner image. The BLOCKING contract checks are tools/lint/ (see
+# `cmake --build build --target lint`).
+#
+# When clang-tidy is not installed (e.g. a gcc-only container), the
+# script prints a notice and exits 0 so local pipelines do not break.
+#
+# Usage: ci/check-tidy.sh [build-dir] [file...]
+#   build-dir defaults to ./build; files default to all tracked .cc
+#   under src/ and tools/.
+set -u
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+shift || true
+
+if ! command -v clang-tidy > /dev/null 2>&1; then
+    echo "check-tidy: clang-tidy not installed; skipping (advisory gate)"
+    exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+    echo "check-tidy: $build_dir/compile_commands.json missing;" \
+        "configure with cmake first" >&2
+    exit 1
+fi
+
+if [ "$#" -gt 0 ]; then
+    files=("$@")
+else
+    mapfile -t files < <(git ls-files 'src/*.cc' 'src/**/*.cc' \
+        'tools/*.cc' 'tools/**/*.cc')
+fi
+
+echo "check-tidy: $(clang-tidy --version | head -n 2 | tail -n 1)"
+warnings=0
+for f in "${files[@]}"; do
+    out=$(clang-tidy -p "$build_dir" --quiet "$f" 2> /dev/null)
+    if [ -n "$out" ]; then
+        printf '%s\n' "$out"
+        warnings=$((warnings + 1))
+    fi
+done
+
+if [ "$warnings" -ne 0 ]; then
+    echo "check-tidy: findings in $warnings file(s) (advisory, not blocking)"
+else
+    echo "check-tidy: clean (${#files[@]} files)"
+fi
+exit 0

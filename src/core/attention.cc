@@ -5,6 +5,7 @@
 #include "tensor/kernels.hh"
 #include "tensor/linalg.hh"
 #include "tensor/softmax.hh"
+#include "util/annotations.hh"
 #include "util/logging.hh"
 
 namespace longsight {
@@ -70,6 +71,9 @@ void
 denseAttentionInto(const float *q, const Matrix &keys, const Matrix &values,
                    float scale, float *probs, float *out)
 {
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
     batchDotScaleRange(q, keys, 0, keys.rows(), scale, probs);
     softmaxInPlace(probs, keys.rows());
     for (size_t d = 0; d < values.cols(); ++d)
@@ -87,6 +91,9 @@ subsetAttentionInto(const float *q, const Matrix &keys, const Matrix &values,
                     const uint32_t *indices, size_t count, float scale,
                     float *probs, float *out)
 {
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
     batchDotScaleAt(q, keys, indices, count, scale, probs);
     softmaxInPlace(probs, count);
     weightedValueSumInto(values, indices, count, probs, out);
@@ -96,6 +103,9 @@ void
 weightedValueSumInto(const Matrix &values, const uint32_t *indices,
                      size_t count, const float *probs, float *out)
 {
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
     for (size_t d = 0; d < values.cols(); ++d)
         out[d] = 0.0f;
     for (size_t j = 0; j < count; ++j) {

@@ -8,6 +8,7 @@
 #include "core/topk.hh"
 #include "tensor/kernels.hh"
 #include "tensor/linalg.hh"
+#include "util/annotations.hh"
 #include "util/logging.hh"
 #include "util/scratch_arena.hh"
 
@@ -80,6 +81,9 @@ LongSightAttn::computeGroupInto(const float *queries, size_t query_stride,
                                 uint32_t kv_head,
                                 HeadAttentionResult *rs) const
 {
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
     const size_t n = cache.size();
     LS_ASSERT(n > 0, "attention over an empty context");
     LS_ASSERT(num_queries > 0, "attention needs at least one query");
@@ -106,6 +110,7 @@ LongSightAttn::computeGroupInto(const float *queries, size_t query_stride,
         r.sparseSurvivors = r.sparseSelected = 0;
         r.usedSparse = sparse_raw > 0;
         for (size_t i = 0; i < sinks; ++i)
+            // LS_LINT_ALLOW(alloc): result slot capacity persists across steps
             r.attended.push_back(static_cast<uint32_t>(i));
     }
 
@@ -174,6 +179,7 @@ LongSightAttn::computeGroupInto(const float *queries, size_t query_stride,
             r.sparseSelected = nsel[g];
             const size_t mid = r.attended.size();
             for (size_t j = 0; j < nsel[g]; ++j)
+                // LS_LINT_ALLOW(alloc): result slot capacity persists across steps
                 r.attended.push_back(sel[j].index);
             // Score order -> index order; only this (<= k) segment
             // needs the sort.
@@ -184,12 +190,14 @@ LongSightAttn::computeGroupInto(const float *queries, size_t query_stride,
     for (uint32_t g = 0; g < num_queries; ++g) {
         HeadAttentionResult &r = rs[g];
         for (size_t i = win_start; i < n; ++i)
+            // LS_LINT_ALLOW(alloc): result slot capacity persists across steps
             r.attended.push_back(static_cast<uint32_t>(i));
 
         // Degenerate guard: nothing survived anywhere (possible only
         // with W = 0, no sinks, and a maximal threshold) — attend the
         // most recent token so the softmax stays well-defined.
         if (r.attended.empty())
+            // LS_LINT_ALLOW(alloc): result slot capacity persists across steps
             r.attended.push_back(static_cast<uint32_t>(n - 1));
 
         // GPU-side combined softmax and SV accumulation (Fig. 2b
@@ -198,6 +206,7 @@ LongSightAttn::computeGroupInto(const float *queries, size_t query_stride,
         // vector is the caller's.
         ScratchFrame probs_frame(frame.arena());
         float *probs = probs_frame.alloc<float>(r.attended.size());
+        // LS_LINT_ALLOW(alloc): fixed dim; capacity persists after step one
         r.output.resize(dim);
         subsetAttentionInto(queries + g * query_stride, cache.keys(),
                             cache.values(), r.attended.data(),

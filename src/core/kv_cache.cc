@@ -1,6 +1,7 @@
 #include "core/kv_cache.hh"
 
 #include "tensor/linalg.hh"
+#include "util/annotations.hh"
 #include "util/logging.hh"
 
 namespace longsight {
@@ -23,15 +24,18 @@ KvCache::append(const std::vector<float> &key, const std::vector<float> &value)
 void
 KvCache::append(const float *key, const float *value)
 {
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
     keys_.appendRow(key);
     values_.appendRow(value);
     rawSigns_.appendRow(key);
     if (quantizeKeys_)
+        // LS_LINT_ALLOW(alloc): amortized append; capacity persists
         quantizedKeys_.push_back(quantizeInt8(key, headDim_));
     if (rotation_) {
         // Member scratch: capacity persists across appends, so the
         // rotation adds no steady-state allocation to the decode step.
-        rotScratch_.resize(headDim_);
+        rotScratch_.resize(headDim_); // LS_LINT_ALLOW(alloc): sized once, capacity persists
         gemvT(*rotation_, key, rotScratch_.data());
         rotatedSigns_.appendRow(rotScratch_.data());
     }

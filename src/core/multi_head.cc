@@ -1,5 +1,6 @@
 #include "core/multi_head.hh"
 
+#include "util/annotations.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -31,14 +32,19 @@ MultiHeadLongSight::computeInto(const Matrix &queries,
                                 const std::vector<KvCache> &caches,
                                 LayerAttentionResult &r) const
 {
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
     LS_ASSERT(queries.rows() == numQueryHeads_ &&
                   queries.cols() == headDim_,
               "query matrix must be numQueryHeads x headDim");
     LS_ASSERT(caches.size() == numKvHeads(),
               "need one KV cache per KV head");
 
+    // LS_LINT_ALLOW(alloc): result capacity persists across steps
     r.outputs.resize(numQueryHeads_, headDim_);
     r.stats = FilterStats{};
+    // LS_LINT_ALLOW(alloc): result capacity persists across steps
     r.perQuery.resize(numQueryHeads_);
     const uint32_t group = groupSize();
 
@@ -50,6 +56,10 @@ MultiHeadLongSight::computeInto(const Matrix &queries,
     // are merged serially afterwards in fixed head order, so the
     // result is bit-identical for any thread count.
     ThreadPool::global().parallelForEach(0, numKvHeads(), [&](size_t h) {
+        // Annotated directly: pool dispatch is opaque to the lint walk.
+        LS_HOT_PATH();
+        LS_DETERMINISTIC();
+        LS_NO_LOCK();
         attn_.computeGroupInto(queries.row(h * group), queries.cols(),
                                group, caches[h],
                                static_cast<uint32_t>(h),

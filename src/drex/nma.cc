@@ -5,6 +5,7 @@
 
 #include "tensor/kernels.hh"
 #include "tensor/linalg.hh"
+#include "util/annotations.hh"
 #include "util/logging.hh"
 #include "util/scratch_arena.hh"
 
@@ -26,6 +27,9 @@ Nma::filterEpochFunctional(const OffloadSpec &spec,
                            uint32_t *per_query, size_t stride,
                            size_t *per_query_counts) const
 {
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
     const auto &signs = spec.cache->filterSignsAll();
     const uint32_t nq = spec.numQueries;
     for (uint32_t q = 0; q < nq; ++q)
@@ -78,6 +82,7 @@ Nma::survivorsModelled(const OffloadSpec &spec, uint64_t epoch_tokens) const
 OffloadResult
 Nma::process(Tick start, const OffloadSpec &spec)
 {
+    LS_DETERMINISTIC();
     LS_ASSERT(spec.sparseEnd >= spec.sparseBegin, "inverted sparse region");
     LS_ASSERT(spec.numQueries >= 1 && spec.numQueries <= Pfu::kMaxQueries,
               "query group size out of PFU range");

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "tensor/kernels.hh"
+#include "util/annotations.hh"
 #include "util/logging.hh"
 
 namespace longsight {
@@ -103,6 +104,9 @@ Pfu::filterBlock(const uint64_t *query_words, size_t words_per_query,
                  uint32_t num_queries, const SignMatrix &keys, size_t begin,
                  uint32_t num_keys, int threshold, Bitmap128 *bitmaps)
 {
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
     LS_ASSERT(num_keys <= kBlockKeys, "PFU block holds at most 128 keys");
     LS_ASSERT(num_queries >= 1 && num_queries <= kMaxQueries,
               "PFU supports 1..16 queries per offload, got ", num_queries);

@@ -8,6 +8,7 @@
 #include "core/scf.hh"
 #include "core/topk.hh"
 #include "tensor/kernels.hh"
+#include "util/annotations.hh"
 #include "util/logging.hh"
 #include "util/scratch_arena.hh"
 #include "util/thread_pool.hh"
@@ -134,19 +135,23 @@ DecodePipeline::flushEligibleGroups()
 PipelineStepResult
 DecodePipeline::decodeStep()
 {
+    LS_DETERMINISTIC();
     // The batch path with one request IS the single-request path; the
     // per-layer phases run in exactly the order the pre-batch step
-    // did, so there is one implementation to keep correct.
-    std::vector<DecodePipeline *> one{this};
-    std::vector<PipelineStepResult> results;
-    decodeStepBatch(one, results);
-    return results.front();
+    // did, so there is one implementation to keep correct. The
+    // one-element batch and result vectors are members so the steady-
+    // state step allocates nothing here.
+    if (selfBatch_.empty())
+        selfBatch_.push_back(this);
+    decodeStepBatch(selfBatch_, selfResults_);
+    return selfResults_.front();
 }
 
 GroupedScanStats
 DecodePipeline::decodeStepBatch(const std::vector<DecodePipeline *> &batch,
                                 std::vector<PipelineStepResult> &results)
 {
+    LS_DETERMINISTIC();
     GroupedScanStats stats;
     results.clear();
     results.resize(batch.size());
@@ -190,6 +195,11 @@ DecodePipeline::decodeStepBatch(const std::vector<DecodePipeline *> &batch,
         // and any batch composition.
         ThreadPool::global().parallelForEach(
             0, nreq * shape.numKvHeads, [&](size_t item) {
+                // Annotated directly: thread-pool dispatch is opaque
+                // to the call-graph walk, so the body is its own root.
+                LS_HOT_PATH();
+                LS_DETERMINISTIC();
+                LS_NO_LOCK();
                 const auto h = static_cast<uint32_t>(item / nreq);
                 const size_t ri = item % nreq;
                 batch[ri]->stepCombineHead(l, h, offloaded[ri] != 0,
@@ -213,6 +223,8 @@ DecodePipeline::stepAppendAndFlush(PipelineStepResult &result)
     // 1. New token: every (layer, head) appends one KV pair.
     ThreadPool::global().parallelForEach(
         0, workloads_.size(), [&](size_t idx) {
+            LS_HOT_PATH();
+            LS_DETERMINISTIC();
             HeadWorkload &wl = workloads_[idx];
             wl.appendToken();
             const size_t pos = wl.contextLength() - 1;
@@ -297,6 +309,9 @@ DecodePipeline::stepCombineHead(
     uint32_t l, uint32_t h, bool offload,
     const std::vector<AttentionResponse> &responses)
 {
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
     const size_t n = contextLength();
     const size_t sinks = std::min<size_t>(cfg_.hybrid.sinkTokens, n);
     const float scale =

@@ -146,6 +146,10 @@ class DecodePipeline
     std::vector<Matrix> stepFilterQueries_; //!< ITQ-space twins
     std::vector<double> laneMass_;          //!< per-lane retained mass
     std::vector<uint8_t> laneMatched_;      //!< per-lane A-verdict
+    /** decodeStep()'s one-element batch view and result slot, kept as
+     *  members so the single-request step allocates nothing per call. */
+    std::vector<DecodePipeline *> selfBatch_;
+    std::vector<PipelineStepResult> selfResults_;
 };
 
 } // namespace longsight

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <mutex>
 
+#include "util/annotations.hh"
 #include "util/logging.hh"
 
 namespace longsight {
@@ -37,6 +38,9 @@ void
 scalarConcordance(const uint64_t *q, const uint64_t *signs, size_t wpr,
                   size_t rows, int dim, int32_t *out)
 {
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
     for (size_t r = 0; r < rows; ++r)
         out[r] = rowConcordance(q, signs + r * wpr, wpr, dim);
 }
@@ -46,6 +50,9 @@ scalarScan(const uint64_t *q, const uint64_t *signs, size_t wpr,
            size_t rows, int dim, int threshold, uint32_t base,
            uint32_t *out)
 {
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
     size_t n = 0;
     for (size_t r = 0; r < rows; ++r) {
         if (rowConcordance(q, signs + r * wpr, wpr, dim) >= threshold)
@@ -58,6 +65,9 @@ void
 scalarBitmap(const uint64_t *q, const uint64_t *signs, size_t wpr,
              size_t rows, int dim, int threshold, uint64_t out[2])
 {
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
     out[0] = out[1] = 0;
     for (size_t r = 0; r < rows; ++r) {
         if (rowConcordance(q, signs + r * wpr, wpr, dim) >= threshold)
@@ -70,6 +80,9 @@ scalarDotAt(const float *q, const float *keys, size_t stride, size_t dim,
             const uint32_t *idx, size_t first, size_t count, float scale,
             float *out)
 {
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
     for (size_t j = 0; j < count; ++j) {
         const size_t row = idx ? idx[j] : first + j;
         out[j] = dotRowScaled(q, keys + row * stride, dim, scale);
@@ -82,6 +95,9 @@ scalarScanMulti(const uint64_t *qs, size_t num_queries,
                 int threshold, uint32_t base, uint32_t *out, size_t stride,
                 size_t *counts)
 {
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
     // Row-major walk: each sign row is read once and tested against
     // every query while it is hot. Per query the emission order is
     // ascending rows — exactly scalarScan's.
@@ -100,6 +116,9 @@ scalarBitmapMulti(const uint64_t *qs, size_t num_queries,
                   const uint64_t *signs, size_t wpr, size_t rows, int dim,
                   int threshold, uint64_t *out)
 {
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
     for (size_t i = 0; i < 2 * num_queries; ++i)
         out[i] = 0;
     for (size_t r = 0; r < rows; ++r) {
@@ -151,6 +170,7 @@ struct Dispatch
 Dispatch &
 dispatch()
 {
+    LS_CONTRACT_EXEMPT(); // one-time init: call_once/getenv are cold
     static Dispatch d;
     static std::once_flag init;
     std::call_once(init, [] {
@@ -232,6 +252,9 @@ void
 batchConcordance(const SignBits &query, const SignMatrix &m, size_t begin,
                  size_t end, int32_t *out)
 {
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
     LS_ASSERT(query.dim() == m.dim(), "batchConcordance dim mismatch: ",
               query.dim(), " vs ", m.dim());
     LS_ASSERT(begin <= end && end <= m.rows(), "batchConcordance range [",
@@ -248,15 +271,20 @@ batchConcordanceScan(const SignBits &query, const SignMatrix &m,
                      size_t begin, size_t end, int threshold,
                      std::vector<uint32_t> &survivors)
 {
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
     LS_ASSERT(query.dim() == m.dim(), "batchConcordanceScan dim mismatch: ",
               query.dim(), " vs ", m.dim());
     // Worst-case room up front, shrink after; at steady state the
     // vector's capacity persists, so this does not allocate per call.
     const size_t before = survivors.size();
+    // LS_LINT_ALLOW(alloc): capacity persists at steady state (see above)
     survivors.resize(before + (end - begin));
     const size_t n = batchConcordanceScan(query.words().data(), m, begin,
                                           end, threshold,
                                           survivors.data() + before);
+    // LS_LINT_ALLOW(alloc): shrinking resize; never reallocates
     survivors.resize(before + n);
     return n;
 }
@@ -266,6 +294,9 @@ batchConcordanceScan(const uint64_t *query_words, const SignMatrix &m,
                      size_t begin, size_t end, int threshold,
                      uint32_t *survivors)
 {
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
     LS_ASSERT(begin <= end && end <= m.rows(),
               "batchConcordanceScan range [", begin, ",", end, ") out of ",
               m.rows());
@@ -280,6 +311,9 @@ batchConcordanceScan(const uint64_t *query_words, const SignMatrix &m,
 void
 packSigns(const float *v, size_t dim, uint64_t *words)
 {
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
     const size_t nwords = (dim + 63) / 64;
     for (size_t w = 0; w < nwords; ++w)
         words[w] = 0;
@@ -293,6 +327,9 @@ void
 concordanceBitmap(const SignBits &query, const SignMatrix &m, size_t begin,
                   uint32_t num_keys, int threshold, uint64_t out[2])
 {
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
     LS_ASSERT(query.dim() == m.dim(), "concordanceBitmap dim mismatch");
     concordanceBitmap(query.words().data(), m, begin, num_keys, threshold,
                       out);
@@ -303,6 +340,9 @@ concordanceBitmap(const uint64_t *query_words, const SignMatrix &m,
                   size_t begin, uint32_t num_keys, int threshold,
                   uint64_t out[2])
 {
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
     LS_ASSERT(num_keys <= 128, "concordanceBitmap holds at most 128 keys");
     LS_ASSERT(begin + num_keys <= m.rows(), "concordanceBitmap range [",
               begin, ",", begin + num_keys, ") out of ", m.rows());
@@ -319,6 +359,9 @@ void
 batchDotScaleAt(const float *q, const Matrix &keys, const uint32_t *indices,
                 size_t count, float scale, float *out)
 {
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
     for (size_t j = 0; j < count; ++j)
         LS_ASSERT(indices[j] < keys.rows(), "score index ", indices[j],
                   " out of ", keys.rows());
@@ -332,6 +375,9 @@ void
 batchDotScaleRange(const float *q, const Matrix &keys, size_t begin,
                    size_t end, float scale, float *out)
 {
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
     LS_ASSERT(begin <= end && end <= keys.rows(), "score range [", begin,
               ",", end, ") out of ", keys.rows());
     if (begin == end)
@@ -346,6 +392,9 @@ batchScoreSelect(const uint64_t *query_words, const SignMatrix &signs,
                  const Matrix &keys, float scale, size_t k,
                  ScoredIndex *out, size_t *survivor_count)
 {
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
     LS_ASSERT(begin <= end && end <= signs.rows(), "batchScoreSelect ",
               "range [", begin, ",", end, ") out of ", signs.rows());
     LS_ASSERT(end <= keys.rows(), "batchScoreSelect sign/key row "
@@ -392,6 +441,9 @@ batchScanMulti(const uint64_t *query_words, size_t num_queries,
                const SignMatrix &m, size_t begin, size_t end, int threshold,
                uint32_t *survivors, size_t stride, size_t *counts)
 {
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
     LS_ASSERT(begin <= end && end <= m.rows(), "batchScanMulti range [",
               begin, ",", end, ") out of ", m.rows());
     LS_ASSERT(stride >= end - begin, "batchScanMulti stride ", stride,
@@ -416,6 +468,9 @@ concordanceBitmapMulti(const uint64_t *query_words, size_t num_queries,
                        const SignMatrix &m, size_t begin, uint32_t num_keys,
                        int threshold, uint64_t *out)
 {
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
     LS_ASSERT(num_keys <= 128,
               "concordanceBitmapMulti holds at most 128 keys");
     LS_ASSERT(begin + num_keys <= m.rows(), "concordanceBitmapMulti ",
@@ -446,6 +501,9 @@ batchScoreSelectMulti(const uint64_t *query_words, size_t num_queries,
                       size_t k, ScoredIndex *out, size_t out_stride,
                       size_t *out_sizes, size_t *survivor_counts)
 {
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
     LS_ASSERT(begin <= end && end <= signs.rows(),
               "batchScoreSelectMulti range [", begin, ",", end, ") out of ",
               signs.rows());

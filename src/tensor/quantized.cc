@@ -16,6 +16,7 @@ quantizeInt8(const float *v, size_t n)
         max_abs = std::max(max_abs, std::abs(v[i]));
 
     QuantizedVector q;
+    // LS_LINT_ALLOW(alloc): per-append row buffer the quantized store keeps
     q.data.resize(n);
     if (max_abs == 0.0f) {
         q.scale = 1.0f;

@@ -24,6 +24,7 @@ SignMatrix::appendRow(const float *v)
 {
     LS_ASSERT(dim_ > 0, "appendRow on a dimensionless SignMatrix");
     const size_t base = words_.size();
+    // LS_LINT_ALLOW(alloc): amortized append; geometric growth
     words_.resize(base + wordsPerRow_, 0);
     uint64_t *w = words_.data() + base;
     for (size_t i = 0; i < dim_; ++i) {

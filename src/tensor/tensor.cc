@@ -37,6 +37,7 @@ Matrix::resize(size_t rows, size_t cols)
 {
     rows_ = rows;
     cols_ = cols;
+    // LS_LINT_ALLOW(alloc): capacity persists across same-shape resizes
     data_.assign(rows * cols, 0.0f);
 }
 
@@ -44,6 +45,7 @@ void
 Matrix::appendRow(const float *src)
 {
     LS_ASSERT(cols_ > 0, "appendRow on a matrix with no column count");
+    // LS_LINT_ALLOW(alloc): amortized append; geometric growth
     data_.insert(data_.end(), src, src + cols_);
     ++rows_;
 }

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Contract annotations for the hot paths the static-analysis layer
+ * (tools/lint) enforces. Placing one of these macros as the FIRST
+ * statement of a function (or lambda) body declares a machine-checked
+ * contract over everything statically reachable from it:
+ *
+ *  - LS_HOT_PATH()      no heap allocation: operator new/malloc,
+ *                       growing std containers, std::function
+ *                       construction are all rejected.
+ *  - LS_DETERMINISTIC() no nondeterminism: rand()/time()/chrono
+ *                       clocks, std::random_device, and
+ *                       unordered-container iteration are rejected.
+ *  - LS_NO_LOCK()       no blocking or IO: mutex/condition-variable
+ *                       operations and stdio/iostream writes are
+ *                       rejected.
+ *  - LS_CONTRACT_EXEMPT() stops contract traversal at this function:
+ *                       for cold slow paths (arena growth, [[noreturn]]
+ *                       failure handlers) that annotated callers may
+ *                       legitimately reach. Always pair with a comment
+ *                       saying why the exemption is sound.
+ *
+ * Mechanism: each macro expands to a call to an empty inline marker
+ * function. The lint build compiles every TU at -O0 with GCC's
+ * -fcallgraph-info, where the marker calls survive as call-graph edges;
+ * tools/lint/ls_contract_lint.py treats any function with an edge to a
+ * marker as an annotated root (or exempt node) and walks the compiler's
+ * own call graph from there. Optimized builds inline the empty markers
+ * away, so annotations cost nothing at runtime.
+ *
+ * Single-site waivers (amortized growth into capacity that persists
+ * across steps, e.g. a member vector resized once at warmup) use a
+ * comment on the offending call's line or the line directly above:
+ *
+ *     // LS_LINT_ALLOW(alloc): capacity persists across decode steps
+ *
+ * with a category of alloc, determinism, or lock. Waivers are for
+ * calls whose contract holds in steady state but not syntactically;
+ * anything else should be fixed or restructured instead. The runtime
+ * gates (core_alloc_regression_test, the bench bit-identity exits)
+ * remain the ground truth that waived sites behave as claimed.
+ *
+ * Annotating a new hot path: put the macro first in the body, run
+ * `cmake --build build --target lint`, and fix or waive what it
+ * reports. See DESIGN.md "Static analysis & contract enforcement".
+ */
+
+#ifndef LONGSIGHT_UTIL_ANNOTATIONS_HH
+#define LONGSIGHT_UTIL_ANNOTATIONS_HH
+
+namespace longsight {
+namespace contract {
+
+// Empty markers; the names are the ABI the lint tool keys on — do not
+// rename without updating tools/lint/ls_contract_lint.py.
+inline void ls_hot_path_marker() {}
+inline void ls_deterministic_marker() {}
+inline void ls_no_lock_marker() {}
+inline void ls_contract_exempt_marker() {}
+
+} // namespace contract
+} // namespace longsight
+
+#define LS_HOT_PATH() ::longsight::contract::ls_hot_path_marker()
+#define LS_DETERMINISTIC() ::longsight::contract::ls_deterministic_marker()
+#define LS_NO_LOCK() ::longsight::contract::ls_no_lock_marker()
+#define LS_CONTRACT_EXEMPT() ::longsight::contract::ls_contract_exempt_marker()
+
+#endif // LONGSIGHT_UTIL_ANNOTATIONS_HH

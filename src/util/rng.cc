@@ -105,6 +105,7 @@ Rng::gaussian(double mean, double stddev)
 std::vector<float>
 Rng::gaussianVec(size_t n)
 {
+    // LS_LINT_ALLOW(alloc): bulk sampling helper returns fresh storage
     std::vector<float> v(n);
     for (auto &x : v)
         x = static_cast<float>(gaussian());

@@ -25,7 +25,9 @@ ScratchArena::ScratchArena(size_t initial_bytes)
     if (initial_bytes > 0) {
         Block b;
         b.size = alignUp(initial_bytes, 64);
+        // LS_LINT_ALLOW(alloc): arena pre-size, construction time
         b.mem = std::make_unique<std::byte[]>(b.size);
+        // LS_LINT_ALLOW(alloc): arena pre-size, construction time
         blocks_.push_back(std::move(b));
         ++growths_;
     }
@@ -73,7 +75,9 @@ ScratchArena::allocBytes(size_t bytes, size_t align)
         Block b;
         b.size = std::max({kMinBlockBytes, alignUp(bytes + align, 64),
                            capacity()});
+        // LS_LINT_ALLOW(alloc): warmup growth; capacity persists
         b.mem = std::make_unique<std::byte[]>(b.size);
+        // LS_LINT_ALLOW(alloc): warmup growth; capacity persists
         blocks_.push_back(std::move(b));
         current_ = blocks_.size() - 1;
         cursor_ = 0;
@@ -100,7 +104,9 @@ ScratchArena::rewind(const Mark &m)
         blocks_.clear();
         Block b;
         b.size = want;
+        // LS_LINT_ALLOW(alloc): post-spill coalesce, then block-local
         b.mem = std::make_unique<std::byte[]>(b.size);
+        // LS_LINT_ALLOW(alloc): post-spill coalesce, then block-local
         blocks_.push_back(std::move(b));
         ++growths_;
         current_ = 0;

@@ -15,6 +15,23 @@ thread_local bool t_inParallelRegion = false;
 
 std::mutex g_globalMu;
 std::unique_ptr<ThreadPool> g_globalPool;
+// Lock-free fast path for global(): hot loops call it once per decode
+// step, so the steady state must not take g_globalMu. The mutex only
+// serializes (re)construction in configureGlobal / first use.
+std::atomic<ThreadPool *> g_globalPtr{nullptr};
+
+ThreadPool *
+globalSlowInit()
+{
+    // Cold one-time construction; hot callers come back through the
+    // lock-free acquire load in global() on every later call.
+    LS_CONTRACT_EXEMPT();
+    std::lock_guard<std::mutex> lock(g_globalMu);
+    if (!g_globalPool)
+        g_globalPool = std::make_unique<ThreadPool>(0);
+    g_globalPtr.store(g_globalPool.get(), std::memory_order_release);
+    return g_globalPool.get();
+}
 
 } // namespace
 
@@ -69,17 +86,23 @@ ThreadPool::hardwareThreads()
 ThreadPool &
 ThreadPool::global()
 {
-    std::lock_guard<std::mutex> lock(g_globalMu);
-    if (!g_globalPool)
-        g_globalPool = std::make_unique<ThreadPool>(0);
-    return *g_globalPool;
+    ThreadPool *p = g_globalPtr.load(std::memory_order_acquire);
+    if (p)
+        return *p;
+    return *globalSlowInit();
 }
 
 void
 ThreadPool::configureGlobal(unsigned threads)
 {
     std::lock_guard<std::mutex> lock(g_globalMu);
+    // Unpublish before destroying the old pool so a racing global()
+    // either sees the old pool (caller's contract: no parallelFor in
+    // flight across configureGlobal) or falls into the slow path and
+    // blocks on g_globalMu until the new pool is ready.
+    g_globalPtr.store(nullptr, std::memory_order_release);
     g_globalPool = std::make_unique<ThreadPool>(threads);
+    g_globalPtr.store(g_globalPool.get(), std::memory_order_release);
 }
 
 void

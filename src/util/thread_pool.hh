@@ -35,6 +35,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/annotations.hh"
+
 namespace longsight {
 
 /**
@@ -77,6 +79,12 @@ class ThreadPool
     template <class Fn>
     void parallelForEach(size_t begin, size_t end, Fn &&fn)
     {
+        // Dispatch shim, exempt from contract traversal: the wrapper
+        // std::function is a single pointer (small-object buffer, no
+        // heap), the pool machinery below blocks by design, and hot
+        // loop BODIES carry their own annotations (the walk cannot see
+        // through the type-erased dispatch anyway).
+        LS_CONTRACT_EXEMPT();
         Fn *body = &fn;
         const std::function<void(size_t)> wrapped =
             [body](size_t i) { (*body)(i); };

@@ -1,0 +1,528 @@
+/**
+ * @file
+ * Differential kernel-parity fuzzer: feeds randomized shapes,
+ * thresholds, strides, and value patterns through EVERY compiled-in
+ * kernel backend (scalar, AVX2, NEON) and asserts per-element bit
+ * identity of the outputs — concordance counts, survivor sets, PFU
+ * bitmaps, scaled dot products, fused score-select top-k results, and
+ * all *Multi variants against their single-query counterparts. This is
+ * the mechanized form of the SCF bit-exactness contract documented in
+ * tensor/kernels.hh: survivor sets and scores must not depend on which
+ * backend serves them.
+ *
+ * Two entry points share one case runner:
+ *
+ *  - a standalone driver (GCC or any compiler): generates cases from a
+ *    deterministic splitmix64 stream, bounded by --iters or --seconds,
+ *    and replays any files passed as positional arguments;
+ *  - a libFuzzer target (clang with -fsanitize=fuzzer only), enabled
+ *    by building with -DLONGSIGHT_LIBFUZZER.
+ *
+ * Any divergence prints the full case (seed, shape, backend, first
+ * differing element) and aborts, so both CI smoke runs and local
+ * long-haul runs fail loudly.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tensor/kernels.hh"
+#include "tensor/sign_matrix.hh"
+#include "tensor/signbits.hh"
+#include "tensor/tensor.hh"
+#include "tensor/topk_heap.hh"
+
+namespace {
+
+using longsight::KernelBackend;
+using longsight::Matrix;
+using longsight::ScoredIndex;
+using longsight::SignBits;
+using longsight::SignMatrix;
+
+/** Details of the case being run, for failure reports. */
+struct CaseInfo
+{
+    uint64_t seed = 0;
+    size_t dim = 0, rows = 0, begin = 0, end = 0, queries = 0;
+    int threshold = 0;
+    size_t k = 0;
+    const char *backend = "";
+    const char *stage = "";
+};
+
+CaseInfo g_case;
+
+[[noreturn]] void
+fail(const char *what)
+{
+    std::fprintf(stderr,
+                 "kernel-parity FAIL: %s\n"
+                 "  stage=%s backend=%s seed=%" PRIu64 "\n"
+                 "  dim=%zu rows=%zu range=[%zu,%zu) queries=%zu "
+                 "threshold=%d k=%zu\n",
+                 what, g_case.stage, g_case.backend, g_case.seed,
+                 g_case.dim, g_case.rows, g_case.begin, g_case.end,
+                 g_case.queries, g_case.threshold, g_case.k);
+    std::abort();
+}
+
+void
+check(bool ok, const char *what)
+{
+    if (!ok)
+        fail(what);
+}
+
+/** Deterministic byte-stream reader (FuzzedDataProvider-alike). */
+class Input
+{
+  public:
+    Input(const uint8_t *data, size_t size) : data_(data), size_(size) {}
+
+    uint8_t byte()
+    {
+        if (pos_ >= size_)
+            return 0;
+        return data_[pos_++];
+    }
+
+    uint32_t u32()
+    {
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v = (v << 8) | byte();
+        return v;
+    }
+
+    /** Uniform-ish value in [lo, hi] (inclusive). */
+    size_t range(size_t lo, size_t hi)
+    {
+        if (hi <= lo)
+            return lo;
+        return lo + u32() % (hi - lo + 1);
+    }
+
+    /** Small exact float in [-8, 8): every backend must reproduce the
+     *  same bits, so values stay finite and well-scaled. */
+    float smallFloat()
+    {
+        return static_cast<float>(static_cast<int32_t>(u32() % 4096) -
+                                  2048) /
+               256.0f;
+    }
+
+  private:
+    const uint8_t *data_;
+    size_t size_;
+    size_t pos_ = 0;
+};
+
+std::vector<KernelBackend>
+availableBackends()
+{
+    std::vector<KernelBackend> out{KernelBackend::Scalar};
+    for (auto b : {KernelBackend::Avx2, KernelBackend::Neon})
+        if (longsight::kernelBackendAvailable(b))
+            out.push_back(b);
+    return out;
+}
+
+/** Everything one backend produces for a case; memcmp-able fields. */
+struct Outputs
+{
+    std::vector<int32_t> concordance;
+    std::vector<uint32_t> scan_vec;      // vector-flavour survivors
+    std::vector<uint32_t> scan_ptr;      // caller-storage survivors
+    uint64_t bitmap[2] = {0, 0};
+    uint64_t bitmap_words[2] = {0, 0};   // packed-words flavour
+    std::vector<float> dot_at;
+    std::vector<float> dot_range;
+    std::vector<ScoredIndex> select;
+    size_t select_n = 0;
+    size_t select_survivors = 0;
+    std::vector<uint32_t> multi_scan;    // queries * stride
+    std::vector<size_t> multi_counts;
+    std::vector<uint64_t> multi_bitmap;  // queries * 2
+    std::vector<ScoredIndex> multi_select;
+    std::vector<size_t> multi_select_n;
+    std::vector<size_t> multi_survivors;
+};
+
+/** Run the full public kernel surface on the active backend. */
+Outputs
+runKernels(const SignBits &query, const std::vector<uint64_t> &qwords,
+           const std::vector<uint64_t> &all_qwords,
+           const std::vector<float> &all_queries, const SignMatrix &signs,
+           const Matrix &keys, size_t begin, size_t end, int threshold,
+           float scale, size_t k, size_t num_queries)
+{
+    const size_t span = end - begin;
+    const size_t dim = signs.dim();
+    Outputs o;
+
+    g_case.stage = "batchConcordance";
+    o.concordance.assign(span, 0);
+    if (span)
+        longsight::batchConcordance(query, signs, begin, end,
+                                    o.concordance.data());
+
+    g_case.stage = "batchConcordanceScan";
+    size_t n1 = longsight::batchConcordanceScan(query, signs, begin, end,
+                                                threshold, o.scan_vec);
+    check(n1 == o.scan_vec.size(), "scan count != appended size");
+    o.scan_ptr.assign(span ? span : 1, 0xffffffffu);
+    size_t n2 = longsight::batchConcordanceScan(
+        qwords.data(), signs, begin, end, threshold, o.scan_ptr.data());
+    o.scan_ptr.resize(n2);
+    check(o.scan_vec == o.scan_ptr,
+          "vector and caller-storage scans disagree");
+
+    g_case.stage = "concordanceBitmap";
+    if (span) {
+        size_t nkeys = std::min<size_t>(span, 128);
+        longsight::concordanceBitmap(query, signs, begin,
+                                     static_cast<uint32_t>(nkeys),
+                                     threshold, o.bitmap);
+        longsight::concordanceBitmap(qwords.data(), signs, begin,
+                                     static_cast<uint32_t>(nkeys),
+                                     threshold, o.bitmap_words);
+        check(o.bitmap[0] == o.bitmap_words[0] &&
+                  o.bitmap[1] == o.bitmap_words[1],
+              "SignBits and packed-words bitmaps disagree");
+    }
+
+    g_case.stage = "batchDotScaleAt";
+    o.dot_at.assign(o.scan_ptr.size() ? o.scan_ptr.size() : 1, 0.0f);
+    if (!o.scan_ptr.empty())
+        longsight::batchDotScaleAt(all_queries.data(), keys,
+                                   o.scan_ptr.data(), o.scan_ptr.size(),
+                                   scale, o.dot_at.data());
+    o.dot_at.resize(o.scan_ptr.size());
+
+    g_case.stage = "batchDotScaleRange";
+    o.dot_range.assign(span ? span : 1, 0.0f);
+    if (span)
+        longsight::batchDotScaleRange(all_queries.data(), keys, begin,
+                                      end, scale, o.dot_range.data());
+    o.dot_range.resize(span);
+
+    g_case.stage = "batchScoreSelect";
+    size_t cap = std::min(k, span);
+    o.select.assign(cap ? cap : 1, ScoredIndex{0.0f, 0});
+    o.select_n = longsight::batchScoreSelect(
+        qwords.data(), signs, begin, end, threshold, all_queries.data(),
+        keys, scale, k, o.select.data(), &o.select_survivors);
+    o.select.resize(o.select_n);
+
+    g_case.stage = "batchScanMulti";
+    const size_t stride = span ? span : 1;
+    o.multi_scan.assign(num_queries * stride, 0xffffffffu);
+    o.multi_counts.assign(num_queries, 0);
+    longsight::batchScanMulti(all_qwords.data(), num_queries, signs,
+                              begin, end, threshold, o.multi_scan.data(),
+                              stride, o.multi_counts.data());
+
+    g_case.stage = "concordanceBitmapMulti";
+    o.multi_bitmap.assign(num_queries * 2, 0);
+    if (span) {
+        size_t nkeys = std::min<size_t>(span, 128);
+        longsight::concordanceBitmapMulti(
+            all_qwords.data(), num_queries, signs, begin,
+            static_cast<uint32_t>(nkeys), threshold,
+            o.multi_bitmap.data());
+    }
+
+    g_case.stage = "batchScoreSelectMulti";
+    const size_t out_stride = cap ? cap : 1;
+    o.multi_select.assign(num_queries * out_stride,
+                          ScoredIndex{0.0f, 0});
+    o.multi_select_n.assign(num_queries, 0);
+    o.multi_survivors.assign(num_queries, 0);
+    longsight::batchScoreSelectMulti(
+        all_qwords.data(), num_queries, signs, begin, end, threshold,
+        all_queries.data(), dim, keys, scale, k, o.multi_select.data(),
+        out_stride, o.multi_select_n.data(), o.multi_survivors.data());
+
+    // Internal consistency on THIS backend: multi query 0 is the same
+    // query the single-query calls used, so its outputs must match.
+    g_case.stage = "multi-vs-single";
+    check(o.multi_counts[0] == o.scan_ptr.size(),
+          "multi scan count != single scan count (query 0)");
+    check(std::equal(o.scan_ptr.begin(), o.scan_ptr.end(),
+                     o.multi_scan.begin()),
+          "multi scan survivors != single scan survivors (query 0)");
+    if (span)
+        check(o.multi_bitmap[0] == o.bitmap[0] &&
+                  o.multi_bitmap[1] == o.bitmap[1],
+              "multi bitmap != single bitmap (query 0)");
+    check(o.multi_select_n[0] == o.select_n &&
+              o.multi_survivors[0] == o.select_survivors,
+          "multi select sizes != single select sizes (query 0)");
+    check(std::equal(
+              o.select.begin(), o.select.end(), o.multi_select.begin(),
+              [](const ScoredIndex &a, const ScoredIndex &b) {
+                  return a.index == b.index &&
+                         std::memcmp(&a.score, &b.score,
+                                     sizeof(float)) == 0;
+              }),
+          "multi select entries != single select entries (query 0)");
+    return o;
+}
+
+template <class T>
+void
+checkEq(const std::vector<T> &ref, const std::vector<T> &got,
+        const char *what)
+{
+    check(ref.size() == got.size(), what);
+    // data() of an empty vector may be null, and memcmp's arguments
+    // are declared nonnull even for a zero length (UBSan flags it).
+    check(ref.empty() ||
+              std::memcmp(ref.data(), got.data(),
+                          ref.size() * sizeof(T)) == 0,
+          what);
+}
+
+void
+compareOutputs(const Outputs &ref, const Outputs &got)
+{
+    g_case.stage = "cross-backend-compare";
+    checkEq(ref.concordance, got.concordance, "concordance differs");
+    checkEq(ref.scan_ptr, got.scan_ptr, "survivor set differs");
+    check(ref.bitmap[0] == got.bitmap[0] && ref.bitmap[1] == got.bitmap[1],
+          "bitmap differs");
+    checkEq(ref.dot_at, got.dot_at, "dotAt scores differ");
+    checkEq(ref.dot_range, got.dot_range, "dotRange scores differ");
+    check(ref.select_n == got.select_n &&
+              ref.select_survivors == got.select_survivors,
+          "score-select sizes differ");
+    checkEq(ref.select, got.select, "score-select entries differ");
+    checkEq(ref.multi_counts, got.multi_counts, "multi counts differ");
+    checkEq(ref.multi_bitmap, got.multi_bitmap, "multi bitmaps differ");
+    checkEq(ref.multi_select_n, got.multi_select_n,
+            "multi score-select sizes differ");
+    checkEq(ref.multi_survivors, got.multi_survivors,
+            "multi survivor counts differ");
+    // Multi outputs are contracted per query up to counts[q] /
+    // out_sizes[q]; beyond that is scratch (the SIMD backends'
+    // branchless store-then-advance emission writes one slot past the
+    // live list), so only the valid prefixes are compared.
+    const size_t nq = ref.multi_counts.size();
+    const size_t stride = nq ? ref.multi_scan.size() / nq : 0;
+    const size_t out_stride = nq ? ref.multi_select.size() / nq : 0;
+    for (size_t q = 0; q < nq; ++q) {
+        check(std::equal(ref.multi_scan.begin() + q * stride,
+                         ref.multi_scan.begin() + q * stride +
+                             ref.multi_counts[q],
+                         got.multi_scan.begin() + q * stride),
+              "multi survivors differ");
+        check(std::equal(
+                  ref.multi_select.begin() + q * out_stride,
+                  ref.multi_select.begin() + q * out_stride +
+                      ref.multi_select_n[q],
+                  got.multi_select.begin() + q * out_stride,
+                  [](const ScoredIndex &a, const ScoredIndex &b) {
+                      return a.index == b.index &&
+                             std::memcmp(&a.score, &b.score,
+                                         sizeof(float)) == 0;
+                  }),
+              "multi score-select entries differ");
+    }
+}
+
+void
+runCase(const uint8_t *data, size_t size)
+{
+    Input in(data, size);
+    const size_t dim = in.range(1, 200);
+    const size_t rows = in.range(0, 260);
+    size_t begin = in.range(0, rows);
+    size_t end = in.range(begin, rows);
+    // Threshold straddles the meaningful range plus both saturations.
+    const int threshold =
+        static_cast<int>(in.range(0, dim + 2)) - 1;
+    const size_t k = in.range(1, rows + 2); // k > 0 is a precondition
+    // Beyond kMaxScanQueries so the drivers' chunking is exercised.
+    const size_t num_queries =
+        in.range(1, longsight::kMaxScanQueries + 4);
+    const float scale = in.smallFloat();
+
+    g_case.dim = dim;
+    g_case.rows = rows;
+    g_case.begin = begin;
+    g_case.end = end;
+    g_case.threshold = threshold;
+    g_case.k = k;
+    g_case.queries = num_queries;
+
+    std::vector<float> key_data(rows * dim);
+    for (auto &v : key_data)
+        v = in.smallFloat();
+    Matrix keys(rows, dim, key_data);
+    SignMatrix signs(dim);
+    for (size_t r = 0; r < rows; ++r)
+        signs.appendRow(keys.row(r));
+
+    std::vector<float> all_queries(num_queries * dim);
+    for (auto &v : all_queries)
+        v = in.smallFloat();
+    const size_t wpr = signs.wordsPerRow();
+    std::vector<uint64_t> all_qwords(num_queries * wpr);
+    for (size_t q = 0; q < num_queries; ++q)
+        longsight::packSigns(all_queries.data() + q * dim, dim,
+                             all_qwords.data() + q * wpr);
+    SignBits query(all_queries.data(), dim);
+    std::vector<uint64_t> qwords(all_qwords.begin(),
+                                 all_qwords.begin() + wpr);
+
+    const KernelBackend prev = longsight::activeKernelBackend();
+    Outputs ref;
+    bool have_ref = false;
+    for (KernelBackend b : availableBackends()) {
+        g_case.backend = longsight::kernelBackendName(b);
+        longsight::setKernelBackend(b);
+        Outputs got = runKernels(query, qwords, all_qwords, all_queries,
+                                 signs, keys, begin, end, threshold,
+                                 scale, k, num_queries);
+        if (!have_ref) {
+            ref = std::move(got);
+            have_ref = true;
+        } else {
+            compareOutputs(ref, got);
+        }
+    }
+    longsight::setKernelBackend(prev);
+}
+
+} // namespace
+
+#if defined(LONGSIGHT_LIBFUZZER)
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    runCase(data, size);
+    return 0;
+}
+
+#else // standalone driver
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+int
+replayFile(const char *path)
+{
+    std::FILE *f = std::fopen(path, "rb");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", path);
+        return 1;
+    }
+    std::vector<uint8_t> buf;
+    uint8_t chunk[4096];
+    size_t n;
+    while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0)
+        buf.insert(buf.end(), chunk, chunk + n);
+    std::fclose(f);
+    g_case = CaseInfo{};
+    runCase(buf.data(), buf.size());
+    std::printf("replayed %s (%zu bytes): OK\n", path, buf.size());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint64_t seed = 0x10095117ull; // default: fixed, reproducible
+    long iters = 2000;
+    double seconds = 0.0;
+    std::vector<const char *> replay;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", a.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--seed")
+            seed = std::strtoull(next(), nullptr, 0);
+        else if (a == "--iters")
+            iters = std::strtol(next(), nullptr, 0);
+        else if (a == "--seconds")
+            seconds = std::strtod(next(), nullptr);
+        else if (a == "--help" || a == "-h") {
+            std::printf("usage: %s [--seed S] [--iters N] "
+                        "[--seconds T] [case-file...]\n",
+                        argv[0]);
+            return 0;
+        } else {
+            replay.push_back(argv[i]);
+        }
+    }
+
+    for (const char *path : replay)
+        if (int rc = replayFile(path))
+            return rc;
+    if (!replay.empty())
+        return 0;
+
+    size_t backends = availableBackends().size();
+    std::printf("kernel-parity fuzz: %zu backend(s):", backends);
+    for (KernelBackend b : availableBackends())
+        std::printf(" %s", longsight::kernelBackendName(b));
+    std::printf("\n");
+    if (backends < 2)
+        std::printf("note: only one backend available; checking "
+                    "internal (multi-vs-single, flavour) parity only\n");
+
+    const auto t0 = std::chrono::steady_clock::now();
+    auto elapsed = [&] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    };
+    long done = 0;
+    uint64_t state = seed;
+    std::vector<uint8_t> buf;
+    while (seconds > 0.0 ? elapsed() < seconds : done < iters) {
+        uint64_t case_seed = splitmix64(state);
+        g_case = CaseInfo{};
+        g_case.seed = case_seed;
+        // Size varies so short (truncated-input) cases are covered too.
+        buf.resize(64 + case_seed % 3072);
+        uint64_t s = case_seed;
+        for (size_t i = 0; i < buf.size(); i += 8) {
+            uint64_t w = splitmix64(s);
+            size_t nb = std::min<size_t>(8, buf.size() - i);
+            std::memcpy(buf.data() + i, &w, nb);
+        }
+        runCase(buf.data(), buf.size());
+        ++done;
+    }
+    std::printf("kernel-parity fuzz: OK (%ld cases, %.1fs, seed "
+                "0x%" PRIx64 ")\n",
+                done, elapsed(), seed);
+    return 0;
+}
+
+#endif // LONGSIGHT_LIBFUZZER

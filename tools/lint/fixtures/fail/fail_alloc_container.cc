@@ -1,0 +1,32 @@
+// Growing std containers and std::function construction under
+// LS_HOT_PATH, two levels below the annotated root.
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "util/annotations.hh"
+
+namespace fixture {
+
+void
+record(std::vector<int> &log, int x)
+{
+    log.push_back(x); // EXPECT(alloc)
+}
+
+int
+dispatch(int x)
+{
+    std::function<int(int)> f = [](int y) { return y * 2; }; // EXPECT(alloc)
+    return f(x);
+}
+
+} // namespace fixture
+
+void
+hotStep(std::vector<int> &log, int x)
+{
+    LS_HOT_PATH();
+    fixture::record(log, x);
+    fixture::record(log, fixture::dispatch(x));
+}

@@ -1,0 +1,49 @@
+// Container constructors that allocate eagerly (sized, copy) under
+// LS_HOT_PATH. The default and moved-from constructions in normalize()
+// must NOT be flagged: neither touches the heap.
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/annotations.hh"
+
+namespace fixture {
+
+float
+sumFresh(std::size_t n)
+{
+    std::vector<float> v(n, 1.0f); // EXPECT(alloc)
+    float s = 0.0f;
+    for (float x : v)
+        s += x;
+    return s;
+}
+
+std::vector<float>
+normalize(std::vector<float> in)
+{
+    // Default construction + move assignment: no heap traffic, no
+    // diagnostic expected on either line.
+    std::vector<float> out;
+    out = std::move(in);
+    for (float &x : out)
+        x *= 0.5f;
+    return out;
+}
+
+float
+duplicate(const std::vector<float> &src)
+{
+    std::vector<float> copy(src); // EXPECT(alloc)
+    return copy.empty() ? 0.0f : copy.front();
+}
+
+} // namespace fixture
+
+float
+hotStep(std::vector<float> &data, std::size_t n)
+{
+    LS_HOT_PATH();
+    data = fixture::normalize(std::move(data));
+    return fixture::sumFresh(n) + fixture::duplicate(data);
+}

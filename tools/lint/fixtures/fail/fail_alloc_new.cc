@@ -1,0 +1,26 @@
+// Direct and transitive operator new under LS_HOT_PATH.
+#include <cstddef>
+
+#include "util/annotations.hh"
+
+namespace fixture {
+
+int *
+makeBuffer(size_t n)
+{
+    return new int[n]; // EXPECT(alloc)
+}
+
+} // namespace fixture
+
+int
+hotLeaky(size_t n)
+{
+    LS_HOT_PATH();
+    int *v = fixture::makeBuffer(n);
+    int s = 0;
+    for (size_t i = 0; i < n; ++i)
+        s += v[i];
+    delete[] v;
+    return s;
+}

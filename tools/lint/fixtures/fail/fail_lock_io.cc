@@ -1,0 +1,41 @@
+// Mutex acquisition and stdio/iostream writes under LS_NO_LOCK.
+#include <cstdio>
+#include <iostream>
+#include <mutex>
+
+#include "util/annotations.hh"
+
+namespace fixture {
+
+std::mutex gate;
+int shared_total;
+
+void
+addLocked(int x)
+{
+    std::lock_guard<std::mutex> hold(gate); // EXPECT(lock)
+    shared_total += x;
+}
+
+void
+trace(int x)
+{
+    std::printf("x=%d\n", x); // EXPECT(lock)
+}
+
+void
+traceStream(int x)
+{
+    std::cout << x << '\n'; // EXPECT(lock)
+}
+
+} // namespace fixture
+
+void
+lockFreeStep(int x)
+{
+    LS_NO_LOCK();
+    fixture::addLocked(x);
+    fixture::trace(x);
+    fixture::traceStream(x);
+}

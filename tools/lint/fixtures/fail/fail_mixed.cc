@@ -1,0 +1,31 @@
+// One root carrying all three contracts, violating each once; also
+// checks that a waiver for the WRONG category does not suppress.
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "util/annotations.hh"
+
+namespace fixture {
+
+std::mutex gate;
+
+int
+unsafe(std::vector<int> &v)
+{
+    // LS_LINT_ALLOW(determinism): wrong category, must not waive alloc
+    v.push_back(1); // EXPECT(alloc)
+    std::lock_guard<std::mutex> hold(gate); // EXPECT(lock)
+    return rand(); // EXPECT(determinism)
+}
+
+} // namespace fixture
+
+int
+fullContract(std::vector<int> &v)
+{
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
+    return fixture::unsafe(v);
+}

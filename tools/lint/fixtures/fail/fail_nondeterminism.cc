@@ -1,0 +1,39 @@
+// rand()/time() and unordered-container iteration under
+// LS_DETERMINISTIC.
+#include <cstdlib>
+#include <ctime>
+#include <unordered_map>
+
+#include "util/annotations.hh"
+
+namespace fixture {
+
+int
+jitter()
+{
+    return rand() % 7; // EXPECT(determinism)
+}
+
+long
+stamp()
+{
+    return static_cast<long>(time(nullptr)); // EXPECT(determinism)
+}
+
+int
+sumValues(const std::unordered_map<int, int> &m)
+{
+    int s = 0;
+    for (auto it = m.begin(); it != m.end(); ++it) // EXPECT(determinism)
+        s += it->second;
+    return s;
+}
+
+} // namespace fixture
+
+long
+deterministicStep(const std::unordered_map<int, int> &m)
+{
+    LS_DETERMINISTIC();
+    return fixture::jitter() + fixture::stamp() + fixture::sumValues(m);
+}

@@ -1,0 +1,19 @@
+// LS_ASSERT on a hot path: the failure branch formats a message and
+// aborts, but panic() is a [[noreturn]] failure handler the checker
+// prunes as cold by construction. Must produce zero diagnostics.
+#include <cstddef>
+
+#include "util/annotations.hh"
+#include "util/logging.hh"
+
+int
+hotChecked(const int *v, size_t n)
+{
+    LS_HOT_PATH();
+    LS_NO_LOCK();
+    LS_ASSERT(v != nullptr, "null input of length ", n);
+    int s = 0;
+    for (size_t i = 0; i < n; ++i)
+        s += v[i];
+    return s;
+}

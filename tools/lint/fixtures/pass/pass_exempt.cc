@@ -1,0 +1,40 @@
+// Exempt cold path: the grow() slow path allocates, but it is marked
+// LS_CONTRACT_EXEMPT (warmup-only by design), so traversal from the
+// hot root stops at its boundary. Must produce zero diagnostics.
+#include <cstddef>
+#include <cstdint>
+
+#include "util/annotations.hh"
+
+namespace fixture {
+
+struct Arena
+{
+    unsigned char *base = nullptr;
+    size_t size = 0;
+    size_t used = 0;
+};
+
+void
+grow(Arena &a, size_t need)
+{
+    // Cold warmup path: one-time growth, never steady-state.
+    LS_CONTRACT_EXEMPT();
+    unsigned char *bigger = new unsigned char[a.size + need];
+    delete[] a.base;
+    a.base = bigger;
+    a.size += need;
+}
+
+} // namespace fixture
+
+void *
+hotAlloc(fixture::Arena &a, size_t bytes)
+{
+    LS_HOT_PATH();
+    if (a.used + bytes > a.size)
+        fixture::grow(a, bytes);
+    void *p = a.base + a.used;
+    a.used += bytes;
+    return p;
+}

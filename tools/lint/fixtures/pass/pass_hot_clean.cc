@@ -1,0 +1,36 @@
+// Clean hot path: arithmetic, caller-storage writes, transitive calls
+// into equally clean helpers. Must produce zero diagnostics.
+#include <cstddef>
+#include <cstdint>
+
+#include "util/annotations.hh"
+
+namespace fixture {
+
+int
+accumulate(const int *v, size_t n)
+{
+    int s = 0;
+    for (size_t i = 0; i < n; ++i)
+        s += v[i];
+    return s;
+}
+
+void
+scale(int *v, size_t n, int k)
+{
+    for (size_t i = 0; i < n; ++i)
+        v[i] *= k;
+}
+
+} // namespace fixture
+
+int
+hotKernel(int *v, size_t n)
+{
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
+    fixture::scale(v, n, 3);
+    return fixture::accumulate(v, n);
+}

@@ -1,0 +1,23 @@
+// Waived amortized growth: the push_back below allocates only until
+// the vector reaches its steady capacity, which the runtime allocation
+// regression gate verifies. The LS_LINT_ALLOW comments suppress the
+// two growth entry points; the file must lint clean.
+#include <cstddef>
+#include <vector>
+
+#include "util/annotations.hh"
+
+void
+hotAppend(std::vector<int> &scratch, int x)
+{
+    LS_HOT_PATH();
+    // LS_LINT_ALLOW(alloc): capacity persists across steps
+    scratch.push_back(x);
+}
+
+void
+hotRefill(std::vector<int> &scratch, size_t n)
+{
+    LS_HOT_PATH();
+    scratch.resize(n); // LS_LINT_ALLOW(alloc): capacity persists
+}

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Self-test for the contract lint over its fixture corpus.
+
+Every fixtures/pass/*.cc must lint clean (exit 0, no diagnostics).
+Every fixtures/fail/*.cc must produce EXACTLY the diagnostics its
+`// EXPECT(category)` comments declare: one diagnostic of that
+category anchored at that line, no extras, no misses — so both false
+negatives AND false positives (and wrong locations) fail the suite.
+
+Usage: run_fixture_tests.py [--project-root DIR]
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.realpath(__file__))
+LINT = os.path.join(HERE, "ls_contract_lint.py")
+EXPECT_RE = re.compile(r"//\s*EXPECT\((alloc|determinism|lock)\)")
+
+
+def run_lint(fixture, project_root):
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tf:
+        out = tf.name
+    try:
+        proc = subprocess.run(
+            [sys.executable, LINT, "--fixture", fixture,
+             "--project-root", project_root, "--json", out],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+        with open(out) as f:
+            diags = json.load(f)["diagnostics"]
+    finally:
+        os.unlink(out)
+    return proc, diags
+
+
+def expected_of(fixture):
+    expected = set()
+    with open(fixture) as f:
+        for lineno, line in enumerate(f, 1):
+            m = EXPECT_RE.search(line)
+            if m:
+                expected.add((lineno, m.group(1)))
+    return expected
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--project-root",
+                    default=os.path.realpath(
+                        os.path.join(HERE, os.pardir, os.pardir)))
+    opts = ap.parse_args()
+
+    failures = []
+    checked = 0
+
+    for kind in ("pass", "fail"):
+        d = os.path.join(HERE, "fixtures", kind)
+        files = sorted(f for f in os.listdir(d) if f.endswith(".cc"))
+        if not files:
+            failures.append("%s corpus is empty" % kind)
+        for name in files:
+            fixture = os.path.join(d, name)
+            checked += 1
+            proc, diags = run_lint(fixture, opts.project_root)
+            got = {(dg["line"], dg["category"]) for dg in diags}
+            # Diagnostics must also point into the fixture itself.
+            stray = [dg for dg in diags
+                     if os.path.realpath(dg["file"]) != fixture]
+            if stray:
+                failures.append("%s: diagnostic outside fixture: %s"
+                                % (name, stray[0]["loc"]))
+            if kind == "pass":
+                if proc.returncode != 0 or got:
+                    failures.append(
+                        "%s: expected clean, exit=%d, diagnostics=%s\n%s"
+                        % (name, proc.returncode, sorted(got),
+                           proc.stdout))
+            else:
+                expected = expected_of(fixture)
+                if not expected:
+                    failures.append("%s: fail fixture with no EXPECT "
+                                    "comments" % name)
+                if proc.returncode == 0:
+                    failures.append("%s: expected nonzero exit" % name)
+                if got != expected:
+                    failures.append(
+                        "%s: diagnostic mismatch\n  expected: %s\n"
+                        "  got:      %s\n%s"
+                        % (name, sorted(expected), sorted(got),
+                           proc.stdout))
+                for dg in diags:
+                    if dg["col"] <= 0:
+                        failures.append("%s: diagnostic without a "
+                                        "column: %s" % (name, dg["loc"]))
+
+    if failures:
+        for f in failures:
+            print("FAIL: %s" % f, file=sys.stderr)
+        print("%d fixture check(s) failed" % len(failures),
+              file=sys.stderr)
+        return 1
+    print("lint fixtures OK (%d files)" % checked)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

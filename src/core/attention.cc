@@ -1,7 +1,9 @@
 #include "core/attention.hh"
 
+#include <algorithm>
 #include <cmath>
 
+#include "core/kv_cache.hh"
 #include "tensor/kernels.hh"
 #include "tensor/linalg.hh"
 #include "tensor/softmax.hh"
@@ -97,6 +99,87 @@ subsetAttentionInto(const float *q, const Matrix &keys, const Matrix &values,
     batchDotScaleAt(q, keys, indices, count, scale, probs);
     softmaxInPlace(probs, count);
     weightedValueSumInto(values, indices, count, probs, out);
+}
+
+void
+denseAttentionInto(const float *q, const KvCache &cache, float scale,
+                   float *probs, float *out)
+{
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
+    if (!cache.paged()) {
+        denseAttentionInto(q, cache.keys(), cache.values(), scale, probs,
+                           out);
+        return;
+    }
+    const size_t n = cache.size();
+    const Matrix &keys = cache.keysStorage();
+    const Matrix &values = cache.valuesStorage();
+    // Score and accumulate span by span in ascending logical order:
+    // each token's dot and its probs-weighted add happen in exactly
+    // the sequence the contiguous path uses, so the result is
+    // bit-identical for any block size.
+    for (size_t at = 0; at < n;) {
+        const ScanSpan sp = cache.spanAt(at, n);
+        batchDotScaleRange(q, keys, sp.physBegin, sp.physBegin + sp.count,
+                           scale, probs + sp.logicalBase);
+        at += sp.count;
+    }
+    softmaxInPlace(probs, n);
+    for (size_t d = 0; d < values.cols(); ++d)
+        out[d] = 0.0f;
+    for (size_t at = 0; at < n;) {
+        const ScanSpan sp = cache.spanAt(at, n);
+        for (size_t i = 0; i < sp.count; ++i) {
+            const float p = probs[sp.logicalBase + i];
+            const float *v = values.row(sp.physBegin + i);
+            for (size_t d = 0; d < values.cols(); ++d)
+                out[d] += p * v[d];
+        }
+        at += sp.count;
+    }
+}
+
+void
+subsetAttentionInto(const float *q, const KvCache &cache,
+                    const uint32_t *indices, size_t count, float scale,
+                    float *probs, float *out)
+{
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
+    if (!cache.paged()) {
+        subsetAttentionInto(q, cache.keys(), cache.values(), indices,
+                            count, scale, probs, out);
+        return;
+    }
+    const Matrix &keys = cache.keysStorage();
+    const Matrix &values = cache.valuesStorage();
+    // Logical -> physical translation through a bounded stack chunk
+    // keeps the gather path allocation-free; scores, softmax and the
+    // weighted sum all run in the caller's index order regardless of
+    // where the chunk boundaries fall.
+    constexpr size_t kChunk = 512;
+    uint32_t phys[kChunk];
+    for (size_t at = 0; at < count; at += kChunk) {
+        const size_t m = std::min(kChunk, count - at);
+        cache.mapToPhysical(indices + at, m, phys);
+        batchDotScaleAt(q, keys, phys, m, scale, probs + at);
+    }
+    softmaxInPlace(probs, count);
+    for (size_t d = 0; d < values.cols(); ++d)
+        out[d] = 0.0f;
+    for (size_t at = 0; at < count; at += kChunk) {
+        const size_t m = std::min(kChunk, count - at);
+        cache.mapToPhysical(indices + at, m, phys);
+        for (size_t j = 0; j < m; ++j) {
+            const float p = probs[at + j];
+            const float *v = values.row(phys[j]);
+            for (size_t d = 0; d < values.cols(); ++d)
+                out[d] += p * v[d];
+        }
+    }
 }
 
 void

@@ -18,6 +18,8 @@
 
 namespace longsight {
 
+class KvCache;
+
 /**
  * Result of one attention evaluation for a single query.
  */
@@ -83,6 +85,27 @@ void subsetAttentionInto(const float *q, const Matrix &keys,
 /** weightedValueSum into caller storage (out overwritten). */
 void weightedValueSumInto(const Matrix &values, const uint32_t *indices,
                           size_t count, const float *probs, float *out);
+
+// Cache-aware flavours: identical math against a KvCache in either
+// storage mode. Flat caches delegate to the Matrix forms above; paged
+// caches walk the block table span by span (dense) or translate
+// logical token ids to physical rows in bounded stack chunks (subset),
+// so both stay allocation-free and bit-identical to the flat layout.
+
+/**
+ * denseAttentionInto over tokens [0, cache.size()): probs must hold
+ * cache.size() floats (probs[i] is token i) and out headDim floats.
+ */
+void denseAttentionInto(const float *q, const KvCache &cache, float scale,
+                        float *probs, float *out);
+
+/**
+ * subsetAttentionInto over logical token ids `indices` (renormalized
+ * softmax over the subset; probs[j] corresponds to indices[j]).
+ */
+void subsetAttentionInto(const float *q, const KvCache &cache,
+                         const uint32_t *indices, size_t count,
+                         float scale, float *probs, float *out);
 
 } // namespace longsight
 

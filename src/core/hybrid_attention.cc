@@ -132,19 +132,30 @@ LongSightAttn::computeGroupInto(const float *queries, size_t query_stride,
             frame.alloc<ScoredIndex>(num_queries * kcap);
         size_t *nsel = frame.alloc<size_t>(num_queries);
 
+        // The filter region as physical spans (a paged cache's block
+        // table; the single identity span when flat) — both branches
+        // route through the span drivers, so flat and paged layouts
+        // run the same code and stay element-identical.
+        ScanSpan *spans =
+            frame.alloc<ScanSpan>(cache.maxSpans(sinks, win_start));
+        const size_t nspans = cache.collectSpans(sinks, win_start, spans);
+        size_t *span_surv = frame.alloc<size_t>(nspans);
+        const SignMatrix &fsigns = cache.filterSignsStorage();
+
         if (cfg_.quantizedScoring && cache.keysQuantized()) {
             // INT8 scoring reads keys through the cache's quantized
             // store, which the fused kernel's dot ops cannot; scan the
             // whole group's survivors in one pass over the sign rows,
             // then heap-select per query. Same ordering contract
             // (topk_heap), same per-query results as the single-query
-            // formulation.
+            // formulation. Survivors arrive as LOGICAL token ids, so
+            // scoreKey translates through the block table itself.
             uint32_t *survivors =
                 frame.alloc<uint32_t>(num_queries * sparse_raw);
             size_t *counts = frame.alloc<size_t>(num_queries);
-            batchScanMulti(q_words, num_queries, cache.filterSignsAll(),
-                           sinks, win_start, th, survivors, sparse_raw,
-                           counts);
+            batchScanMultiSpans(q_words, num_queries, fsigns, spans,
+                                nspans, th, survivors, sparse_raw, counts,
+                                span_surv);
             for (uint32_t g = 0; g < num_queries; ++g) {
                 const float *q = queries + g * query_stride;
                 const uint32_t *surv = survivors + g * sparse_raw;
@@ -164,14 +175,23 @@ LongSightAttn::computeGroupInto(const float *queries, size_t query_stride,
             // rows and survivor key tiles are read once and stream
             // through every query's concordance test and top-k heap.
             size_t *nsurv = frame.alloc<size_t>(num_queries);
-            batchScoreSelectMulti(q_words, num_queries,
-                                  cache.filterSignsAll(), sinks, win_start,
-                                  th, queries, query_stride, cache.keys(),
-                                  scale, cfg_.topK, selected, kcap, nsel,
-                                  nsurv);
+            batchScoreSelectMultiSpans(q_words, num_queries, fsigns,
+                                       spans, nspans, th, queries,
+                                       query_stride, cache.keysStorage(),
+                                       scale, cfg_.topK, selected, kcap,
+                                       nsel, nsurv, span_surv);
             for (uint32_t g = 0; g < num_queries; ++g)
                 rs[g].sparseSurvivors = nsurv[g];
         }
+
+        // Credit the pass to the pool's SCF residency counters: blocks
+        // whose keys keep surviving the filter earn the HBM window.
+        if (cache.paged())
+            for (size_t si = 0; si < nspans; ++si)
+                cache.recordFilterScan(spans[si],
+                                       uint64_t{num_queries} *
+                                           spans[si].count,
+                                       span_surv[si]);
 
         for (uint32_t g = 0; g < num_queries; ++g) {
             HeadAttentionResult &r = rs[g];
@@ -208,10 +228,9 @@ LongSightAttn::computeGroupInto(const float *queries, size_t query_stride,
         float *probs = probs_frame.alloc<float>(r.attended.size());
         // LS_LINT_ALLOW(alloc): fixed dim; capacity persists after step one
         r.output.resize(dim);
-        subsetAttentionInto(queries + g * query_stride, cache.keys(),
-                            cache.values(), r.attended.data(),
-                            r.attended.size(), scale, probs,
-                            r.output.data());
+        subsetAttentionInto(queries + g * query_stride, cache,
+                            r.attended.data(), r.attended.size(), scale,
+                            probs, r.output.data());
     }
 }
 

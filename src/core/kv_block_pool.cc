@@ -1,0 +1,356 @@
+#include "core/kv_block_pool.hh"
+
+#include <algorithm>
+
+#include "tensor/quantized.hh"
+#include "util/annotations.hh"
+#include "util/logging.hh"
+
+namespace longsight {
+
+/** Tiny scoped spinlock: block alloc/release critical sections are a
+ *  handful of vector ops, far shorter than a futex round trip. */
+struct KvBlockPool::SpinGuard
+{
+    explicit SpinGuard(std::atomic_flag &f) : flag(f)
+    {
+        while (flag.test_and_set(std::memory_order_acquire)) {
+        }
+    }
+    ~SpinGuard() { flag.clear(std::memory_order_release); }
+    std::atomic_flag &flag;
+};
+
+KvBlockPool::KvBlockPool(uint32_t head_dim, uint32_t block_tokens,
+                         uint32_t num_blocks, uint32_t hbm_budget_blocks)
+    : headDim_(head_dim), blockTokens_(block_tokens),
+      numBlocks_(num_blocks), hbmBudget_(hbm_budget_blocks),
+      keys_(size_t{num_blocks} * block_tokens, head_dim),
+      values_(size_t{num_blocks} * block_tokens, head_dim),
+      rawSigns_(head_dim), rotatedSigns_(head_dim)
+{
+    LS_ASSERT(head_dim > 0, "KvBlockPool head dim must be positive");
+    LS_ASSERT(block_tokens > 0, "KvBlockPool block size must be positive");
+    LS_ASSERT(num_blocks > 0, "KvBlockPool needs at least one block");
+    const size_t rows = size_t{num_blocks} * block_tokens;
+    rawSigns_.resizeRows(rows);
+    rotatedSigns_.resizeRows(rows);
+    refs_.assign(num_blocks, 0);
+    tier_.assign(num_blocks, static_cast<uint8_t>(Tier::Expander));
+    scanned_ = std::make_unique<std::atomic<uint64_t>[]>(num_blocks);
+    survivors_ = std::make_unique<std::atomic<uint64_t>[]>(num_blocks);
+    for (uint32_t b = 0; b < num_blocks; ++b) {
+        scanned_[b].store(0, std::memory_order_relaxed);
+        survivors_[b].store(0, std::memory_order_relaxed);
+    }
+    // LIFO free list, lowest block on top: single-threaded fills draw
+    // blocks in ascending physical order, which keeps the paged-vs-flat
+    // differential tests easy to reason about.
+    free_.reserve(num_blocks);
+    for (uint32_t b = num_blocks; b > 0; --b)
+        free_.push_back(b - 1);
+}
+
+uint32_t
+KvBlockPool::usedBlocks() const
+{
+    SpinGuard g(lock_);
+    return numBlocks_ - static_cast<uint32_t>(free_.size());
+}
+
+uint32_t
+KvBlockPool::freeBlocks() const
+{
+    SpinGuard g(lock_);
+    return static_cast<uint32_t>(free_.size());
+}
+
+double
+KvBlockPool::occupancy() const
+{
+    return static_cast<double>(usedBlocks()) /
+           static_cast<double>(numBlocks_);
+}
+
+void
+KvBlockPool::writeToken(size_t phys_row, const float *key,
+                        const float *value)
+{
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
+    keys_.setRow(phys_row, key);
+    values_.setRow(phys_row, value);
+    rawSigns_.setRow(phys_row, key);
+}
+
+void
+KvBlockPool::writeRotatedSigns(size_t phys_row, const float *rotated_key)
+{
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
+    rotatedSigns_.setRow(phys_row, rotated_key);
+}
+
+void
+KvBlockPool::writeQuantized(size_t phys_row, const float *key)
+{
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
+    LS_ASSERT(!quantScales_.empty(),
+              "writeQuantized before ensureQuantized");
+    quantizeInt8Into(key, headDim_, quantData_.data() + phys_row * headDim_,
+                     quantScales_.data() + phys_row);
+}
+
+void
+KvBlockPool::ensureQuantized()
+{
+    if (!quantScales_.empty())
+        return;
+    const size_t rows = size_t{numBlocks_} * blockTokens_;
+    quantData_.assign(rows * headDim_, 0);
+    quantScales_.assign(rows, 1.0f);
+}
+
+const int8_t *
+KvBlockPool::quantizedRow(size_t phys_row) const
+{
+    LS_ASSERT(!quantScales_.empty(), "quantized arena not allocated");
+    return quantData_.data() + phys_row * headDim_;
+}
+
+float
+KvBlockPool::quantizedScale(size_t phys_row) const
+{
+    LS_ASSERT(phys_row < quantScales_.size(),
+              "quantizedScale row out of range");
+    return quantScales_[phys_row];
+}
+
+uint32_t
+KvBlockPool::allocBlock()
+{
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    SpinGuard g(lock_);
+    if (free_.empty())
+        return kInvalidBlock;
+    const uint32_t b = free_.back();
+    free_.pop_back();
+    refs_[b] = 1;
+    tier_[b] = static_cast<uint8_t>(Tier::Expander);
+    scanned_[b].store(0, std::memory_order_relaxed);
+    survivors_[b].store(0, std::memory_order_relaxed);
+    return b;
+}
+
+void
+KvBlockPool::retainBlock(uint32_t block)
+{
+    SpinGuard g(lock_);
+    LS_ASSERT(block < numBlocks_ && refs_[block] > 0,
+              "retain of unallocated block ", block);
+    ++refs_[block];
+}
+
+void
+KvBlockPool::releaseBlock(uint32_t block)
+{
+    SpinGuard g(lock_);
+    LS_ASSERT(block < numBlocks_ && refs_[block] > 0,
+              "release of unallocated block ", block);
+    if (--refs_[block] == 0)
+        free_.push_back(block); // LS_LINT_ALLOW(alloc): capacity reserved at construction
+}
+
+uint32_t
+KvBlockPool::refCount(uint32_t block) const
+{
+    SpinGuard g(lock_);
+    LS_ASSERT(block < numBlocks_, "refCount block out of range");
+    return refs_[block];
+}
+
+void
+KvBlockPool::copyBlock(uint32_t src, uint32_t dst)
+{
+    LS_ASSERT(src < numBlocks_ && dst < numBlocks_ && src != dst,
+              "copyBlock bad pair ", src, " -> ", dst);
+    const size_t srow = size_t{src} * blockTokens_;
+    const size_t drow = size_t{dst} * blockTokens_;
+    for (size_t o = 0; o < blockTokens_; ++o) {
+        keys_.setRow(drow + o, keys_.row(srow + o));
+        values_.setRow(drow + o, values_.row(srow + o));
+    }
+    const size_t wpr = rawSigns_.wordsPerRow();
+    for (size_t o = 0; o < blockTokens_; ++o) {
+        uint64_t *rd = rawSigns_.data() + (drow + o) * wpr;
+        const uint64_t *rs = rawSigns_.data() + (srow + o) * wpr;
+        for (size_t w = 0; w < wpr; ++w)
+            rd[w] = rs[w];
+        uint64_t *td = rotatedSigns_.data() + (drow + o) * wpr;
+        const uint64_t *ts = rotatedSigns_.data() + (srow + o) * wpr;
+        for (size_t w = 0; w < wpr; ++w)
+            td[w] = ts[w];
+    }
+    if (!quantScales_.empty()) {
+        for (size_t o = 0; o < blockTokens_; ++o) {
+            const int8_t *qs = quantData_.data() + (srow + o) * headDim_;
+            int8_t *qd = quantData_.data() + (drow + o) * headDim_;
+            for (size_t i = 0; i < headDim_; ++i)
+                qd[i] = qs[i];
+            quantScales_[drow + o] = quantScales_[srow + o];
+        }
+    }
+}
+
+void
+KvBlockPool::recordScan(uint32_t block, uint64_t rows_scanned,
+                        uint64_t survivors)
+{
+    LS_HOT_PATH();
+    LS_NO_LOCK();
+    LS_ASSERT(block < numBlocks_, "recordScan block out of range");
+    scanned_[block].fetch_add(rows_scanned, std::memory_order_relaxed);
+    survivors_[block].fetch_add(survivors, std::memory_order_relaxed);
+}
+
+Tier
+KvBlockPool::tier(uint32_t block) const
+{
+    LS_ASSERT(block < numBlocks_, "tier block out of range");
+    return static_cast<Tier>(tier_[block]);
+}
+
+uint32_t
+KvBlockPool::hbmResident() const
+{
+    uint32_t n = 0;
+    for (uint32_t b = 0; b < numBlocks_; ++b)
+        if (tier_[b] == static_cast<uint8_t>(Tier::Hbm))
+            ++n;
+    return n;
+}
+
+uint32_t
+KvBlockPool::rebalance()
+{
+    // Snapshot used blocks and their survivor totals under the lock,
+    // then rank outside it. Ties break toward the lower block id so
+    // the ranking is deterministic.
+    struct Ranked
+    {
+        uint64_t survivors;
+        uint32_t block;
+    };
+    std::vector<Ranked> used;
+    {
+        SpinGuard g(lock_);
+        used.reserve(numBlocks_ - free_.size());
+        for (uint32_t b = 0; b < numBlocks_; ++b)
+            if (refs_[b] > 0)
+                used.push_back(
+                    {survivors_[b].load(std::memory_order_relaxed), b});
+    }
+    std::sort(used.begin(), used.end(),
+              [](const Ranked &a, const Ranked &b) {
+                  if (a.survivors != b.survivors)
+                      return a.survivors > b.survivors;
+                  return a.block < b.block;
+              });
+
+    uint32_t changes = 0;
+    for (size_t i = 0; i < used.size(); ++i) {
+        const uint32_t b = used[i].block;
+        const uint8_t want = i < hbmBudget_
+                                 ? static_cast<uint8_t>(Tier::Hbm)
+                                 : static_cast<uint8_t>(Tier::Expander);
+        if (tier_[b] != want) {
+            ++changes;
+            if (want == static_cast<uint8_t>(Tier::Hbm))
+                ++promotions_;
+            else
+                ++evictions_;
+            tier_[b] = want;
+        }
+        // Age the popularity signal so a block must keep surviving
+        // scans to keep its HBM slot.
+        survivors_[b].store(used[i].survivors / 2,
+                            std::memory_order_relaxed);
+        scanned_[b].store(scanned_[b].load(std::memory_order_relaxed) / 2,
+                          std::memory_order_relaxed);
+    }
+    return changes;
+}
+
+uint64_t
+KvBlockPool::survivorRows(uint32_t block) const
+{
+    LS_ASSERT(block < numBlocks_, "survivorRows block out of range");
+    return survivors_[block].load(std::memory_order_relaxed);
+}
+
+uint64_t
+KvBlockPool::scannedRows(uint32_t block) const
+{
+    LS_ASSERT(block < numBlocks_, "scannedRows block out of range");
+    return scanned_[block].load(std::memory_order_relaxed);
+}
+
+bool
+KvBlockPool::publishPrefix(uint64_t hash, const uint32_t *blocks,
+                           size_t count)
+{
+    LS_ASSERT(count > 0, "publishPrefix needs at least one block");
+    SpinGuard g(lock_);
+    auto [it, inserted] = prefixes_.try_emplace(
+        hash, std::vector<uint32_t>(blocks, blocks + count));
+    if (!inserted)
+        return false;
+    for (size_t i = 0; i < count; ++i) {
+        LS_ASSERT(blocks[i] < numBlocks_ && refs_[blocks[i]] > 0,
+                  "publishPrefix of unallocated block ", blocks[i]);
+        ++refs_[blocks[i]]; // registry pin
+    }
+    return true;
+}
+
+size_t
+KvBlockPool::adoptPrefix(uint64_t hash, std::vector<uint32_t> &blocks_out)
+{
+    SpinGuard g(lock_);
+    auto it = prefixes_.find(hash);
+    if (it == prefixes_.end()) {
+        ++prefixMisses_;
+        return 0;
+    }
+    ++prefixHits_;
+    for (uint32_t b : it->second) {
+        ++refs_[b];
+        blocks_out.push_back(b);
+    }
+    const size_t tokens = it->second.size() * blockTokens_;
+    prefixSharedTokens_ += tokens;
+    return tokens;
+}
+
+void
+KvBlockPool::unpublishPrefix(uint64_t hash)
+{
+    std::vector<uint32_t> pinned;
+    {
+        SpinGuard g(lock_);
+        auto it = prefixes_.find(hash);
+        if (it == prefixes_.end())
+            return;
+        pinned = std::move(it->second);
+        prefixes_.erase(it);
+    }
+    for (uint32_t b : pinned)
+        releaseBlock(b);
+}
+
+} // namespace longsight

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * KvBlockPool — the shared paged arena behind every paged KvCache.
+ * §4's "vector database" framing makes the KV cache an indexed store
+ * of Key/Value Objects; this pool is its physical layer: a fixed
+ * budget of block-granular slots (keys, values, packed sign rows,
+ * INT8 key rows all block-granular in one preallocated arena each),
+ * a free-list allocator, per-block reference counts for
+ * copy-on-write prefix sharing, and a two-tier residency model.
+ *
+ * Residency is an *accounting* layer, not a placement constraint:
+ * DReX's expander tier is compute-enabled (the PFU scans wherever the
+ * signs live), so a block is scannable in either tier and promotion /
+ * eviction never changes an attention output — it only moves which
+ * blocks the model charges HBM-latency vs. expander-latency for.
+ * Promotion is driven by the SCF survivor counters each scan records:
+ * blocks whose keys keep surviving the concordance filter are the
+ * ones the NMA keeps fetching, so they earn the HBM window.
+ *
+ * Thread safety: block allocation / release / refcounts are guarded
+ * by a short spinlock (decode lanes append concurrently); scan
+ * counters are relaxed atomics. Placement (which physical block a
+ * lane draws) may vary run to run under concurrency, but every
+ * consumer indexes through block tables, so logical outputs never
+ * depend on placement.
+ */
+
+#ifndef LONGSIGHT_CORE_KV_BLOCK_POOL_HH
+#define LONGSIGHT_CORE_KV_BLOCK_POOL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "tensor/sign_matrix.hh"
+#include "tensor/tensor.hh"
+
+namespace longsight {
+
+/** Where a block's bytes are charged: the bounded HBM window or the
+ *  CXL/DReX expander tier (default for newly allocated blocks). */
+enum class Tier : uint8_t
+{
+    Expander = 0,
+    Hbm = 1,
+};
+
+/** Sentinel for "no block" (allocation failure / empty table slot). */
+inline constexpr uint32_t kInvalidBlock = UINT32_MAX;
+
+/**
+ * Fixed-budget arena of KV blocks shared by many KvCaches.
+ *
+ * Every backing store (keys, values, raw signs, rotated signs,
+ * quantized keys) is sized once at construction — physical row
+ * `b * blockTokens() + o` of each store belongs to block b. Nothing
+ * reallocates after construction, so row pointers are stable and the
+ * decode hot path stays allocation-free.
+ */
+class KvBlockPool
+{
+  public:
+    /**
+     * Arena for `num_blocks` blocks of `block_tokens` tokens each.
+     * `hbm_budget_blocks` bounds the HBM-resident tier (0 = everything
+     * lives in the expander tier until setHbmBudget()).
+     */
+    KvBlockPool(uint32_t head_dim, uint32_t block_tokens,
+                uint32_t num_blocks, uint32_t hbm_budget_blocks = 0);
+
+    KvBlockPool(const KvBlockPool &) = delete;
+    KvBlockPool &operator=(const KvBlockPool &) = delete;
+
+    uint32_t headDim() const { return headDim_; }
+    uint32_t blockTokens() const { return blockTokens_; }
+    uint32_t numBlocks() const { return numBlocks_; }
+
+    /** Blocks currently allocated (refcount > 0). */
+    uint32_t usedBlocks() const;
+    uint32_t freeBlocks() const;
+    /** usedBlocks() / numBlocks(). */
+    double occupancy() const;
+
+    // ---- Backing stores (physical row = block * blockTokens + off) --
+    const Matrix &keys() const { return keys_; }
+    const Matrix &values() const { return values_; }
+    const SignMatrix &rawSigns() const { return rawSigns_; }
+    const SignMatrix &rotatedSigns() const { return rotatedSigns_; }
+
+    /** Write one token's key/value/raw-sign rows (no locking: the
+     *  owning cache has exclusive write access to its blocks). */
+    void writeToken(size_t phys_row, const float *key, const float *value);
+
+    /** Overwrite the rotated-sign row (ITQ path). */
+    void writeRotatedSigns(size_t phys_row, const float *rotated_key);
+
+    /** Quantize a key into the INT8 arena row (requires
+     *  ensureQuantized() to have run). */
+    void writeQuantized(size_t phys_row, const float *key);
+
+    /** Lazily allocate the INT8 arena (cold; idempotent). */
+    void ensureQuantized();
+    bool quantizedReady() const { return !quantScales_.empty(); }
+
+    const int8_t *quantizedRow(size_t phys_row) const;
+    float quantizedScale(size_t phys_row) const;
+
+    // ---- Block lifecycle -------------------------------------------
+    /** Pop a free block (refcount 1, Expander tier, counters zeroed);
+     *  kInvalidBlock when the pool is exhausted. */
+    uint32_t allocBlock();
+
+    /** Add a reference (CoW share). */
+    void retainBlock(uint32_t block);
+
+    /** Drop a reference; the block returns to the free list at zero. */
+    void releaseBlock(uint32_t block);
+
+    uint32_t refCount(uint32_t block) const;
+
+    /** Copy every backing row of src into dst (CoW unshare). */
+    void copyBlock(uint32_t src, uint32_t dst);
+
+    // ---- Residency --------------------------------------------------
+    /** Record one filter pass over a block: rows_scanned candidate
+     *  rows offered, `survivors` of them past the SCF threshold. */
+    void recordScan(uint32_t block, uint64_t rows_scanned,
+                    uint64_t survivors);
+
+    Tier tier(uint32_t block) const;
+    uint32_t hbmBudget() const { return hbmBudget_; }
+    void setHbmBudget(uint32_t blocks) { hbmBudget_ = blocks; }
+    uint32_t hbmResident() const;
+
+    /**
+     * Re-rank residency: the hbmBudget() used blocks with the most
+     * SCF survivors since the last rebalance win the HBM window;
+     * everything else demotes to the expander. Counters are halved
+     * afterwards so stale popularity ages out. Returns the number of
+     * tier changes made.
+     */
+    uint32_t rebalance();
+
+    uint64_t promotions() const { return promotions_; }
+    uint64_t evictions() const { return evictions_; }
+    uint64_t survivorRows(uint32_t block) const;
+    uint64_t scannedRows(uint32_t block) const;
+
+    // ---- Prefix sharing ---------------------------------------------
+    /**
+     * Publish `count` fully-populated blocks as the pages of a prompt
+     * prefix keyed by `hash`. The registry retains each block (its own
+     * pin), so published prefixes survive the publisher retiring.
+     * Returns false (and retains nothing) if `hash` is already
+     * published.
+     */
+    bool publishPrefix(uint64_t hash, const uint32_t *blocks,
+                       size_t count);
+
+    /**
+     * Adopt a published prefix: retains each of its blocks and appends
+     * the ids to blocks_out. Returns the token count covered
+     * (count * blockTokens), or 0 on miss.
+     */
+    size_t adoptPrefix(uint64_t hash, std::vector<uint32_t> &blocks_out);
+
+    /** Drop a published prefix's registry pins. */
+    void unpublishPrefix(uint64_t hash);
+
+    uint64_t prefixHits() const { return prefixHits_; }
+    uint64_t prefixMisses() const { return prefixMisses_; }
+    /** Tokens served from shared pages instead of recomputed. */
+    uint64_t prefixSharedTokens() const { return prefixSharedTokens_; }
+
+  private:
+    struct SpinGuard;
+
+    uint32_t headDim_;
+    uint32_t blockTokens_;
+    uint32_t numBlocks_;
+    uint32_t hbmBudget_;
+
+    Matrix keys_;
+    Matrix values_;
+    SignMatrix rawSigns_;
+    SignMatrix rotatedSigns_;
+    std::vector<int8_t> quantData_;
+    std::vector<float> quantScales_;
+
+    mutable std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
+    std::vector<uint32_t> free_; //!< LIFO free list (guarded by lock_)
+    std::vector<uint32_t> refs_; //!< per-block refcount (guarded)
+    std::vector<uint8_t> tier_;  //!< per-block Tier
+
+    std::unique_ptr<std::atomic<uint64_t>[]> scanned_;
+    std::unique_ptr<std::atomic<uint64_t>[]> survivors_;
+    uint64_t promotions_ = 0;
+    uint64_t evictions_ = 0;
+
+    std::map<uint64_t, std::vector<uint32_t>> prefixes_;
+    uint64_t prefixHits_ = 0;
+    uint64_t prefixMisses_ = 0;
+    uint64_t prefixSharedTokens_ = 0;
+};
+
+} // namespace longsight
+
+#endif // LONGSIGHT_CORE_KV_BLOCK_POOL_HH

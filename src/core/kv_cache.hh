@@ -7,15 +7,36 @@
  * installed, sign bits are taken from the rotated keys while scoring
  * still uses the original keys (an orthogonal rotation leaves dot
  * products unchanged, so only the one-bit quantization sees it).
+ *
+ * Two storage modes share the one interface:
+ *
+ *  - **Flat** (the default, `KvCache(head_dim)`): every store is a
+ *    private, contiguous append-only buffer; logical token i is
+ *    physical row i.
+ *  - **Paged** (`KvCache(pool)`): the cache owns a *block table* — a
+ *    list of fixed-size block ids in a shared KvBlockPool — and
+ *    logical token i lives at physical row
+ *    `blocks[i / blockTokens] * blockTokens + i % blockTokens`.
+ *    Blocks support copy-on-write prefix sharing (forkFrom /
+ *    publishPrefix / adoptPrefix) and carry the SCF survivor counters
+ *    that drive HBM-vs-expander residency.
+ *
+ * Paged consumers scan through collectSpans(): each ScanSpan is one
+ * contiguous physical run covering an ascending logical range, so the
+ * span-aware kernel drivers (tensor/kernels.hh) produce results
+ * element-identical to the flat layout for any block size.
  */
 
 #ifndef LONGSIGHT_CORE_KV_CACHE_HH
 #define LONGSIGHT_CORE_KV_CACHE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "core/kv_block_pool.hh"
+#include "tensor/kernels.hh"
 #include "tensor/quantized.hh"
 #include "tensor/sign_matrix.hh"
 #include "tensor/signbits.hh"
@@ -29,10 +50,23 @@ namespace longsight {
 class KvCache
 {
   public:
+    /** Flat mode: private contiguous storage. */
     explicit KvCache(uint32_t head_dim);
 
+    /** Paged mode: block-table view over a shared pool. The pool must
+     *  outlive every cache built on it. */
+    explicit KvCache(KvBlockPool &pool);
+
+    ~KvCache();
+    KvCache(const KvCache &o);
+    KvCache &operator=(const KvCache &o);
+    KvCache(KvCache &&o) noexcept;
+    KvCache &operator=(KvCache &&o) noexcept;
+
+    bool paged() const { return pool_ != nullptr; }
+
     uint32_t headDim() const { return headDim_; }
-    size_t size() const { return keys_.rows(); }
+    size_t size() const { return pool_ ? pagedSize_ : keys_.rows(); }
 
     /** Append one (post-RoPE key, value) pair. */
     void append(const std::vector<float> &key, const std::vector<float> &value);
@@ -45,18 +79,93 @@ class KvCache
      * (keys, values, sign rows, quantized keys), so subsequent appends
      * up to n perform no heap allocation. Decode loops that know their
      * context ceiling call this once up front to keep the steady-state
-     * step allocation-free.
+     * step allocation-free. The ceiling is remembered: enabling ITQ
+     * rotation or key quantization later re-applies it to the stores
+     * those features add.
      */
     void reserve(size_t n);
 
     /** Bulk-append rows of two (n x headDim) matrices. */
     void appendAll(const Matrix &keys, const Matrix &values);
 
-    const Matrix &keys() const { return keys_; }
-    const Matrix &values() const { return values_; }
+    /** Flat-mode contiguous views (assert in paged mode — paged
+     *  consumers go through the *Storage()/row accessors below). */
+    const Matrix &keys() const;
+    const Matrix &values() const;
+
+    /** Backing store holding this cache's key rows (pool storage in
+     *  paged mode); index with physRow(). */
+    const Matrix &keysStorage() const { return pool_ ? pool_->keys() : keys_; }
+    const Matrix &valuesStorage() const
+    {
+        return pool_ ? pool_->values() : values_;
+    }
+
+    /** Physical storage row of logical token i. */
+    size_t physRow(size_t i) const
+    {
+        if (!pool_)
+            return i;
+        const size_t bt = pool_->blockTokens();
+        return size_t{blocks_[i / bt]} * bt + i % bt;
+    }
+
+    const float *keyRow(size_t i) const
+    {
+        return keysStorage().row(physRow(i));
+    }
+    const float *valueRow(size_t i) const
+    {
+        return valuesStorage().row(physRow(i));
+    }
+
+    /** Map `count` logical indices to physical rows (hot: the sparse
+     *  gather path translates selected token ids before fetching). */
+    void mapToPhysical(const uint32_t *logical, size_t count,
+                       uint32_t *physical) const;
+
+    /** Upper bound on collectSpans(lo, hi) output length. */
+    size_t maxSpans(size_t lo, size_t hi) const
+    {
+        if (!pool_)
+            return 1;
+        return (hi - lo + pool_->blockTokens() - 1) / pool_->blockTokens() +
+               1;
+    }
+
+    /**
+     * Decompose logical range [lo, hi) into contiguous physical spans
+     * in ascending logical order (never crossing a block boundary in
+     * paged mode; the single identity span when flat). Returns the
+     * span count written to out (capacity: maxSpans(lo, hi)).
+     */
+    size_t collectSpans(size_t lo, size_t hi, ScanSpan *out) const;
+
+    /**
+     * The single span starting at logical lo, clamped to hi — the
+     * incremental form of collectSpans() for walkers that need no
+     * span array: advance by .count until hi.
+     */
+    ScanSpan spanAt(size_t lo, size_t hi) const
+    {
+        if (!pool_)
+            return ScanSpan{lo, hi - lo, lo};
+        const size_t bt = pool_->blockTokens();
+        const size_t off = lo % bt;
+        return ScanSpan{size_t{blocks_[lo / bt]} * bt + off,
+                        std::min(bt - off, hi - lo), lo};
+    }
+
+    /**
+     * Credit a filter pass over one collectSpans() span to the pool's
+     * residency counters (no-op when flat). rows_scanned counts
+     * query x row candidate pairs; survivors those past threshold.
+     */
+    void recordFilterScan(const ScanSpan &span, uint64_t rows_scanned,
+                          uint64_t survivors) const;
 
     /** Sign bits of the raw (unrotated) key i. */
-    SignBits rawSigns(size_t i) const { return rawSigns_.extract(i); }
+    SignBits rawSigns(size_t i) const;
 
     /**
      * Sign bits used for filtering: ITQ-rotated when a rotation is
@@ -66,13 +175,26 @@ class KvCache
 
     /**
      * All filter sign bits as one contiguous packed matrix — what the
-     * batch-scan kernels and the PFU model consume directly.
+     * batch-scan kernels and the PFU model consume directly (flat
+     * mode only; paged consumers pair filterSignsStorage() with
+     * collectSpans()).
      */
     const SignMatrix &filterSignsAll() const;
 
+    /** Backing sign store for filtering (rotation-aware; pool storage
+     *  in paged mode); index with physRow() / collectSpans(). */
+    const SignMatrix &filterSignsStorage() const
+    {
+        if (pool_)
+            return rotation_ ? pool_->rotatedSigns() : pool_->rawSigns();
+        return rotation_ ? rotatedSigns_ : rawSigns_;
+    }
+
     /**
      * Install (or replace) the ITQ rotation; recomputes the rotated
-     * sign bits of every stored key.
+     * sign bits of every stored key. In paged mode this first unshares
+     * any CoW-shared blocks: rotated sign rows are per-cache content
+     * once caches can carry different rotations.
      */
     void setItqRotation(Matrix rotation);
 
@@ -91,14 +213,19 @@ class KvCache
     /**
      * Maintain INT8-quantized copies of the keys (one scale per key)
      * so scoring can run on half-width fetches; quantizes existing
-     * keys and keeps future appends quantized.
+     * keys and keeps future appends quantized. Safe on shared blocks:
+     * quantization is a deterministic function of the key bytes, so
+     * every sharer writes identical arena rows.
      */
     void enableKeyQuantization();
 
     bool keysQuantized() const { return quantizeKeys_; }
 
-    /** Quantized key i (requires enableKeyQuantization()). */
-    const QuantizedVector &quantizedKey(size_t i) const;
+    /** Materialize quantized key i (flat mode; paged scoring goes
+     *  through scoreKey(), which reads the pool's INT8 arena).
+     *  Allocates — a test/analysis accessor, not a hot path; the
+     *  backing store is a flat arena shaped like the pool's. */
+    QuantizedVector quantizedKey(size_t i) const;
 
     /**
      * q . key_i using the INT8 key when quantization is enabled,
@@ -106,7 +233,28 @@ class KvCache
      */
     float scoreKey(const float *q, size_t i) const;
 
+    // ---- Paged-mode sharing ----------------------------------------
+    /**
+     * Become a copy-on-write fork of `parent` (paged, same pool; this
+     * cache must be empty): full blocks are shared by refcount, the
+     * partial tail block is re-appended into private storage so this
+     * cache's appends never touch shared rows.
+     */
+    void forkFrom(const KvCache &parent);
+
+    /** Publish this cache's full blocks as prefix `hash` in the pool
+     *  registry. Returns tokens published (0 if none or taken). */
+    size_t publishPrefix(uint64_t hash);
+
+    /** Adopt published prefix `hash` (cache must be empty). Returns
+     *  tokens adopted (0 on miss). */
+    size_t adoptPrefix(uint64_t hash);
+
   private:
+    void shareFrom(const KvCache &o);
+    void releaseAll();
+    void unshareAll();
+
     uint32_t headDim_;
     Matrix keys_;
     Matrix values_;
@@ -114,8 +262,14 @@ class KvCache
     SignMatrix rotatedSigns_;
     std::optional<Matrix> rotation_;
     bool quantizeKeys_ = false;
-    std::vector<QuantizedVector> quantizedKeys_;
+    std::vector<int8_t> quantData_;  //!< size() x headDim_ INT8 arena
+    std::vector<float> quantScales_; //!< one scale per key
     std::vector<float> rotScratch_; //!< reused rotated-key buffer
+
+    KvBlockPool *pool_ = nullptr;   //!< non-null in paged mode
+    std::vector<uint32_t> blocks_;  //!< block table (paged)
+    size_t pagedSize_ = 0;          //!< logical tokens (paged)
+    size_t reserved_ = 0;           //!< remembered reserve() ceiling
 };
 
 } // namespace longsight

@@ -46,6 +46,38 @@ PartitionManager::canAdmit(uint64_t context_len) const
     return usedSlots_ + slotsForContext(context_len) <= totalSlots();
 }
 
+uint64_t
+PartitionManager::blockBudget(uint32_t block_tokens) const
+{
+    LS_ASSERT(block_tokens > 0, "block size must be positive");
+    // The same token capacity the slot machinery manages, re-expressed
+    // in fixed-size pages: every slot holds one head's slice of up to
+    // maxTokensPerSlice tokens.
+    return static_cast<uint64_t>(totalSlots()) *
+        layout_.maxTokensPerSlice() / block_tokens;
+}
+
+uint64_t
+PartitionManager::blocksForContext(uint64_t context_len,
+                                   uint32_t block_tokens) const
+{
+    LS_ASSERT(block_tokens > 0, "block size must be positive");
+    if (context_len == 0)
+        return 0;
+    const uint64_t per_head =
+        (context_len + block_tokens - 1) / block_tokens;
+    return per_head * numKvHeads_;
+}
+
+bool
+PartitionManager::canAdmitBlocks(uint64_t blocks_in_use,
+                                 uint64_t context_len,
+                                 uint32_t block_tokens) const
+{
+    return blocks_in_use + blocksForContext(context_len, block_tokens) <=
+        blockBudget(block_tokens);
+}
+
 uint32_t
 PartitionManager::maxUsersExact(uint64_t context_len) const
 {

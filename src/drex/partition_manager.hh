@@ -76,6 +76,26 @@ class PartitionManager
     /** Whether a new user at this context could be admitted now. */
     bool canAdmit(uint64_t context_len) const;
 
+    // Block-granular admission (paged KV cache). The slot machinery
+    // above carves DReX rows into 131K-token slices; a paged serving
+    // stack instead reasons in KvBlockPool blocks of block_tokens
+    // tokens each. These helpers translate the same row budget into
+    // that currency so the batch scheduler's admission gate can ask
+    // "do prompt + output fit the remaining blocks?" rather than
+    // capping concurrent request count.
+
+    /** Total device capacity in KV blocks of block_tokens tokens. */
+    uint64_t blockBudget(uint32_t block_tokens) const;
+
+    /** Blocks a context of this length occupies across all KV heads
+     *  (each head pages its tokens independently). */
+    uint64_t blocksForContext(uint64_t context_len,
+                              uint32_t block_tokens) const;
+
+    /** Whether a context fits beside blocks_in_use allocated blocks. */
+    bool canAdmitBlocks(uint64_t blocks_in_use, uint64_t context_len,
+                        uint32_t block_tokens) const;
+
     /**
      * Exact admission capacity: how many users of this context fit in
      * an empty device (the integer truth behind Fig. 7's user counts).

@@ -44,6 +44,32 @@ runBatchSchedule(std::vector<ServingJob> jobs, const EngineModel &engine)
             waiting.push_back(jobs[next_arrival++]);
     };
 
+    // Retire finished jobs (stable order for determinism). Runs after
+    // every decode iteration AND immediately after an admission, so a
+    // job admitted with a zero output budget retires on the spot
+    // instead of being carried through a decode iteration it never
+    // asked for.
+    auto retire_finished = [&] {
+        for (auto it = active.begin(); it != active.end();) {
+            if (it->generated >= it->job.outputTokens) {
+                JobMetrics m;
+                m.id = it->job.id;
+                // A zero-output job never produced a first token.
+                m.ttft = it->generated
+                    ? it->firstTokenAt - it->job.arrival
+                    : 0;
+                m.completion = now;
+                m.tokens = it->generated;
+                result.jobs.push_back(m);
+                if (engine.onRetire)
+                    engine.onRetire(it->job.id);
+                it = active.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    };
+
     while (next_arrival < jobs.size() || !waiting.empty() ||
            !active.empty()) {
         admit_arrivals(now);
@@ -57,7 +83,12 @@ runBatchSchedule(std::vector<ServingJob> jobs, const EngineModel &engine)
         }
 
         // Admission first: prefill one waiting job into a free slot.
-        if (!waiting.empty() && active.size() < engine.maxBatch) {
+        // The engine's admission gate may hold the queue (e.g. not
+        // enough free KV blocks for prompt + output); it is bypassed
+        // when the batch is empty, where holding would livelock.
+        if (!waiting.empty() && active.size() < engine.maxBatch &&
+            (active.empty() || !engine.canAdmit ||
+             engine.canAdmit(waiting.front()))) {
             ServingJob job = waiting.front();
             waiting.pop_front();
             now += engine.prefillTime(job.promptLen);
@@ -68,6 +99,7 @@ runBatchSchedule(std::vector<ServingJob> jobs, const EngineModel &engine)
             aj.context = job.promptLen;
             aj.lastTokenAt = now;
             active.push_back(aj);
+            retire_finished();
             continue;
         }
 
@@ -92,22 +124,7 @@ runBatchSchedule(std::vector<ServingJob> jobs, const EngineModel &engine)
             ++result.totalTokens;
         }
 
-        // Retire finished jobs (stable order for determinism).
-        for (auto it = active.begin(); it != active.end();) {
-            if (it->generated >= it->job.outputTokens) {
-                JobMetrics m;
-                m.id = it->job.id;
-                m.ttft = it->firstTokenAt - it->job.arrival;
-                m.completion = now;
-                m.tokens = it->generated;
-                result.jobs.push_back(m);
-                if (engine.onRetire)
-                    engine.onRetire(it->job.id);
-                it = active.erase(it);
-            } else {
-                ++it;
-            }
-        }
+        retire_finished();
     }
 
     result.makespan = now;

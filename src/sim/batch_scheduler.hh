@@ -73,6 +73,20 @@ struct EngineModel
      */
     std::function<void(const ServingJob &job)> onAdmit;
     std::function<void(uint32_t job_id)> onRetire;
+
+    /**
+     * Optional admission gate: consulted with the head-of-line waiting
+     * job before its prefill is charged. Returning false holds the
+     * queue (FIFO: later jobs do not jump ahead) and the engine runs a
+     * decode iteration instead, re-evaluating after the batch drains
+     * work. A paged-KV engine uses this to admit against its *block
+     * budget* — prompt + output must fit the free pool — instead of a
+     * fixed request count. Ignored while the batch is empty (the job
+     * must be admitted eventually or the scheduler would livelock; an
+     * engine whose budget cannot fit a lone job is misconfigured, and
+     * the paged append will assert on pool exhaustion). May be null.
+     */
+    std::function<bool(const ServingJob &job)> canAdmit;
 };
 
 /**

@@ -28,11 +28,27 @@ DecodePipeline::DecodePipeline(const PipelineConfig &cfg, DrexDevice &device,
     group_ = cfg_.numQueryHeads / cfg_.numKvHeads;
     WorkloadConfig wcfg;
     wcfg.headDim = cfg_.headDim;
+    if (cfg_.pagedKv) {
+        // One private pool serves every (layer, KV head) cache; size
+        // it for the configured block count, or derive one from the
+        // context ceiling when unset.
+        uint32_t blocks = cfg_.pagedPoolBlocks;
+        if (blocks == 0) {
+            const uint32_t per_cache =
+                (cfg_.pagedMaxContext + cfg_.pagedBlockTokens - 1) /
+                cfg_.pagedBlockTokens;
+            blocks = per_cache * cfg_.numLayers * cfg_.numKvHeads;
+        }
+        pool_ = std::make_unique<KvBlockPool>(
+            cfg_.headDim, cfg_.pagedBlockTokens, blocks);
+    }
     Rng root(cfg_.seed);
     for (uint32_t l = 0; l < cfg_.numLayers; ++l) {
         for (uint32_t h = 0; h < cfg_.numKvHeads; ++h) {
             workloads_.emplace_back(wcfg, root.fork());
-            gpuCaches_.push_back(std::make_unique<KvCache>(cfg_.headDim));
+            gpuCaches_.push_back(
+                pool_ ? std::make_unique<KvCache>(*pool_)
+                      : std::make_unique<KvCache>(cfg_.headDim));
         }
     }
 }
@@ -86,7 +102,7 @@ DecodePipeline::maybeTrainItq()
             const size_t nk = std::min<size_t>(n, 896);
             Matrix train(nk, cfg_.headDim);
             for (size_t i = 0; i < nk; ++i)
-                train.setRow(i, cache.keys().row(i * n / nk));
+                train.setRow(i, cache.keyRow(i * n / nk));
             Rng rng(cfg_.seed ^ (l * 131 + h));
             Matrix rotation = trainItqRotation(train, 15, rng);
             cache.setItqRotation(rotation);
@@ -122,8 +138,8 @@ DecodePipeline::flushEligibleGroups()
             Matrix keys(count, cfg_.headDim);
             Matrix values(count, cfg_.headDim);
             for (size_t i = 0; i < count; ++i) {
-                keys.setRow(i, src.keys().row(flushed_ + i));
-                values.setRow(i, src.values().row(flushed_ + i));
+                keys.setRow(i, src.keyRow(flushed_ + i));
+                values.setRow(i, src.valueRow(flushed_ + i));
             }
             KvCache &dst = device_.writeContext(uid_, l, h, keys, values);
             if (src.hasItqRotation() && !dst.hasItqRotation())
@@ -330,7 +346,7 @@ DecodePipeline::stepCombineHead(
     size_t *expect_sizes = nullptr;
     size_t kcap = 0;
     if (offload) {
-        const SignMatrix &signs = cache.filterSignsAll();
+        const SignMatrix &signs = cache.filterSignsStorage();
         const size_t wpr = signs.wordsPerRow();
         uint64_t *qw = frame.alloc<uint64_t>(group_ * wpr);
         for (uint32_t g = 0; g < group_; ++g)
@@ -339,11 +355,25 @@ DecodePipeline::stepCombineHead(
         kcap = std::min<size_t>(cfg_.hybrid.topK, flushed_ - sinks);
         expect = frame.alloc<ScoredIndex>(group_ * kcap);
         expect_sizes = frame.alloc<size_t>(group_);
-        batchScoreSelectMulti(qw, group_, signs, sinks, flushed_,
-                              cfg_.hybrid.defaultThreshold,
-                              queries.row(0), queries.cols(),
-                              cache.keys(), scale, cfg_.hybrid.topK,
-                              expect, kcap, expect_sizes);
+        // Span-aware driver: the flat cache routes through the single
+        // identity span, a paged cache through its block table, with
+        // per-query selections element-identical either way. Survivor
+        // totals per span feed the pool's SCF residency counters.
+        ScanSpan *spans =
+            frame.alloc<ScanSpan>(cache.maxSpans(sinks, flushed_));
+        const size_t nspans = cache.collectSpans(sinks, flushed_, spans);
+        size_t *span_surv = frame.alloc<size_t>(nspans);
+        batchScoreSelectMultiSpans(qw, group_, signs, spans, nspans,
+                                   cfg_.hybrid.defaultThreshold,
+                                   queries.row(0), queries.cols(),
+                                   cache.keysStorage(), scale,
+                                   cfg_.hybrid.topK, expect, kcap,
+                                   expect_sizes, nullptr, span_surv);
+        if (cache.paged())
+            for (size_t si = 0; si < nspans; ++si)
+                cache.recordFilterScan(spans[si],
+                                       uint64_t{group_} * spans[si].count,
+                                       span_surv[si]);
     }
 
     // GPU-side combine + verification, per query of the group. Lane
@@ -385,8 +415,8 @@ DecodePipeline::stepCombineHead(
         const float *q = queries.row(g);
         float *probs = lane_frame.alloc<float>(na);
         float *combined = lane_frame.alloc<float>(cfg_.headDim);
-        subsetAttentionInto(q, cache.keys(), cache.values(), attended,
-                            na, scale, probs, combined);
+        subsetAttentionInto(q, cache, attended, na, scale, probs,
+                            combined);
         (void)combined;
 
         // Verification A: device top-k equals the software filter ->
@@ -409,8 +439,7 @@ DecodePipeline::stepCombineHead(
         // Verification B: retained dense softmax mass.
         float *dense_probs = lane_frame.alloc<float>(n);
         float *dense_out = lane_frame.alloc<float>(cfg_.headDim);
-        denseAttentionInto(q, cache.keys(), cache.values(), scale,
-                           dense_probs, dense_out);
+        denseAttentionInto(q, cache, scale, dense_probs, dense_out);
         double mass = 0.0;
         for (size_t i = 0; i < na; ++i)
             mass += dense_probs[attended[i]];

@@ -51,6 +51,20 @@ struct PipelineConfig
     uint32_t flushGranularity = 128;
     bool trainItq = false;
     uint64_t seed = 1;
+
+    /**
+     * Paged GPU-side KV storage: the pipeline constructs a private
+     * KvBlockPool of pagedPoolBlocks blocks x pagedBlockTokens tokens
+     * and every (layer, KV head) cache becomes a block-table view into
+     * it. Outputs are bit-identical to the flat layout; only storage
+     * (and the residency accounting the pool keeps) changes.
+     */
+    bool pagedKv = false;
+    uint32_t pagedBlockTokens = 128;
+    /** Pool size in blocks; 0 = size for maxContext tokens/head. */
+    uint32_t pagedPoolBlocks = 0;
+    /** Context ceiling used to size a default pool (tokens). */
+    uint32_t pagedMaxContext = 4096;
 };
 
 /**
@@ -107,6 +121,9 @@ class DecodePipeline
     /** Query heads sharing each KV head (fixed GQA group size). */
     uint32_t groupSize() const { return group_; }
 
+    /** The paged pool behind the GPU-side caches (null when flat). */
+    KvBlockPool *blockPool() { return pool_.get(); }
+
   private:
     KvCache &gpuCache(uint32_t layer, uint32_t head);
     void flushEligibleGroups();
@@ -136,6 +153,7 @@ class DecodePipeline
     uint32_t group_ = 1;
     // One workload per (layer, KV head) drives keys/values/queries.
     std::vector<HeadWorkload> workloads_;
+    std::unique_ptr<KvBlockPool> pool_; //!< paged mode backing store
     std::vector<std::unique_ptr<KvCache>> gpuCaches_;
     size_t flushed_ = 0;
     bool itqInstalled_ = false;

@@ -571,4 +571,191 @@ batchScoreSelectMulti(const uint64_t *query_words, size_t num_queries,
         topk_heap::sortBestFirst(out + q * out_stride, out_sizes[q]);
 }
 
+namespace {
+
+/** Total tokens covered by a span list, with in-bounds and
+ *  ascending-logical-order checks against the backing storage. */
+size_t
+checkSpans(const ScanSpan *spans, size_t num_spans, size_t phys_rows)
+{
+    size_t total = 0;
+    size_t next_logical = 0;
+    for (size_t s = 0; s < num_spans; ++s) {
+        LS_ASSERT(spans[s].physBegin + spans[s].count <= phys_rows,
+                  "span ", s, " rows [", spans[s].physBegin, ",",
+                  spans[s].physBegin + spans[s].count, ") out of ",
+                  phys_rows);
+        LS_ASSERT(s == 0 || spans[s].logicalBase >= next_logical,
+                  "span ", s, " logical base ", spans[s].logicalBase,
+                  " overlaps previous span end ", next_logical);
+        next_logical = spans[s].logicalBase + spans[s].count;
+        total += spans[s].count;
+    }
+    return total;
+}
+
+} // namespace
+
+void
+batchScanMultiSpans(const uint64_t *query_words, size_t num_queries,
+                    const SignMatrix &m, const ScanSpan *spans,
+                    size_t num_spans, int threshold, uint32_t *survivors,
+                    size_t stride, size_t *counts, size_t *span_survivors)
+{
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
+    const size_t total = checkSpans(spans, num_spans, m.rows());
+    LS_ASSERT(stride >= total, "batchScanMultiSpans stride ", stride,
+              " < total span tokens ", total);
+    for (size_t q = 0; q < num_queries; ++q)
+        counts[q] = 0;
+    for (size_t s = 0; s < num_spans; ++s)
+        if (span_survivors)
+            span_survivors[s] = 0;
+    if (total == 0 || num_queries == 0)
+        return;
+
+    const size_t wpr = m.wordsPerRow();
+    const int dim = static_cast<int>(m.dim());
+    // Per-span scratch the physical survivor indices land in before the
+    // logical remap; spans never exceed a block, which never exceeds a
+    // tile's worth of rows in practice, but size for the worst case by
+    // chunking the span itself.
+    constexpr size_t kTile = 512;
+    uint32_t idx[kMaxScanQueries * kTile];
+    size_t tile_counts[kMaxScanQueries];
+
+    for (size_t q0 = 0; q0 < num_queries; q0 += kMaxScanQueries) {
+        const size_t nq = std::min(kMaxScanQueries, num_queries - q0);
+        for (size_t s = 0; s < num_spans; ++s) {
+            const ScanSpan &sp = spans[s];
+            // logical = physical + delta for every row in this span.
+            const int64_t delta =
+                static_cast<int64_t>(sp.logicalBase) -
+                static_cast<int64_t>(sp.physBegin);
+            for (size_t at = 0; at < sp.count; at += kTile) {
+                const size_t rows = std::min(kTile, sp.count - at);
+                for (size_t qi = 0; qi < nq; ++qi)
+                    tile_counts[qi] = 0;
+                ops().scanMulti(
+                    query_words + q0 * wpr, nq,
+                    m.data() + (sp.physBegin + at) * wpr, wpr, rows, dim,
+                    threshold, static_cast<uint32_t>(sp.physBegin + at),
+                    idx, kTile, tile_counts);
+                for (size_t qi = 0; qi < nq; ++qi) {
+                    const size_t n = tile_counts[qi];
+                    if (n == 0)
+                        continue;
+                    const size_t q = q0 + qi;
+                    uint32_t *dst = survivors + q * stride + counts[q];
+                    const uint32_t *src = idx + qi * kTile;
+                    for (size_t j = 0; j < n; ++j)
+                        dst[j] = static_cast<uint32_t>(
+                            static_cast<int64_t>(src[j]) + delta);
+                    counts[q] += n;
+                    if (span_survivors)
+                        span_survivors[s] += n;
+                }
+            }
+        }
+    }
+}
+
+void
+batchScoreSelectMultiSpans(const uint64_t *query_words, size_t num_queries,
+                           const SignMatrix &signs, const ScanSpan *spans,
+                           size_t num_spans, int threshold,
+                           const float *queries, size_t query_stride,
+                           const Matrix &keys, float scale, size_t k,
+                           ScoredIndex *out, size_t out_stride,
+                           size_t *out_sizes, size_t *survivor_counts,
+                           size_t *span_survivors)
+{
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
+    const size_t total = checkSpans(spans, num_spans, signs.rows());
+    LS_ASSERT(checkSpans(spans, num_spans, keys.rows()) == total,
+              "batchScoreSelectMultiSpans sign/key row mismatch");
+    LS_ASSERT(k > 0, "batchScoreSelectMultiSpans k must be positive");
+    LS_ASSERT(out_stride >= std::min(k, total),
+              "batchScoreSelectMultiSpans out_stride ", out_stride,
+              " < heap capacity ", std::min(k, total));
+
+    for (size_t q = 0; q < num_queries; ++q) {
+        out_sizes[q] = 0;
+        if (survivor_counts)
+            survivor_counts[q] = 0;
+    }
+    for (size_t s = 0; s < num_spans; ++s)
+        if (span_survivors)
+            span_survivors[s] = 0;
+    if (total == 0 || num_queries == 0)
+        return;
+
+    // Identical tile structure to batchScoreSelectMulti; the scan and
+    // dot kernels see physical rows (signs and keys share storage
+    // layout) and only the index offered to the heap is remapped to
+    // the logical token id. Because spans ascend logically and each
+    // span's candidates ascend physically, the heap sees candidates in
+    // exactly the order the contiguous driver would offer them over an
+    // equivalent flat layout — selections are element-identical.
+    constexpr size_t kTile = 512;
+    uint32_t idx[kMaxScanQueries * kTile];
+    float score[kTile];
+    size_t tile_counts[kMaxScanQueries];
+
+    const detail::KernelOps &o = ops();
+    const size_t wpr = signs.wordsPerRow();
+    const int dim = static_cast<int>(signs.dim());
+
+    for (size_t q0 = 0; q0 < num_queries; q0 += kMaxScanQueries) {
+        const size_t nq = std::min(kMaxScanQueries, num_queries - q0);
+        for (size_t s = 0; s < num_spans; ++s) {
+            const ScanSpan &sp = spans[s];
+            const int64_t delta =
+                static_cast<int64_t>(sp.logicalBase) -
+                static_cast<int64_t>(sp.physBegin);
+            for (size_t at = 0; at < sp.count; at += kTile) {
+                const size_t rows = std::min(kTile, sp.count - at);
+                for (size_t qi = 0; qi < nq; ++qi)
+                    tile_counts[qi] = 0;
+                o.scanMulti(
+                    query_words + q0 * wpr, nq,
+                    signs.data() + (sp.physBegin + at) * wpr, wpr, rows,
+                    dim, threshold,
+                    static_cast<uint32_t>(sp.physBegin + at), idx, kTile,
+                    tile_counts);
+                for (size_t qi = 0; qi < nq; ++qi) {
+                    const size_t n = tile_counts[qi];
+                    if (n == 0)
+                        continue;
+                    const size_t q = q0 + qi;
+                    if (survivor_counts)
+                        survivor_counts[q] += n;
+                    if (span_survivors)
+                        span_survivors[s] += n;
+                    const uint32_t *qidx = idx + qi * kTile;
+                    o.dotAt(queries + q * query_stride, keys.data(),
+                            keys.cols(), keys.cols(), qidx, 0, n, scale,
+                            score);
+                    ScoredIndex *heap = out + q * out_stride;
+                    size_t hs = out_sizes[q];
+                    for (size_t j = 0; j < n; ++j)
+                        hs = topk_heap::push(
+                            heap, hs, k,
+                            ScoredIndex{score[j],
+                                        static_cast<uint32_t>(
+                                            static_cast<int64_t>(qidx[j]) +
+                                            delta)});
+                    out_sizes[q] = hs;
+                }
+            }
+        }
+    }
+    for (size_t q = 0; q < num_queries; ++q)
+        topk_heap::sortBestFirst(out + q * out_stride, out_sizes[q]);
+}
+
 } // namespace longsight

@@ -171,6 +171,39 @@ size_t batchScoreSelect(const uint64_t *query_words,
 inline constexpr size_t kMaxScanQueries = 16;
 
 /**
+ * One contiguous run of physical sign/key rows backing a logical token
+ * range — the unit a paged KV cache hands the scan drivers. Storage
+ * rows [physBegin, physBegin + count) hold logical tokens
+ * [logicalBase, logicalBase + count); a flat cache is the degenerate
+ * single span with physBegin == logicalBase. Span lists must ascend in
+ * logical order so the *Spans drivers offer candidates in exactly the
+ * sequence the contiguous drivers would.
+ */
+struct ScanSpan
+{
+    size_t physBegin = 0;
+    size_t count = 0;
+    size_t logicalBase = 0;
+};
+
+/**
+ * Span-list flavour of batchScanMulti: scans every span in order and
+ * emits LOGICAL token indices (each span's physical rows remapped by
+ * its logicalBase), appended per query at survivors + q * stride in
+ * ascending logical order; counts[q] receives the total. stride must
+ * be >= the summed span length. When span_survivors is non-null,
+ * span_survivors[s] receives span s's survivor total summed over all
+ * queries (the SCF residency statistic). On a single span with
+ * physBegin == logicalBase this is element-identical to batchScanMulti
+ * over [physBegin, physBegin + count).
+ */
+void batchScanMultiSpans(const uint64_t *query_words, size_t num_queries,
+                         const SignMatrix &m, const ScanSpan *spans,
+                         size_t num_spans, int threshold,
+                         uint32_t *survivors, size_t stride, size_t *counts,
+                         size_t *span_survivors = nullptr);
+
+/**
  * Multi-query SCF survivor scan over rows [begin, end): query q's
  * packed sign words live at query_words + q * m.wordsPerRow() (see
  * packSigns); its survivors land at survivors + q * stride in
@@ -218,6 +251,29 @@ void batchScoreSelectMulti(const uint64_t *query_words,
                            ScoredIndex *out, size_t out_stride,
                            size_t *out_sizes,
                            size_t *survivor_counts = nullptr);
+
+/**
+ * Span-list flavour of batchScoreSelectMulti — the fused scan -> score
+ * -> select driver a paged KV cache's block table feeds. Spans stream
+ * through in list order: within each span the scan and dot kernels see
+ * the span's contiguous physical rows (signs and keys address the same
+ * storage layout), while the indices offered to the per-query top-k
+ * heaps are remapped to LOGICAL token indices. Because span lists
+ * ascend logically and remapping never reorders candidates, every
+ * per-query selection is element-identical to the contiguous driver
+ * run over an equivalent flat layout — block size cannot change a
+ * result, only which storage rows the tiles travel through. When
+ * span_survivors is non-null, span_survivors[s] receives span s's
+ * survivor total summed over the whole query group (the per-block SCF
+ * counter that drives tier promotion/eviction).
+ */
+void batchScoreSelectMultiSpans(
+    const uint64_t *query_words, size_t num_queries,
+    const SignMatrix &signs, const ScanSpan *spans, size_t num_spans,
+    int threshold, const float *queries, size_t query_stride,
+    const Matrix &keys, float scale, size_t k, ScoredIndex *out,
+    size_t out_stride, size_t *out_sizes,
+    size_t *survivor_counts = nullptr, size_t *span_survivors = nullptr);
 
 namespace detail {
 

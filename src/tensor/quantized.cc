@@ -3,31 +3,44 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/annotations.hh"
 #include "util/logging.hh"
 
 namespace longsight {
 
-QuantizedVector
-quantizeInt8(const float *v, size_t n)
+void
+quantizeInt8Into(const float *v, size_t n, int8_t *out, float *scale)
 {
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
     LS_ASSERT(n > 0, "empty vector quantization");
     float max_abs = 0.0f;
     for (size_t i = 0; i < n; ++i)
         max_abs = std::max(max_abs, std::abs(v[i]));
 
-    QuantizedVector q;
-    // LS_LINT_ALLOW(alloc): per-append row buffer the quantized store keeps
-    q.data.resize(n);
     if (max_abs == 0.0f) {
-        q.scale = 1.0f;
-        return q;
+        *scale = 1.0f;
+        for (size_t i = 0; i < n; ++i)
+            out[i] = 0;
+        return;
     }
-    q.scale = max_abs / 127.0f;
+    *scale = max_abs / 127.0f;
     const float inv = 127.0f / max_abs;
     for (size_t i = 0; i < n; ++i) {
         const float r = std::round(v[i] * inv);
-        q.data[i] = static_cast<int8_t>(std::clamp(r, -127.0f, 127.0f));
+        out[i] = static_cast<int8_t>(std::clamp(r, -127.0f, 127.0f));
     }
+}
+
+QuantizedVector
+quantizeInt8(const float *v, size_t n)
+{
+    LS_ASSERT(n > 0, "empty vector quantization");
+    QuantizedVector q;
+    // LS_LINT_ALLOW(alloc): per-append row buffer the quantized store keeps
+    q.data.resize(n);
+    quantizeInt8Into(v, n, q.data.data(), &q.scale);
     return q;
 }
 
@@ -43,10 +56,19 @@ dequantize(const QuantizedVector &q)
 float
 dotQuantized(const QuantizedVector &q, const float *b)
 {
+    return dotQuantized(q.data.data(), q.scale, b, q.data.size());
+}
+
+float
+dotQuantized(const int8_t *data, float scale, const float *b, size_t n)
+{
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
     double acc = 0.0;
-    for (size_t i = 0; i < q.data.size(); ++i)
-        acc += static_cast<double>(q.data[i]) * b[i];
-    return static_cast<float>(acc * q.scale);
+    for (size_t i = 0; i < n; ++i)
+        acc += static_cast<double>(data[i]) * b[i];
+    return static_cast<float>(acc * scale);
 }
 
 double

@@ -33,11 +33,23 @@ struct QuantizedVector
 /** Symmetric per-vector quantization (max-abs scaling). */
 QuantizedVector quantizeInt8(const float *v, size_t n);
 
+/**
+ * quantizeInt8 into caller storage (out: n int8s, scale: one float) —
+ * the block-pool append path, which writes into a preallocated INT8
+ * arena and cannot afford the QuantizedVector allocation. Bit-identical
+ * payload and scale to quantizeInt8.
+ */
+void quantizeInt8Into(const float *v, size_t n, int8_t *out, float *scale);
+
 /** Dequantized copy (for tests and error analysis). */
 std::vector<float> dequantize(const QuantizedVector &q);
 
 /** Mixed dot product: sum_i q[i]*scale * b[i]. */
 float dotQuantized(const QuantizedVector &q, const float *b);
+
+/** Raw-span flavour over arena storage; identical accumulation. */
+float dotQuantized(const int8_t *data, float scale, const float *b,
+                   size_t n);
 
 /** Mean relative L2 error of quantizing each row of a matrix. */
 double quantizationError(const Matrix &rows);

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "util/annotations.hh"
 #include "util/logging.hh"
 
 namespace longsight {
@@ -17,6 +18,30 @@ SignMatrix::clear()
 {
     rows_ = 0;
     words_.clear();
+}
+
+void
+SignMatrix::resizeRows(size_t n)
+{
+    LS_ASSERT(dim_ > 0, "resizeRows on a dimensionless SignMatrix");
+    words_.resize(n * wordsPerRow_, 0);
+    rows_ = n;
+}
+
+void
+SignMatrix::setRow(size_t r, const float *v)
+{
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
+    LS_ASSERT(r < rows_, "SignMatrix setRow ", r, " out of range ", rows_);
+    uint64_t *w = words_.data() + r * wordsPerRow_;
+    for (size_t i = 0; i < wordsPerRow_; ++i)
+        w[i] = 0;
+    for (size_t i = 0; i < dim_; ++i) {
+        if (v[i] >= 0.0f)
+            w[i >> 6] |= uint64_t{1} << (i & 63);
+    }
 }
 
 void

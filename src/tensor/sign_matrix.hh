@@ -89,9 +89,21 @@ class SignMatrix
     /** Reserve capacity for n rows. */
     void reserveRows(size_t n) { words_.reserve(n * wordsPerRow_); }
 
+    /**
+     * Resize to exactly n rows, zero-filling any new ones (existing
+     * rows are preserved). The fixed-capacity form the block pool
+     * uses: rows are then overwritten in place with setRow() instead
+     * of appended, so the buffer never reallocates afterwards.
+     */
+    void resizeRows(size_t n);
+
     /** Append the signs of a dim-long float vector (bit i set iff
      *  v[i] >= 0, matching SignBits' packing). */
     void appendRow(const float *v);
+
+    /** Overwrite row r with the signs of a dim-long float vector —
+     *  bit-identical packing to appendRow. */
+    void setRow(size_t r, const float *v);
 
     /** Append a pre-packed SignBits value of matching dimension. */
     void appendSigns(const SignBits &s);
@@ -101,6 +113,7 @@ class SignMatrix
 
     /** Whole backing buffer: rows() * wordsPerRow() words. */
     const uint64_t *data() const { return words_.data(); }
+    uint64_t *data() { return words_.data(); }
 
     /** Row r as a standalone SignBits (round-trip/compat helper). */
     SignBits extract(size_t r) const;

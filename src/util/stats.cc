@@ -94,9 +94,18 @@ Histogram::quantile(double q) const
     uint64_t cum = underflow_;
     const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
     for (size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] && cum + counts_[i] > target) {
+            // Interpolate within the bin: the (target - cum)-th of the
+            // bin's counts_[i] samples sits a fraction of the way
+            // through the bin's width (+0.5 centers each sample in its
+            // equal share). A one-sample bin reproduces the old
+            // midpoint; spread samples no longer snap to it.
+            const double frac =
+                (static_cast<double>(target - cum) + 0.5) /
+                static_cast<double>(counts_[i]);
+            return lo_ + (static_cast<double>(i) + frac) * width;
+        }
         cum += counts_[i];
-        if (cum > target)
-            return lo_ + (static_cast<double>(i) + 0.5) * width;
     }
     return hi_;
 }

@@ -70,7 +70,9 @@ class Histogram
     /** Samples at or above hi (counted, ranked at hi in quantiles). */
     uint64_t overflow() const { return overflow_; }
 
-    /** Approximate quantile (q in [0,1]) from bin midpoints. */
+    /** Approximate quantile (q in [0,1]), linearly interpolated
+     *  within the selected bin (a one-sample bin reports its
+     *  midpoint; under/overflow samples rank at lo/hi). */
     double quantile(double q) const;
 
     /** Render a compact ASCII summary for logs. */

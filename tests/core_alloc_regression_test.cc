@@ -16,8 +16,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <vector>
 
+#include "core/kv_block_pool.hh"
 #include "core/kv_cache.hh"
 #include "core/multi_head.hh"
 #include "model/workload.hh"
@@ -46,15 +48,23 @@ struct DecodeRig
     static constexpr size_t kSteps = 48;
 
     std::vector<HeadWorkload> workloads;
+    std::unique_ptr<KvBlockPool> pool; //!< set in paged mode
     std::vector<KvCache> caches;
     MultiHeadLongSight mh;
     std::vector<Matrix> queries; //!< pregenerated, one per step
     LayerAttentionResult result;
     size_t pos = kContext;
 
-    DecodeRig()
+    explicit DecodeRig(bool paged = false)
         : mh(config(), kQHeads, kKvHeads, kDim)
     {
+        if (paged) {
+            const uint32_t bt = 128;
+            const uint32_t per_cache =
+                (kContext + kSteps + bt - 1) / bt + 1;
+            pool = std::make_unique<KvBlockPool>(kDim, bt,
+                                                 per_cache * kKvHeads);
+        }
         WorkloadConfig wcfg;
         wcfg.headDim = kDim;
         Rng root(3);
@@ -62,7 +72,10 @@ struct DecodeRig
         for (uint32_t h = 0; h < kKvHeads; ++h) {
             workloads.emplace_back(wcfg, root.fork());
             workloads[h].generate(kContext + kSteps);
-            caches.emplace_back(kDim);
+            if (pool)
+                caches.emplace_back(*pool);
+            else
+                caches.emplace_back(kDim);
             caches[h].reserve(kContext + kSteps);
             for (size_t i = 0; i < kContext; ++i)
                 caches[h].append(workloads[h].keys().row(i),
@@ -119,11 +132,11 @@ prewarmLaneArenas(unsigned lanes)
 }
 
 void
-expectZeroSteadyStateAllocs(unsigned threads)
+expectZeroSteadyStateAllocs(unsigned threads, bool paged = false)
 {
     ThreadPool::configureGlobal(threads);
     prewarmLaneArenas(threads);
-    DecodeRig rig;
+    DecodeRig rig(paged);
 
     // Warmup: vector capacities, per-lane scratch arenas, and the
     // thread-pool queue all reach their steady footprint here.
@@ -164,6 +177,61 @@ TEST(AllocRegression, DecodeStepIsAllocationFreeParallel)
     expectZeroSteadyStateAllocs(2);
     // Restore the default pool for any test run after this one.
     ThreadPool::configureGlobal(0);
+}
+
+TEST(AllocRegression, PagedDecodeStepIsAllocationFreeSerial)
+{
+    expectZeroSteadyStateAllocs(1, /*paged=*/true);
+}
+
+TEST(AllocRegression, PagedDecodeStepIsAllocationFreeParallel)
+{
+    expectZeroSteadyStateAllocs(2, /*paged=*/true);
+    ThreadPool::configureGlobal(0);
+}
+
+/**
+ * reserve() before enabling ITQ rotation / key quantization must still
+ * cover the stores those features add: the remembered ceiling is
+ * re-applied inside both enable paths, so the reserve-then-enable
+ * ordering keeps steady-state appends allocation-free too. (The old
+ * code reserved rotatedSigns_/quantizedKeys_ only when the feature was
+ * already on, so this ordering used to reallocate on every append
+ * window.)
+ */
+TEST(AllocRegression, ReserveThenEnableOrderingStaysAllocationFree)
+{
+    constexpr uint32_t dim = 64;
+    constexpr size_t total = 2048;
+    Rng rng(17);
+    std::vector<std::vector<float>> kv;
+    for (size_t i = 0; i < total; ++i)
+        kv.push_back(rng.gaussianVec(dim));
+
+    KvCache cache(dim);
+    cache.reserve(total);
+    // Enable AFTER the reserve, with a few rows already present.
+    for (size_t i = 0; i < 8; ++i)
+        cache.append(kv[i].data(), kv[i].data());
+    cache.setItqRotation(Matrix::identity(dim));
+    cache.enableKeyQuantization();
+
+    // Warmup one append (rotation scratch sizes itself once).
+    cache.append(kv[8].data(), kv[8].data());
+
+    const AllocCounters before = allocSnapshot();
+    for (size_t i = 9; i < total; ++i)
+        cache.append(kv[i].data(), kv[i].data());
+    const AllocCounters during = allocSnapshot() - before;
+
+#ifdef LS_SANITIZED
+    GTEST_SKIP() << "sanitizer allocator active";
+#else
+    ASSERT_TRUE(allocHookActive());
+    EXPECT_EQ(during.allocs, 0u)
+        << during.allocs << " allocations in reserve-then-enable appends";
+#endif
+    EXPECT_EQ(cache.size(), total);
 }
 
 } // namespace

@@ -119,6 +119,57 @@ TEST(Pipeline, DeviceMatchesSoftwareWithItq)
     }
 }
 
+TEST(Pipeline, PagedKvMatchesFlatStepForStep)
+{
+    // Same seed, same prefill, one pipeline on flat caches and one on
+    // a shared block pool: every decode step must agree exactly — the
+    // paged cache is a layout change, not an algorithm change. The
+    // device's top-k must also keep matching the paged software path.
+    DrexDevice dev_flat(deviceConfig()), dev_paged(deviceConfig());
+    PipelineConfig cfg = pipelineConfig();
+    DecodePipeline flat(cfg, dev_flat, 0);
+    cfg.pagedKv = true;
+    cfg.pagedBlockTokens = 128;
+    cfg.pagedMaxContext = 1024; // prefill 900 + 24 steps
+    DecodePipeline paged(cfg, dev_paged, 0);
+    ASSERT_NE(paged.blockPool(), nullptr);
+    EXPECT_EQ(flat.blockPool(), nullptr);
+
+    flat.prefill(900);
+    paged.prefill(900);
+    for (int i = 0; i < 24; ++i) {
+        const auto a = flat.decodeStep();
+        const auto b = paged.decodeStep();
+        EXPECT_TRUE(b.deviceMatchedSoftware) << "step " << i;
+        EXPECT_EQ(a.offloadsIssued, b.offloadsIssued) << "step " << i;
+        EXPECT_EQ(a.tokensFlushed, b.tokensFlushed) << "step " << i;
+        EXPECT_EQ(a.minRetainedMass, b.minRetainedMass) << "step " << i;
+    }
+    EXPECT_EQ(flat.contextLength(), paged.contextLength());
+    EXPECT_GT(paged.blockPool()->usedBlocks(), 0u);
+}
+
+TEST(Pipeline, PagedKvMatchesFlatWithItq)
+{
+    DrexDevice dev_flat(deviceConfig()), dev_paged(deviceConfig());
+    PipelineConfig cfg = pipelineConfig();
+    cfg.trainItq = true;
+    DecodePipeline flat(cfg, dev_flat, 0);
+    cfg.pagedKv = true;
+    cfg.pagedBlockTokens = 64;
+    cfg.pagedMaxContext = 1024;
+    DecodePipeline paged(cfg, dev_paged, 0);
+
+    flat.prefill(900);
+    paged.prefill(900);
+    for (int i = 0; i < 8; ++i) {
+        const auto a = flat.decodeStep();
+        const auto b = paged.decodeStep();
+        EXPECT_TRUE(b.deviceMatchedSoftware) << "step " << i;
+        EXPECT_EQ(a.minRetainedMass, b.minRetainedMass) << "step " << i;
+    }
+}
+
 TEST(Pipeline, RetainedMassHighAtGenerousSettings)
 {
     DrexDevice dev(deviceConfig());

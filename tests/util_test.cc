@@ -211,6 +211,42 @@ TEST(Histogram, QuantileOrdering)
     EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
 }
 
+TEST(Histogram, QuantileInterpolatesWithinBin)
+{
+    // Pin the exact interpolation rule: the (target - cum)-th sample
+    // of a bin sits (rank + 0.5) / count of the way through the bin's
+    // width. The old code snapped every in-bin quantile to the bin
+    // midpoint, which for a single wide bin made p25 == p50 == p75.
+    Histogram one(0.0, 10.0, 1);
+    for (double x : {1.0, 3.0, 5.0, 7.0})
+        one.add(x);
+    EXPECT_DOUBLE_EQ(one.quantile(0.0), 1.25);
+    EXPECT_DOUBLE_EQ(one.quantile(0.25), 3.75);
+    EXPECT_DOUBLE_EQ(one.quantile(0.5), 6.25);
+    EXPECT_DOUBLE_EQ(one.quantile(0.75), 8.75);
+
+    // Two bins of four samples each (width 4): the rank walks smoothly
+    // across the bin boundary instead of jumping midpoint-to-midpoint.
+    Histogram two(0.0, 8.0, 2);
+    for (double x : {0.5, 1.0, 2.0, 3.0, 4.5, 5.0, 6.0, 7.0})
+        two.add(x);
+    EXPECT_DOUBLE_EQ(two.quantile(0.125), 1.5); // 2nd of 4 in bin 0
+    EXPECT_DOUBLE_EQ(two.quantile(0.5), 4.5);   // 1st of 4 in bin 1
+    EXPECT_DOUBLE_EQ(two.quantile(1.0), 8.0);   // rank past the end: hi
+}
+
+TEST(Histogram, OneSamplePerBinReportsMidpoints)
+{
+    // A one-sample bin must still report its midpoint (frac = 0.5), so
+    // finely-binned histograms keep their historical quantile values.
+    Histogram h(0.0, 100.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(10.0 * i + 5.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 55.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.95), 95.0);
+}
+
 TEST(Table, RendersAllRows)
 {
     TextTable t("demo");

@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_*.json artifacts.
+
+Compares freshly produced bench JSONs against the checked-in
+baselines in bench/baselines/ under a per-metric policy manifest.
+Only metrics that are DETERMINISTIC for a fixed seed — simulated
+times, schedule counters, identity booleans — are gated; wall-clock
+measurements (tokens_per_s on the host CPU, scan keys/s, *_s kernel
+timings) vary across runners and are deliberately absent from the
+manifest, so a noisy CI machine cannot fail the gate.
+
+Policy kinds:
+  exact         values must compare equal (counters, config echoes)
+  true          fresh value must be literally true (identity gates)
+  close         relative difference <= 1e-4 (deterministic floats
+                that only wobble through decimal printing)
+  min_ratio X   fresh >= X * baseline (throughput-like: fail on a
+                >(1-X) drop)
+  max_ratio X   fresh <= X * baseline (latency-like: fail on a
+                >(X-1) regression)
+
+Keys are dotted paths into the JSON. Keys absent from the manifest
+are ignored; keys in the manifest but absent from either file fail.
+
+Usage: bench_gate.py --baseline-dir DIR --fresh-dir DIR [names...]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Tolerance bands: a >10% throughput drop or >15% p99 latency
+# regression fails; deterministic counters and identity checks are
+# exact. A deliberate scheduling-policy change that legitimately
+# shifts counters is accepted by refreshing the baselines
+# (ci/check-bench.sh refresh) in the same commit.
+THROUGHPUT = ("min_ratio", 0.90)
+TAIL_LATENCY = ("max_ratio", 1.15)
+EXACT = ("exact",)
+TRUE = ("true",)
+CLOSE = ("close",)
+
+
+def serving_policy():
+    policy = {
+        "requests": EXACT,
+        "prefill_chunk_tokens": EXACT,
+        "max_batch": EXACT,
+        "ttft_slo_ms": EXACT,
+        "tbt_slo_ms": EXACT,
+        "block_budget": EXACT,
+    }
+    for s in ("poisson", "diurnal"):
+        policy.update(
+            {
+                f"{s}.requests": EXACT,
+                f"{s}.total_tokens": EXACT,
+                f"{s}.prefill_chunks": EXACT,
+                f"{s}.preemptions": EXACT,
+                f"{s}.restores": EXACT,
+                f"{s}.gate_holds": EXACT,
+                f"{s}.peak_blocks": EXACT,
+                f"{s}.block_budget": EXACT,
+                f"{s}.deterministic": TRUE,
+                f"{s}.makespan_s": TAIL_LATENCY,
+                f"{s}.throughput_tokens_per_s": THROUGHPUT,
+                f"{s}.goodput_tokens_per_s": THROUGHPUT,
+                f"{s}.slo_attainment": THROUGHPUT,
+                f"{s}.ttft_p99_ms": TAIL_LATENCY,
+                f"{s}.tbt_p99_ms": TAIL_LATENCY,
+            }
+        )
+    return policy
+
+
+POLICIES = {
+    "BENCH_serving.json": serving_policy(),
+    "BENCH_decode.json": {
+        "context": EXACT,
+        "steps": EXACT,
+        "threshold": EXACT,
+        "top_k": EXACT,
+        "alloc_hook_active": TRUE,
+        "grouped_scan.bit_identical": TRUE,
+        # Allocation counts are a perf contract: the fused step's 0.5
+        # allocs/token is structural; the baseline step's count may
+        # drift slightly with toolchain library versions.
+        "fused.allocs_per_token": EXACT,
+        "fused.bytes_per_token": EXACT,
+        "baseline.allocs_per_token": ("max_ratio", 1.10),
+    },
+    "BENCH_paged.json": {
+        "results_identical": TRUE,
+        "block_tokens": EXACT,
+        "pool_blocks": EXACT,
+        "budget_tokens": EXACT,
+        "hbm_resident_blocks": EXACT,
+        "promotions": EXACT,
+        "evictions": EXACT,
+        "flat_admitted": EXACT,
+        "paged_admitted": EXACT,
+        "prefix_shared_tokens": EXACT,
+        "trace_block_budget": EXACT,
+        "trace_peak_blocks": EXACT,
+        "trace_gate_rejections": EXACT,
+        "trace_jobs": EXACT,
+        "identity_occupancy": CLOSE,
+        "prefix_hit_rate": CLOSE,
+        "capacity_ratio": THROUGHPUT,
+        # Simulated (Tick-domain) trace metrics: deterministic, so
+        # gated like the serving metrics, unlike the wall-clock
+        # flat_s/paged_s fields which are not compared at all.
+        "trace_makespan_s": TAIL_LATENCY,
+        "trace_throughput_tps": THROUGHPUT,
+    },
+}
+
+
+def lookup(obj, path):
+    for part in path.split("."):
+        if not isinstance(obj, dict) or part not in obj:
+            return None, False
+        obj = obj[part]
+    return obj, True
+
+
+def check_metric(path, policy, base, fresh):
+    """Returns an error string, or None when the metric passes."""
+    bval, bok = lookup(base, path)
+    fval, fok = lookup(fresh, path)
+    if not fok:
+        return f"{path}: missing from fresh output"
+    if policy[0] == "true":
+        return None if fval is True else f"{path}: expected true, got {fval!r}"
+    if not bok:
+        return f"{path}: missing from baseline (refresh baselines?)"
+    if policy[0] == "exact":
+        if fval != bval:
+            return f"{path}: {fval!r} != baseline {bval!r}"
+        return None
+    try:
+        b, f = float(bval), float(fval)
+    except (TypeError, ValueError):
+        return f"{path}: non-numeric ({bval!r} vs {fval!r})"
+    if policy[0] == "close":
+        scale = max(abs(b), 1e-12)
+        if abs(f - b) / scale > 1e-4:
+            return f"{path}: {f} differs from baseline {b} (> 1e-4 rel)"
+        return None
+    if policy[0] == "min_ratio":
+        if f < policy[1] * b:
+            return (
+                f"{path}: {f:.6g} < {policy[1]:.2f} x baseline {b:.6g} "
+                f"(>{(1 - policy[1]) * 100:.0f}% drop)"
+            )
+        return None
+    if policy[0] == "max_ratio":
+        if f > policy[1] * b:
+            return (
+                f"{path}: {f:.6g} > {policy[1]:.2f} x baseline {b:.6g} "
+                f"(>{(policy[1] - 1) * 100:.0f}% regression)"
+            )
+        return None
+    return f"{path}: unknown policy {policy!r}"
+
+
+def check_file(name, baseline_dir, fresh_dir):
+    base_path = os.path.join(baseline_dir, name)
+    fresh_path = os.path.join(fresh_dir, name)
+    if not os.path.exists(base_path):
+        return [f"{name}: no baseline at {base_path} (run refresh)"]
+    if not os.path.exists(fresh_path):
+        return [f"{name}: no fresh output at {fresh_path}"]
+    with open(base_path) as fp:
+        base = json.load(fp)
+    with open(fresh_path) as fp:
+        fresh = json.load(fp)
+    errors = []
+    for path, policy in sorted(POLICIES[name].items()):
+        err = check_metric(path, policy, base, fresh)
+        if err:
+            errors.append(f"{name}: {err}")
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline-dir", default="bench/baselines")
+    ap.add_argument("--fresh-dir", default=".")
+    ap.add_argument("names", nargs="*", default=None,
+                    help="bench JSON names (default: all known)")
+    args = ap.parse_args()
+    names = args.names or sorted(POLICIES)
+    for name in names:
+        if name not in POLICIES:
+            print(f"error: no policy for {name}", file=sys.stderr)
+            return 2
+    failures = []
+    checked = 0
+    for name in names:
+        errs = check_file(name, args.baseline_dir, args.fresh_dir)
+        checked += len(POLICIES[name])
+        for e in errs:
+            print(f"FAIL {e}", file=sys.stderr)
+        failures.extend(errs)
+    if failures:
+        print(
+            f"bench gate: {len(failures)} failure(s) across "
+            f"{len(names)} artifact(s). If the change is intentional, "
+            f"refresh baselines with: ci/check-bench.sh refresh",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"bench gate: {checked} metrics OK across {len(names)} artifact(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

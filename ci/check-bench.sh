@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Perf-regression gate over the deterministic bench artifacts.
+#
+# The three gated benches (serving_engine, decode_hotpath,
+# paged_cache) are run with CANONICAL smoke flags — defined once,
+# here — and their BENCH_*.json outputs are diffed against the
+# checked-in baselines in bench/baselines/ by ci/bench_gate.py:
+# simulated throughput may not drop >10%, simulated p99 latency may
+# not regress >15%, schedule counters and identity booleans must
+# match exactly. Wall-clock metrics are not compared (CI runners are
+# noisy); see the policy manifest in ci/bench_gate.py.
+#
+# Usage:
+#   ci/check-bench.sh run [build_dir [out_dir]]
+#       Run the gated benches with canonical flags; JSONs land in
+#       out_dir (default: current directory).
+#   ci/check-bench.sh check [fresh_dir]
+#       Diff fresh JSONs (default: current directory) against
+#       bench/baselines/.
+#   ci/check-bench.sh refresh [build_dir]
+#       One-command local baseline update: build the gated benches,
+#       run them, write the JSONs straight into bench/baselines/.
+#       Commit the result together with the change that shifted it.
+set -eu
+cd "$(dirname "$0")/.."
+
+BASELINE_DIR=bench/baselines
+
+run_benches() {
+    local build_dir=$1 out_dir=$2
+    mkdir -p "$out_dir"
+    for bench in serving_engine decode_hotpath paged_cache; do
+        [ -x "$build_dir/bench/$bench" ] || {
+            echo "error: $build_dir/bench/$bench not built" >&2
+            echo "hint: cmake --build $build_dir --target $bench" >&2
+            return 1
+        }
+    done
+    # Canonical smoke flags. ci.yml's bench-smoke job and the
+    # committed baselines both come from exactly these invocations.
+    "$build_dir/bench/serving_engine" --requests 600 --seed 1 \
+        --out "$out_dir/BENCH_serving.json"
+    "$build_dir/bench/decode_hotpath" --context 4096 --steps 8 \
+        --warmup 4 --out "$out_dir/BENCH_decode.json"
+    "$build_dir/bench/paged_cache" --steps 12 \
+        --out "$out_dir/BENCH_paged.json"
+}
+
+case "${1:-check}" in
+run)
+    run_benches "${2:-build}" "${3:-.}"
+    ;;
+check)
+    python3 ci/bench_gate.py --baseline-dir "$BASELINE_DIR" \
+        --fresh-dir "${2:-.}"
+    ;;
+refresh)
+    build_dir=${2:-build}
+    cmake --build "$build_dir" \
+        --target serving_engine decode_hotpath paged_cache
+    run_benches "$build_dir" "$BASELINE_DIR"
+    echo "refreshed baselines in $BASELINE_DIR:"
+    ls -l "$BASELINE_DIR"
+    ;;
+*)
+    echo "usage: $0 {run [build_dir [out_dir]] | check [fresh_dir] |" \
+        "refresh [build_dir]}" >&2
+    exit 2
+    ;;
+esac

@@ -58,8 +58,8 @@ main()
                 "K context, " + std::to_string(scfg.users) +
                 " arriving users (SLO " + TextTable::num(scfg.sloMs, 0) +
                 " ms/token)");
-    t.setHeader({"System", "p50 [ms]", "p99 [ms]", "max [ms]",
-                 "SLO attainment", "Peak users"});
+    t.setHeader({"System", "p50 [ms]", "p99 [ms]", "tail>range",
+                 "max [ms]", "SLO attainment", "Peak users"});
 
     struct Row
     {
@@ -73,9 +73,13 @@ main()
         {"1-GPU dense", runSloSimulation(scfg, service_for(gpu, ctx))});
 
     for (const auto &row : rows) {
+        // tail>range: fraction of samples beyond the histogram span;
+        // nonzero means the p99 column is a lower bound.
         t.addRow({row.name,
                   TextTable::num(row.r.latencyHist.quantile(0.5), 1),
                   TextTable::num(row.r.latencyHist.quantile(0.99), 1),
+                  TextTable::num(100.0 * row.r.tailOverflowFraction, 1) +
+                      "%",
                   TextTable::num(row.r.tokenLatencyMs.max(), 1),
                   TextTable::num(100.0 * row.r.sloAttainment, 1) + "%",
                   std::to_string(row.r.peakConcurrency)});

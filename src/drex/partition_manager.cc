@@ -149,4 +149,55 @@ PartitionManager::release(uint32_t user)
     users_.erase(it);
 }
 
+BlockLedger::BlockLedger(const PartitionManager &pm,
+                         uint32_t block_tokens)
+    : pm_(&pm), blockTokens_(block_tokens), numKvHeads_(pm.numKvHeads()),
+      budget_(pm.blockBudget(block_tokens))
+{
+    LS_ASSERT(block_tokens > 0, "block size must be positive");
+}
+
+BlockLedger::BlockLedger(uint64_t budget_blocks, uint32_t block_tokens,
+                         uint32_t num_kv_heads)
+    : blockTokens_(block_tokens), numKvHeads_(num_kv_heads),
+      budget_(budget_blocks)
+{
+    LS_ASSERT(block_tokens > 0 && num_kv_heads > 0,
+              "degenerate block ledger");
+}
+
+uint64_t
+BlockLedger::blocksFor(uint64_t tokens) const
+{
+    if (pm_)
+        return pm_->blocksForContext(tokens, blockTokens_);
+    if (tokens == 0)
+        return 0;
+    return (tokens + blockTokens_ - 1) / blockTokens_ * numKvHeads_;
+}
+
+bool
+BlockLedger::canReserve(uint64_t tokens) const
+{
+    return inUse_ + blocksFor(tokens) <= budget_;
+}
+
+void
+BlockLedger::reserve(uint64_t tokens)
+{
+    const uint64_t need = blocksFor(tokens);
+    LS_ASSERT(inUse_ + need <= budget_, "block budget exceeded: ",
+              inUse_, " + ", need, " > ", budget_);
+    inUse_ += need;
+    peak_ = std::max(peak_, inUse_);
+}
+
+void
+BlockLedger::release(uint64_t tokens)
+{
+    const uint64_t need = blocksFor(tokens);
+    LS_ASSERT(need <= inUse_, "releasing more blocks than reserved");
+    inUse_ -= need;
+}
+
 } // namespace longsight

@@ -57,6 +57,9 @@ class PartitionManager
     /** Slice slots one package can hold (row budget / slot rows). */
     uint32_t slotsPerPackage() const { return slotsPerPackage_; }
 
+    /** KV heads per user partition (each pages independently). */
+    uint32_t numKvHeads() const { return numKvHeads_; }
+
     /** Total slots across the device. */
     uint32_t totalSlots() const;
 
@@ -127,6 +130,52 @@ class PartitionManager
     std::vector<std::vector<bool>> slotUsed_; //!< [package][slot]
     std::map<uint32_t, UserPartition> users_;
     uint32_t usedSlots_ = 0;
+};
+
+/**
+ * Running block-budget account over a fixed budget: the admission
+ * currency the serving engine reserves against. PR 6's paged bench
+ * tracked in-use blocks by hand next to its canAdmit lambda; this
+ * class owns that arithmetic — reserve on admit, release on retire or
+ * preemption — and keeps the peak on record so benches can assert the
+ * budget was never exceeded. Construct from a PartitionManager to use
+ * the device's real row budget and per-head paging, or standalone for
+ * unit tests.
+ */
+class BlockLedger
+{
+  public:
+    /** Device-backed: budget and per-context block counts from pm. */
+    BlockLedger(const PartitionManager &pm, uint32_t block_tokens);
+
+    /** Standalone: explicit budget, ceil(tokens/block) * kv_heads. */
+    BlockLedger(uint64_t budget_blocks, uint32_t block_tokens,
+                uint32_t num_kv_heads = 1);
+
+    /** Blocks a context of this many tokens occupies. */
+    uint64_t blocksFor(uint64_t tokens) const;
+
+    /** Whether a context fits beside the currently reserved blocks. */
+    bool canReserve(uint64_t tokens) const;
+
+    /** Reserve a context's blocks (callers gate with canReserve). */
+    void reserve(uint64_t tokens);
+
+    /** Return a context's blocks to the budget. */
+    void release(uint64_t tokens);
+
+    uint64_t budget() const { return budget_; }
+    uint64_t inUse() const { return inUse_; }
+    uint64_t peakInUse() const { return peak_; }
+    uint64_t freeBlocks() const { return budget_ - inUse_; }
+
+  private:
+    const PartitionManager *pm_ = nullptr; //!< null when standalone
+    uint32_t blockTokens_;
+    uint32_t numKvHeads_;
+    uint64_t budget_;
+    uint64_t inUse_ = 0;
+    uint64_t peak_ = 0;
 };
 
 } // namespace longsight

@@ -1,0 +1,95 @@
+#include "model/traffic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace longsight {
+
+namespace {
+
+/** Lognormal draw clamped to [lo, hi]. */
+double
+lognormal(Rng &rng, double log_mean, double log_sigma, double lo,
+          double hi)
+{
+    const double x = std::exp(log_mean + log_sigma * rng.gaussian());
+    return std::min(hi, std::max(lo, x));
+}
+
+/**
+ * Instantaneous diurnal rate multiplier at time t: a sinusoid with
+ * the configured peak-to-trough ratio and unit mean, so the trace's
+ * long-run offered load matches arrivalsPerSec.
+ */
+double
+diurnalShape(Tick t, Tick period, double peak_to_trough)
+{
+    const double a =
+        (peak_to_trough - 1.0) / (peak_to_trough + 1.0); // in [0, 1)
+    const double phase = 2.0 * M_PI * toSeconds(t % period) /
+        toSeconds(period);
+    return 1.0 + a * std::sin(phase);
+}
+
+} // namespace
+
+std::vector<ServingRequest>
+generateTraffic(const TrafficConfig &cfg)
+{
+    LS_ASSERT(cfg.requests > 0, "empty traffic trace");
+    LS_ASSERT(cfg.arrivalsPerSec > 0.0, "nonpositive offered rate");
+    LS_ASSERT(cfg.promptMin <= cfg.promptMax &&
+                  cfg.outputMin <= cfg.outputMax,
+              "inverted size bounds");
+    if (cfg.process == ArrivalProcess::Diurnal) {
+        LS_ASSERT(cfg.diurnalPeakToTrough >= 1.0,
+                  "peak/trough ratio must be >= 1");
+        LS_ASSERT(cfg.diurnalPeriod > 0, "degenerate diurnal period");
+    }
+
+    Rng rng(cfg.seed);
+    std::vector<ServingRequest> trace;
+    trace.reserve(cfg.requests);
+
+    // Lewis thinning: candidate gaps at the peak rate, accepted with
+    // probability rate(t)/peak. For Poisson the shape is constant 1
+    // and every candidate is accepted, so both processes share one
+    // (deterministic) sampling loop.
+    const double peak_shape = cfg.process == ArrivalProcess::Diurnal
+        ? 2.0 * cfg.diurnalPeakToTrough / (cfg.diurnalPeakToTrough + 1.0)
+        : 1.0;
+    const double peak_rate = cfg.arrivalsPerSec * peak_shape;
+    Tick now = 0;
+    while (trace.size() < cfg.requests) {
+        const double gap_s = -std::log(1.0 - rng.uniform()) / peak_rate;
+        now += static_cast<Tick>(gap_s * 1e12 + 0.5);
+        if (cfg.process == ArrivalProcess::Diurnal) {
+            const double accept = diurnalShape(now, cfg.diurnalPeriod,
+                                               cfg.diurnalPeakToTrough) /
+                peak_shape;
+            if (rng.uniform() >= accept)
+                continue;
+        }
+        ServingRequest r;
+        r.id = static_cast<uint32_t>(trace.size());
+        r.arrival = now;
+        r.promptLen = static_cast<uint64_t>(
+            lognormal(rng, cfg.promptLogMean, cfg.promptLogSigma,
+                      static_cast<double>(cfg.promptMin),
+                      static_cast<double>(cfg.promptMax)));
+        r.outputTokens = static_cast<uint32_t>(
+            lognormal(rng, cfg.outputLogMean, cfg.outputLogSigma,
+                      static_cast<double>(cfg.outputMin),
+                      static_cast<double>(cfg.outputMax)));
+        r.priority = rng.uniform() < cfg.interactiveFraction
+            ? Priority::Interactive
+            : Priority::Batch;
+        trace.push_back(r);
+    }
+    return trace;
+}
+
+} // namespace longsight

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Open-loop serving traffic generation: the arrival processes and
+ * request-size distributions a production long-context deployment
+ * faces (CSAttention names reusable-prefix, heavy-tailed traffic as
+ * the dominant pattern; §4's rate/SLO requirements assume open-loop
+ * arrivals, where requests keep landing whether or not the engine
+ * keeps up).
+ *
+ * Two arrival processes:
+ *  - Poisson: exponential interarrivals at a constant offered rate.
+ *  - Diurnal: a nonhomogeneous Poisson process whose rate follows a
+ *    sinusoidal "day" (peak-to-trough ratio configurable), generated
+ *    by Lewis thinning so the trace is exact, not binned.
+ *
+ * Request sizes are lognormal (heavy-tailed: most prompts are short,
+ * a fat tail reaches the 128K ceiling) and clamped to configured
+ * bounds; a fraction of requests is tagged interactive (latency-
+ * sensitive) for the engine's priority classes. Everything flows
+ * through one seeded Rng, so a (config, seed) pair fully determines
+ * the trace.
+ */
+
+#ifndef LONGSIGHT_MODEL_TRAFFIC_HH
+#define LONGSIGHT_MODEL_TRAFFIC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/units.hh"
+
+namespace longsight {
+
+/** Scheduling class of a request (engine preempts Batch for
+ *  Interactive when the block budget binds). */
+enum class Priority : uint8_t { Batch = 0, Interactive = 1 };
+
+/**
+ * One serving request as the traffic generator emits it and the
+ * serving engine consumes it.
+ */
+struct ServingRequest
+{
+    uint32_t id = 0;
+    Tick arrival = 0;
+    uint64_t promptLen = 0;
+    uint32_t outputTokens = 1;
+    Priority priority = Priority::Batch;
+};
+
+/** Arrival process family. */
+enum class ArrivalProcess { Poisson, Diurnal };
+
+/**
+ * Shape of an open-loop trace.
+ */
+struct TrafficConfig
+{
+    uint32_t requests = 1024;    //!< simulated users (one request each)
+    ArrivalProcess process = ArrivalProcess::Poisson;
+    double arrivalsPerSec = 8.0; //!< mean offered rate
+
+    /** Diurnal only: peak rate / trough rate (> 1). */
+    double diurnalPeakToTrough = 4.0;
+    /** Diurnal only: one compressed "day". */
+    Tick diurnalPeriod = 120 * kSecond;
+
+    // Heavy-tailed lognormal prompt lengths (tokens), clamped.
+    double promptLogMean = 7.6;  //!< ln tokens; e^7.6 ~ 2000
+    double promptLogSigma = 1.1;
+    uint64_t promptMin = 64;
+    uint64_t promptMax = 131072;
+
+    // Lognormal output budgets (tokens), clamped.
+    double outputLogMean = 4.8;  //!< e^4.8 ~ 120
+    double outputLogSigma = 0.8;
+    uint32_t outputMin = 1;
+    uint32_t outputMax = 4096;
+
+    /** Fraction of requests tagged Priority::Interactive. */
+    double interactiveFraction = 0.125;
+
+    uint64_t seed = 1;
+};
+
+/**
+ * Generate the trace: `requests` arrivals sorted by time, ids in
+ * arrival order. Deterministic in (cfg, cfg.seed).
+ */
+std::vector<ServingRequest> generateTraffic(const TrafficConfig &cfg);
+
+} // namespace longsight
+
+#endif // LONGSIGHT_MODEL_TRAFFIC_HH

@@ -83,6 +83,32 @@ DecodePipeline::prefill(size_t n)
 }
 
 void
+DecodePipeline::prefillChunk(size_t n)
+{
+    if (n == 0)
+        return;
+    if (contextLength() == 0) {
+        prefill(n);
+        return;
+    }
+    // Extend each (layer, KV head) context token by token: appendToken
+    // advances the same RNG stream generate() would, so chunked and
+    // monolithic prefill build identical contexts.
+    ThreadPool::global().parallelFor(
+        0, workloads_.size(), [&](size_t idx) {
+            HeadWorkload &wl = workloads_[idx];
+            for (size_t t = 0; t < n; ++t) {
+                wl.appendToken();
+                const size_t pos = wl.contextLength() - 1;
+                gpuCaches_[idx]->append(wl.keys().row(pos),
+                                        wl.values().row(pos));
+            }
+        });
+    maybeTrainItq();
+    flushEligibleGroups();
+}
+
+void
 DecodePipeline::maybeTrainItq()
 {
     if (!cfg_.trainItq || itqInstalled_)

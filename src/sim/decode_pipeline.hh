@@ -90,6 +90,20 @@ class DecodePipeline
     /** Build an initial context of n tokens and flush eligible groups. */
     void prefill(size_t n);
 
+    /**
+     * Chunked-prefill hook for the serving engine: extend the prompt
+     * by n more tokens and flush eligible groups. Chaining chunks is
+     * bit-identical to one prefill() of the total (the workloads'
+     * append path replays the exact token stream generate() would
+     * produce), so a scheduler can interleave prompt chunks with
+     * decode steps without perturbing any downstream result. The one
+     * caveat is runtime ITQ training (trainItq): it fires once at a
+     * context-length threshold, so chunk boundaries change which
+     * prefix it trains on — train before chunking (or leave it off,
+     * the default) when exact equivalence matters.
+     */
+    void prefillChunk(size_t n);
+
     /** Generate one token: append KV, maybe flush, offload, combine. */
     PipelineStepResult decodeStep();
 

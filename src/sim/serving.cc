@@ -1,6 +1,17 @@
 #include "sim/serving.hh"
 
+#include <algorithm>
+
+#include "util/logging.hh"
+
 namespace longsight {
+
+Histogram
+sloHistogram(double slo_ms, size_t bins)
+{
+    LS_ASSERT(slo_ms > 0.0 && bins > 0, "degenerate SLO histogram");
+    return Histogram(0.0, kSloHistogramSpan * slo_ms, bins);
+}
 
 void
 GroupedScanStats::merge(const GroupedScanStats &o)

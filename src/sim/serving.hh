@@ -13,9 +13,35 @@
 #include <cstdint>
 #include <string>
 
+#include "util/stats.hh"
 #include "util/units.hh"
 
 namespace longsight {
+
+/**
+ * Latency objectives an operator provisions against (§4 "SLO
+ * requirements"): time-to-first-token for responsiveness, time-
+ * between-tokens for streaming fluency. Goodput counts only the
+ * tokens of requests that met both.
+ */
+struct SloTargets
+{
+    double ttftMs = 2000.0; //!< arrival -> first generated token
+    double tbtMs = 100.0;   //!< per-token streaming gap
+};
+
+/**
+ * A latency histogram sized from its SLO target: the range spans
+ * kSloHistogramSpan x the objective, so the region an operator cares
+ * about (did the tail cross the target, and by how much?) is covered
+ * with real bins instead of saturating at an arbitrary fixed edge.
+ * Samples beyond the span still land in the histogram's overflow
+ * counter — report overflow()/count() alongside any quantile so a
+ * truncated tail is visible, never silent.
+ */
+constexpr double kSloHistogramSpan = 5.0;
+
+Histogram sloHistogram(double slo_ms, size_t bins = 200);
 
 /**
  * Per-token latency breakdown of a LongSight decode step (Fig. 9).

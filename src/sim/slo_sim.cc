@@ -1,8 +1,10 @@
 #include "sim/slo_sim.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 
+#include "sim/serving.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -67,6 +69,13 @@ runSloSimulation(const SloConfig &cfg,
     LS_ASSERT(cfg.users > 0 && cfg.tokensPerUser > 0,
               "degenerate SLO simulation");
     Session s(cfg, step_time);
+    // Size the histogram from the objective under study (never
+    // narrower than the historical [0, 200) ms range): a tail beyond
+    // the range saturated the top edge silently before, making p99
+    // untrustworthy exactly when it mattered. Residual overflow is
+    // reported alongside (tailOverflowFraction).
+    s.result.latencyHist = sloHistogram(
+        std::max(cfg.sloMs, 200.0 / kSloHistogramSpan), 100);
     Rng rng(cfg.seed);
 
     // Exponential interarrivals, all scheduled up front.
@@ -82,6 +91,10 @@ runSloSimulation(const SloConfig &cfg,
     s.result.sloAttainment = s.totalTokens
         ? static_cast<double>(s.withinSlo) /
             static_cast<double>(s.totalTokens)
+        : 0.0;
+    s.result.tailOverflowFraction = s.result.latencyHist.count()
+        ? static_cast<double>(s.result.latencyHist.overflow()) /
+            static_cast<double>(s.result.latencyHist.count())
         : 0.0;
     return s.result;
 }

@@ -39,7 +39,19 @@ struct SloConfig
 struct SloResult
 {
     RunningStat tokenLatencyMs;  //!< per-token latency samples
+    /**
+     * Latency distribution, sized from the configured SLO by
+     * runSloSimulation (sloHistogram: the range spans a multiple of
+     * cfg.sloMs, never less than the historical [0, 200) ms). The
+     * member initializer only covers a default-constructed result.
+     */
     Histogram latencyHist{0.0, 200.0, 100};
+    /**
+     * Fraction of samples beyond the histogram range. Quantiles rank
+     * such samples at the top edge, so any nonzero value here means
+     * latencyHist's p99 is a *lower bound* — report them together.
+     */
+    double tailOverflowFraction = 0.0;
     double sloAttainment = 0.0;  //!< fraction of tokens within SLO
     uint32_t peakConcurrency = 0;
     Tick makespan = 0;

@@ -75,6 +75,37 @@ TEST(Pipeline, ShortContextFlushesNothing)
     EXPECT_FALSE(dev.hasContext(0, 0, 0));
 }
 
+TEST(Pipeline, ChunkedPrefillMatchesOneShot)
+{
+    // The serving engine's chunked-prefill hook: building a context
+    // in uneven chunks must leave the pipeline bit-identical to one
+    // monolithic prefill — same flushed prefix, same device state,
+    // same decode-step results afterwards.
+    DrexDevice dev_one(deviceConfig()), dev_chunks(deviceConfig());
+    DecodePipeline one(pipelineConfig(), dev_one, 0);
+    DecodePipeline chunks(pipelineConfig(), dev_chunks, 0);
+
+    one.prefill(900);
+    chunks.prefill(300);
+    chunks.prefillChunk(0); // no-op chunk must be harmless
+    chunks.prefillChunk(257);
+    chunks.prefillChunk(343);
+    ASSERT_EQ(chunks.contextLength(), 900u);
+
+    EXPECT_EQ(chunks.flushedTokens(), one.flushedTokens());
+    EXPECT_EQ(dev_chunks.context(0, 1, 1).size(),
+              dev_one.context(0, 1, 1).size());
+    for (int step = 0; step < 3; ++step) {
+        const PipelineStepResult a = one.decodeStep();
+        const PipelineStepResult b = chunks.decodeStep();
+        EXPECT_EQ(a.offloadsIssued, b.offloadsIssued);
+        EXPECT_EQ(a.tokensFlushed, b.tokensFlushed);
+        EXPECT_DOUBLE_EQ(a.minRetainedMass, b.minRetainedMass);
+        EXPECT_TRUE(a.deviceMatchedSoftware);
+        EXPECT_TRUE(b.deviceMatchedSoftware);
+    }
+}
+
 TEST(Pipeline, DecodeStepsFlushAtGroupBoundaries)
 {
     DrexDevice dev(deviceConfig());
@@ -242,6 +273,41 @@ TEST(SloSim, LoadDependentServiceViolatesUnderBursts)
     EXPECT_GE(r.latencyHist.quantile(0.99),
               r.latencyHist.quantile(0.5));
     EXPECT_GT(r.tokenLatencyMs.max(), r.tokenLatencyMs.min());
+}
+
+TEST(SloSim, HistogramSizedFromSloTarget)
+{
+    // A 2-second SLO used to saturate the fixed [0, 200) ms histogram
+    // silently; the histogram now spans kSloHistogramSpan x the SLO,
+    // so slow-but-within-target latencies land in real bins.
+    SloConfig cfg;
+    cfg.users = 4;
+    cfg.tokensPerUser = 8;
+    cfg.sloMs = 2000.0;
+    const SloResult r = runSloSimulation(
+        cfg, [](uint32_t) { return Tick(900 * kMillisecond); });
+    EXPECT_DOUBLE_EQ(r.sloAttainment, 1.0);
+    EXPECT_DOUBLE_EQ(r.tailOverflowFraction, 0.0);
+    // 900 ms samples would have pinned at the old 200 ms edge; with a
+    // [0, 10000) ms range the median resolves near the true latency.
+    EXPECT_GT(r.latencyHist.quantile(0.5), 500.0);
+    EXPECT_LT(r.latencyHist.quantile(0.5), 2000.0);
+}
+
+TEST(SloSim, TailOverflowFractionReported)
+{
+    // Latencies beyond the histogram span still saturate — but the
+    // result now says so instead of quietly reporting p99 at the edge.
+    SloConfig cfg;
+    cfg.users = 4;
+    cfg.tokensPerUser = 8;
+    cfg.sloMs = 50.0; // span = 250 ms
+    const SloResult r = runSloSimulation(
+        cfg, [](uint32_t) { return Tick(400 * kMillisecond); });
+    EXPECT_DOUBLE_EQ(r.sloAttainment, 0.0);
+    EXPECT_DOUBLE_EQ(r.tailOverflowFraction, 1.0);
+    EXPECT_DOUBLE_EQ(r.latencyHist.quantile(0.99),
+                     kSloHistogramSpan * cfg.sloMs);
 }
 
 TEST(SloSim, DeterministicForSeed)

@@ -143,11 +143,18 @@ writeJson(const std::string &path, const std::vector<Row> &rows,
     os << "{\n" << benchMeta("parallel_scaling")
        << "  \"hardware_threads\": " << ThreadPool::hardwareThreads()
        << ",\n  \"decode_steps\": " << steps << ",\n  \"results\": [\n";
+    // A multi-thread row on a single-core host measures scheduling
+    // contention, not scaling; tag it so downstream tooling can drop
+    // it instead of reading the ~1x "speedup" as a regression. The
+    // bit-identity verdicts stay meaningful (and enforced) regardless.
+    const bool single_core = ThreadPool::hardwareThreads() == 1;
     for (size_t i = 0; i < rows.size(); ++i) {
         const Row &r = rows[i];
         const double total = r.run.prefillSec + r.run.decodeSec;
         os << "    {\"model\": \"" << r.model << "\", \"context\": "
            << r.context << ", \"threads\": " << r.threads
+           << ", \"oversubscribed\": "
+           << (single_core && r.threads > 1 ? "true" : "false")
            << ", \"prefill_s\": " << r.run.prefillSec
            << ", \"decode_s\": " << r.run.decodeSec
            << ", \"prefill_tok_per_s\": "

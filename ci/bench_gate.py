@@ -76,6 +76,36 @@ def serving_policy():
 
 POLICIES = {
     "BENCH_serving.json": serving_policy(),
+    # Block-sparse prefill: identity booleans, the best knob's
+    # deterministic counts (block-skip and attended fractions, quality
+    # proxies), and the SIMULATED speedups — all count- or Tick-domain,
+    # never wall clock (timed_* fields are deliberately ungated).
+    "BENCH_prefill.json": {
+        "context_tokens": EXACT,
+        "quality_samples": EXACT,
+        "sampled_kv_heads": EXACT,
+        "recall_k": EXACT,
+        "ppl_budget_pct": EXACT,
+        "knob_dense_identical": TRUE,
+        "chunked_dense_identical": TRUE,
+        "chunked_sparse_identical": TRUE,
+        "decision_counts_consistent": TRUE,
+        "speedup_target_met": TRUE,
+        "best.name": EXACT,
+        "best.block_tokens": EXACT,
+        "best.mode": EXACT,
+        "best.threshold": EXACT,
+        "best.block_skip_fraction": CLOSE,
+        "best.attended_fraction": CLOSE,
+        "best.est_overhead": CLOSE,
+        "best.ppl_increase_pct": CLOSE,
+        "best.recall_at_k": CLOSE,
+        "best.simulated_speedup": THROUGHPUT,
+        "ttft.attention_share": CLOSE,
+        "ttft.speedup_32k": THROUGHPUT,
+        "ttft.speedup_p50": THROUGHPUT,
+        "ttft.speedup_p99": THROUGHPUT,
+    },
     "BENCH_decode.json": {
         "context": EXACT,
         "steps": EXACT,

@@ -51,6 +51,24 @@ DecodePipeline::DecodePipeline(const PipelineConfig &cfg, DrexDevice &device,
                       : std::make_unique<KvCache>(cfg_.headDim));
         }
     }
+    if (cfg_.prefillAttention) {
+        LS_ASSERT(cfg_.prefillHeadThresholds.empty() ||
+                      cfg_.prefillHeadThresholds.size() ==
+                          cfg_.numKvHeads,
+                  "prefillHeadThresholds must be empty or hold one "
+                  "entry per KV head");
+        for (uint32_t l = 0; l < cfg_.numLayers; ++l) {
+            for (uint32_t h = 0; h < cfg_.numKvHeads; ++h) {
+                PrefillSparsityConfig pc = cfg_.prefillSparsity;
+                if (!cfg_.prefillHeadThresholds.empty())
+                    pc.threshold = cfg_.prefillHeadThresholds[h];
+                prefillAttn_.push_back(
+                    std::make_unique<BlockSparsePrefill>(cfg_.headDim,
+                                                         pc));
+                prefillOut_.emplace_back(0, cfg_.headDim);
+            }
+        }
+    }
 }
 
 KvCache &
@@ -80,6 +98,7 @@ DecodePipeline::prefill(size_t n)
         });
     maybeTrainItq();
     flushEligibleGroups();
+    advancePrefillAttention(false);
 }
 
 void
@@ -106,6 +125,68 @@ DecodePipeline::prefillChunk(size_t n)
         });
     maybeTrainItq();
     flushEligibleGroups();
+    advancePrefillAttention(false);
+}
+
+void
+DecodePipeline::advancePrefillAttention(bool flush)
+{
+    if (!cfg_.prefillAttention || prefillFrozen_)
+        return;
+    // Parallel over (layer, KV head): each lane owns its head's whole
+    // sparse prompt pass (nested parallel loops inside advance() run
+    // serially), writing only its own output matrix.
+    ThreadPool::global().parallelFor(
+        0, workloads_.size(), [&](size_t idx) {
+            HeadWorkload &wl = workloads_[idx];
+            const size_t n = wl.keys().rows();
+            Matrix &out = prefillOut_[idx];
+            if (out.rows() < n) {
+                // Grow preserving already-attended rows (Matrix::resize
+                // discards); new rows are filled by advance() as their
+                // Q-blocks complete.
+                const std::vector<float> zero(cfg_.headDim, 0.0f);
+                while (out.rows() < n)
+                    out.appendRow(zero.data());
+            }
+            prefillAttn_[idx]->advance(wl.keys(), wl.keys(),
+                                       wl.values(),
+                                       wl.attentionScale(), n, flush,
+                                       out);
+        });
+    if (flush)
+        prefillFrozen_ = true;
+}
+
+void
+DecodePipeline::flushPrefillAttention()
+{
+    advancePrefillAttention(true);
+}
+
+const Matrix &
+DecodePipeline::prefillAttentionOutput(uint32_t layer,
+                                       uint32_t kv_head) const
+{
+    LS_ASSERT(cfg_.prefillAttention, "prefillAttention is disabled");
+    return prefillOut_[layer * cfg_.numKvHeads + kv_head];
+}
+
+const BlockSparsePrefill &
+DecodePipeline::prefillAttentionHead(uint32_t layer,
+                                     uint32_t kv_head) const
+{
+    LS_ASSERT(cfg_.prefillAttention, "prefillAttention is disabled");
+    return *prefillAttn_[layer * cfg_.numKvHeads + kv_head];
+}
+
+PrefillStats
+DecodePipeline::prefillAttentionStats() const
+{
+    PrefillStats total;
+    for (const auto &head : prefillAttn_)
+        total.merge(head->stats());
+    return total;
 }
 
 void
@@ -207,6 +288,13 @@ DecodePipeline::decodeStepBatch(const std::vector<DecodePipeline *> &batch,
                       p->cfg_.numKvHeads == shape.numKvHeads &&
                       p->cfg_.headDim == shape.headDim,
                   "batched decode requires a uniform model shape");
+
+    // The prompt ends where decode begins: settle any deferred
+    // sparse-prefill tail BEFORE this step appends new tokens, so the
+    // prompt pass never sees decode tokens (no-op when disabled or
+    // already flushed).
+    for (DecodePipeline *p : batch)
+        p->flushPrefillAttention();
 
     // Phases 1-2 per request: token append and bulk flush only touch
     // the request's own state.

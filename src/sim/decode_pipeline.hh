@@ -30,6 +30,7 @@
 
 #include "core/hybrid_attention.hh"
 #include "core/kv_cache.hh"
+#include "core/prefill_attention.hh"
 #include "drex/drex_device.hh"
 #include "model/workload.hh"
 #include "sim/serving.hh"
@@ -65,6 +66,26 @@ struct PipelineConfig
     uint32_t pagedPoolBlocks = 0;
     /** Context ceiling used to size a default pool (tokens). */
     uint32_t pagedMaxContext = 4096;
+
+    /**
+     * Block-sparse prompt pass (ROADMAP item 3): when enabled,
+     * prefill()/prefillChunk() also run a BlockSparsePrefill per
+     * (layer, KV head) over the prompt stream (self-queries: each
+     * token's key doubles as its query vector, which keeps the
+     * workloads' RNG streams untouched and every decode result
+     * bit-identical to a pipeline without this path). Complete
+     * Q-blocks are attended as chunks arrive; the partial tail is
+     * deferred until flushPrefillAttention() — called automatically
+     * before the first decode step — so chunked and monolithic
+     * prefill stay bit-identical. Outputs land in
+     * prefillAttentionOutput(layer, head).
+     */
+    bool prefillAttention = false;
+    PrefillSparsityConfig prefillSparsity;
+    /** Per-KV-head threshold override (the per-head accuracy knob);
+     *  empty = prefillSparsity.threshold everywhere, else must hold
+     *  numKvHeads entries. */
+    std::vector<int> prefillHeadThresholds;
 };
 
 /**
@@ -123,6 +144,27 @@ class DecodePipeline
         const std::vector<DecodePipeline *> &batch,
         std::vector<PipelineStepResult> &results);
 
+    /**
+     * Finish the block-sparse prompt pass: attend the deferred
+     * partial tail Q-block and freeze the pass (later context growth
+     * is decode, not prompt). Called automatically before the first
+     * decode step; explicit calls are idempotent. No-op when
+     * prefillAttention is disabled.
+     */
+    void flushPrefillAttention();
+
+    /** Per-query sparse prompt-pass outputs for one (layer, KV head);
+     *  rows [0, processedTokens) are valid. */
+    const Matrix &prefillAttentionOutput(uint32_t layer,
+                                         uint32_t kv_head) const;
+
+    /** The head's prompt-pass state (stats, decisions, processed). */
+    const BlockSparsePrefill &prefillAttentionHead(uint32_t layer,
+                                                   uint32_t kv_head) const;
+
+    /** Prompt-pass stats merged over every (layer, KV head). */
+    PrefillStats prefillAttentionStats() const;
+
     /** Current context length (tokens). */
     size_t contextLength() const;
 
@@ -142,6 +184,9 @@ class DecodePipeline
     KvCache &gpuCache(uint32_t layer, uint32_t head);
     void flushEligibleGroups();
     void maybeTrainItq();
+    /** Run the sparse prompt pass over newly appended prompt tokens
+     *  (complete Q-blocks only unless flush). */
+    void advancePrefillAttention(bool flush);
 
     /** Step phase 1-2: append one token everywhere, flush, size the
      *  per-step scratch. */
@@ -171,6 +216,13 @@ class DecodePipeline
     std::vector<std::unique_ptr<KvCache>> gpuCaches_;
     size_t flushed_ = 0;
     bool itqInstalled_ = false;
+
+    // Block-sparse prompt pass, one per (layer, KV head); empty when
+    // cfg.prefillAttention is off. Frozen after the first flush so
+    // decode-appended tokens are never mistaken for prompt queries.
+    std::vector<std::unique_ptr<BlockSparsePrefill>> prefillAttn_;
+    std::vector<Matrix> prefillOut_;
+    bool prefillFrozen_ = false;
 
     // Decode-step scratch reused across steps (capacities persist, so
     // the steady-state step re-fills these without heap allocation).

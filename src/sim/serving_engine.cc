@@ -44,6 +44,26 @@ struct Resident
 
 } // namespace
 
+std::function<Tick(uint64_t, uint64_t)>
+sparsePrefillChunkTime(std::function<Tick(uint64_t, uint64_t)> dense,
+                       const SparsePrefillCostParams &params)
+{
+    LS_ASSERT(params.attentionShare >= 0.0 &&
+                  params.attentionShare <= 1.0,
+              "attentionShare out of [0,1]: ", params.attentionShare);
+    LS_ASSERT(params.attendedFraction >= 0.0, "negative attendedFraction");
+    LS_ASSERT(params.estimationOverhead >= 0.0,
+              "negative estimationOverhead");
+    const double scale = (1.0 - params.attentionShare) +
+        params.attentionShare *
+            (params.attendedFraction + params.estimationOverhead);
+    return [dense = std::move(dense), scale](uint64_t chunk,
+                                             uint64_t done) -> Tick {
+        const double t = static_cast<double>(dense(chunk, done)) * scale;
+        return static_cast<Tick>(t + 0.5);
+    };
+}
+
 ServingEngineResult::ServingEngineResult(const SloTargets &slo)
     : ttftHist(sloHistogram(slo.ttftMs)), tbtHist(sloHistogram(slo.tbtMs))
 {

@@ -103,6 +103,37 @@ struct ServingCostModel
 };
 
 /**
+ * Measured inputs for the block-sparse prompt pass's cost model
+ * (core/prefill_attention): how much of a dense prefill chunk is
+ * attention, what fraction of the dense Q.K token pairs the sparse
+ * pass actually attends (BlockSparsePrefill stats), and what the
+ * packed-sign block estimation itself costs relative to dense
+ * attention. All three are deterministic for a fixed workload, so a
+ * wrapped model stays gateable.
+ */
+struct SparsePrefillCostParams
+{
+    /** Attention's share of the dense chunk cost (0..1); the rest
+     *  (projections/FFN) is unaffected by sparsity. */
+    double attentionShare = 0.5;
+    /** Attended / dense token-pair fraction (1 = fully dense). */
+    double attendedFraction = 1.0;
+    /** Signature build + scan cost as a fraction of the dense
+     *  attention cost (the estimation overhead). */
+    double estimationOverhead = 0.0;
+};
+
+/**
+ * Wrap a dense prefillChunkTime callback into the sparse-prefill
+ * model: chunk cost = dense * ((1 - attentionShare) + attentionShare
+ * * (attendedFraction + estimationOverhead)). Degenerates to the
+ * dense callback when attendedFraction = 1 and overhead = 0.
+ */
+std::function<Tick(uint64_t, uint64_t)> sparsePrefillChunkTime(
+    std::function<Tick(uint64_t, uint64_t)> dense,
+    const SparsePrefillCostParams &params);
+
+/**
  * Completion record for one request.
  */
 struct RequestMetrics

@@ -131,9 +131,33 @@ scalarBitmapMulti(const uint64_t *qs, size_t num_queries,
     }
 }
 
+void
+scalarSignReduce(const uint64_t *signs, size_t wpr, size_t rows,
+                 uint64_t *out)
+{
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
+    // Naive per-bit counting — the independent oracle the SIMD
+    // backends' carry-save majority (signReduceColumnCsa) is fuzzed
+    // against. Runs once per block, not per token, so the O(64 x rows)
+    // inner loop is off the per-token critical path.
+    for (size_t w = 0; w < wpr; ++w) {
+        uint64_t word = 0;
+        for (size_t b = 0; b < 64; ++b) {
+            size_t count = 0;
+            for (size_t r = 0; r < rows; ++r)
+                count += (signs[r * wpr + w] >> b) & 1;
+            if (2 * count >= rows)
+                word |= uint64_t{1} << b;
+        }
+        out[w] = word;
+    }
+}
+
 const KernelOps kScalarOps = {scalarConcordance, scalarScan, scalarBitmap,
                               scalarDotAt, scalarScanMulti,
-                              scalarBitmapMulti};
+                              scalarBitmapMulti, scalarSignReduce};
 
 } // namespace
 
@@ -266,6 +290,22 @@ batchConcordance(const SignBits &query, const SignMatrix &m, size_t begin,
                       end - begin, static_cast<int>(m.dim()), out);
 }
 
+void
+batchConcordance(const uint64_t *query_words, const SignMatrix &m,
+                 size_t begin, size_t end, int32_t *out)
+{
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
+    LS_ASSERT(begin <= end && end <= m.rows(), "batchConcordance range [",
+              begin, ",", end, ") out of ", m.rows());
+    if (begin == end)
+        return;
+    ops().concordance(query_words, m.data() + begin * m.wordsPerRow(),
+                      m.wordsPerRow(), end - begin,
+                      static_cast<int>(m.dim()), out);
+}
+
 size_t
 batchConcordanceScan(const SignBits &query, const SignMatrix &m,
                      size_t begin, size_t end, int threshold,
@@ -321,6 +361,30 @@ packSigns(const float *v, size_t dim, uint64_t *words)
         if (v[i] >= 0.0f)
             words[i >> 6] |= uint64_t{1} << (i & 63);
     }
+}
+
+void
+blockSignReduce(const SignMatrix &m, size_t begin, size_t end,
+                uint64_t *out)
+{
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
+    LS_ASSERT(begin < end && end <= m.rows(), "blockSignReduce range [",
+              begin, ",", end, ") out of ", m.rows());
+    ops().signReduce(m.data() + begin * m.wordsPerRow(), m.wordsPerRow(),
+                     end - begin, out);
+}
+
+void
+blockSignReduce(const uint64_t *signs, size_t words_per_row, size_t rows,
+                uint64_t *out)
+{
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
+    LS_ASSERT(rows >= 1, "blockSignReduce needs at least one row");
+    ops().signReduce(signs, words_per_row, rows, out);
 }
 
 void

@@ -88,6 +88,10 @@ void setKernelBackend(KernelBackend b);
 void batchConcordance(const SignBits &query, const SignMatrix &m,
                       size_t begin, size_t end, int32_t *out);
 
+/** Packed-query-words flavour of batchConcordance (see packSigns). */
+void batchConcordance(const uint64_t *query_words, const SignMatrix &m,
+                      size_t begin, size_t end, int32_t *out);
+
 /**
  * SCF survivor scan: appends to `survivors` the row indices i in
  * [begin, end) with concordance(query, row_i) >= threshold, in
@@ -114,6 +118,26 @@ size_t batchConcordanceScan(const uint64_t *query_words,
  * memory instead of constructing a SignBits (which allocates).
  */
 void packSigns(const float *v, size_t dim, uint64_t *words);
+
+/**
+ * Block signature: per-bit majority vote over the packed sign rows
+ * [begin, end) of m. Bit b of out is set iff at least half of the
+ * rows have bit b set (a tie rounds toward set, mirroring packSigns'
+ * v >= 0 convention). out holds m.wordsPerRow() words, fully
+ * overwritten; bits past m.dim() stay zero because every packed row
+ * keeps them zero. Pure integer math — all backends bit-identical.
+ * Requires begin < end.
+ */
+void blockSignReduce(const SignMatrix &m, size_t begin, size_t end,
+                     uint64_t *out);
+
+/**
+ * Raw flavour over caller storage: `rows` packed rows of
+ * words_per_row words each, laid out back to back (the scratch layout
+ * packSigns fills). Identical result to the SignMatrix flavour.
+ */
+void blockSignReduce(const uint64_t *signs, size_t words_per_row,
+                     size_t rows, uint64_t *out);
 
 /**
  * PFU-shaped scan: bitmap over up to 128 rows starting at `begin`;
@@ -315,7 +339,62 @@ struct KernelOps
                         const uint64_t *signs, size_t words_per_row,
                         size_t rows, int dim, int threshold,
                         uint64_t *out);
+    /** Per-bit majority over `rows` packed sign rows: bit b of out is
+     *  set iff 2 * count_set(b) >= rows (ties round to set). out holds
+     *  words_per_row words, fully overwritten. rows >= 1. */
+    void (*signReduce)(const uint64_t *signs, size_t words_per_row,
+                       size_t rows, uint64_t *out);
 };
+
+/**
+ * Carry-save majority vote down ONE word column: counts bit
+ * occupancy across `rows` packed rows in bit-sliced binary planes and
+ * compares each of the 64 bit positions against (rows + 1) / 2
+ * without ever materializing per-bit integers. Shared by the SIMD
+ * backends for word columns left over after their vector width; the
+ * scalar backend deliberately uses a naive per-bit counting loop
+ * instead, so kernel-parity fuzzing exercises this logic against an
+ * independent oracle.
+ */
+inline uint64_t
+signReduceColumnCsa(const uint64_t *signs, size_t words_per_row,
+                    size_t rows, size_t col)
+{
+    // planes[k] holds bit k of each position's running count.
+    uint64_t planes[32] = {};
+    size_t used = 0;
+    for (size_t r = 0; r < rows; ++r) {
+        uint64_t carry = signs[r * words_per_row + col];
+        for (size_t k = 0; carry != 0; ++k) {
+            const uint64_t sum = planes[k] ^ carry;
+            carry = planes[k] & carry;
+            planes[k] = sum;
+            if (k >= used)
+                used = k + 1;
+        }
+    }
+    // Bit-sliced compare count >= t, walking planes MSB-first: a
+    // position is decided greater the first time its count bit beats
+    // t's bit while still tied; positions still tied at the end are
+    // equal, and equal passes (>=).
+    const uint64_t t = (rows + 1) / 2;
+    // Every count fits in `used` planes, so count < 2^used; when t
+    // needs a higher bit, no position can reach it.
+    if ((t >> used) != 0)
+        return 0;
+    uint64_t ge = 0;
+    uint64_t eq = ~uint64_t{0};
+    for (size_t k = used; k-- > 0;) {
+        const uint64_t plane = planes[k];
+        if ((t >> k) & 1) {
+            eq &= plane;
+        } else {
+            ge |= eq & plane;
+            eq &= ~plane;
+        }
+    }
+    return ge | eq;
+}
 
 /** nullptr when the backend is not compiled into this binary. */
 const KernelOps *scalarKernelOps();

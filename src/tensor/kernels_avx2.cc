@@ -649,8 +649,52 @@ avx2DotAt(const float *q, const float *keys, size_t stride, size_t dim,
     }
 }
 
+LS_AVX2 void
+avx2SignReduce(const uint64_t *signs, size_t wpr, size_t rows,
+               uint64_t *out)
+{
+    // Carry-save majority vote, vectorized across four word columns:
+    // bit-sliced binary counter planes accumulate every row with a
+    // ripple-carry add, then each of the 256 bit positions is compared
+    // against (rows + 1) / 2 MSB-plane-first. Counts never exceed
+    // `rows`, so bit_width(rows) planes absorb every carry.
+    const size_t planes_n = std::bit_width(rows);
+    const uint64_t t = (rows + 1) / 2;
+    size_t w = 0;
+    for (; w + 4 <= wpr; w += 4) {
+        __m256i planes[64];
+        for (size_t k = 0; k < planes_n; ++k)
+            planes[k] = _mm256_setzero_si256();
+        for (size_t r = 0; r < rows; ++r) {
+            __m256i carry = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(signs + r * wpr + w));
+            for (size_t k = 0; k < planes_n; ++k) {
+                const __m256i sum = _mm256_xor_si256(planes[k], carry);
+                carry = _mm256_and_si256(planes[k], carry);
+                planes[k] = sum;
+            }
+        }
+        __m256i ge = _mm256_setzero_si256();
+        __m256i eq = _mm256_set1_epi64x(-1);
+        for (size_t k = planes_n; k-- > 0;) {
+            if ((t >> k) & 1) {
+                eq = _mm256_and_si256(eq, planes[k]);
+            } else {
+                ge = _mm256_or_si256(ge,
+                                     _mm256_and_si256(eq, planes[k]));
+                eq = _mm256_andnot_si256(planes[k], eq);
+            }
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + w),
+                            _mm256_or_si256(ge, eq));
+    }
+    for (; w < wpr; ++w)
+        out[w] = signReduceColumnCsa(signs, wpr, rows, w);
+}
+
 const KernelOps kAvx2Ops = {avx2Concordance, avx2Scan, avx2Bitmap,
-                            avx2DotAt, avx2ScanMulti, avx2BitmapMulti};
+                            avx2DotAt, avx2ScanMulti, avx2BitmapMulti,
+                            avx2SignReduce};
 
 bool
 cpuHasAvx2()

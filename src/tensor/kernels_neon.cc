@@ -132,8 +132,48 @@ neonBitmapMulti(const uint64_t *qs, size_t num_queries,
     }
 }
 
+void
+neonSignReduce(const uint64_t *signs, size_t wpr, size_t rows,
+               uint64_t *out)
+{
+    // Carry-save majority vote across two word columns per vector —
+    // the same bit-sliced counter-plane scheme as the AVX2 backend
+    // (see avx2SignReduce); bit_width(rows) planes absorb every carry
+    // because counts never exceed `rows`.
+    const size_t planes_n = std::bit_width(rows);
+    const uint64_t t = (rows + 1) / 2;
+    size_t w = 0;
+    for (; w + 2 <= wpr; w += 2) {
+        uint64x2_t planes[64];
+        for (size_t k = 0; k < planes_n; ++k)
+            planes[k] = vdupq_n_u64(0);
+        for (size_t r = 0; r < rows; ++r) {
+            uint64x2_t carry = vld1q_u64(signs + r * wpr + w);
+            for (size_t k = 0; k < planes_n; ++k) {
+                const uint64x2_t sum = veorq_u64(planes[k], carry);
+                carry = vandq_u64(planes[k], carry);
+                planes[k] = sum;
+            }
+        }
+        uint64x2_t ge = vdupq_n_u64(0);
+        uint64x2_t eq = vdupq_n_u64(~uint64_t{0});
+        for (size_t k = planes_n; k-- > 0;) {
+            if ((t >> k) & 1) {
+                eq = vandq_u64(eq, planes[k]);
+            } else {
+                ge = vorrq_u64(ge, vandq_u64(eq, planes[k]));
+                eq = vbicq_u64(eq, planes[k]);
+            }
+        }
+        vst1q_u64(out + w, vorrq_u64(ge, eq));
+    }
+    for (; w < wpr; ++w)
+        out[w] = signReduceColumnCsa(signs, wpr, rows, w);
+}
+
 const KernelOps kNeonOps = {neonConcordance, neonScan, neonBitmap,
-                            neonDotAt, neonScanMulti, neonBitmapMulti};
+                            neonDotAt, neonScanMulti, neonBitmapMulti,
+                            neonSignReduce};
 
 } // namespace
 

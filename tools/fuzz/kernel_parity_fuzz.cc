@@ -154,6 +154,8 @@ struct Outputs
     std::vector<ScoredIndex> multi_select;
     std::vector<size_t> multi_select_n;
     std::vector<size_t> multi_survivors;
+    std::vector<uint64_t> sign_reduce;   // majority over rows [begin,end)
+    std::vector<uint64_t> sign_reduce_q; // majority over the query rows
 };
 
 /** Run the full public kernel surface on the active backend. */
@@ -251,6 +253,24 @@ runKernels(const SignBits &query, const std::vector<uint64_t> &qwords,
         all_queries.data(), dim, keys, scale, k, o.multi_select.data(),
         out_stride, o.multi_select_n.data(), o.multi_survivors.data());
 
+    g_case.stage = "blockSignReduce";
+    const size_t wpr = signs.wordsPerRow();
+    o.sign_reduce.assign(wpr, 0);
+    if (span) {
+        longsight::blockSignReduce(signs, begin, end,
+                                   o.sign_reduce.data());
+        std::vector<uint64_t> raw(wpr, 0);
+        longsight::blockSignReduce(signs.data() + begin * wpr, wpr, span,
+                                   raw.data());
+        check(raw == o.sign_reduce,
+              "SignMatrix and raw blockSignReduce disagree");
+    }
+    // Raw flavour over the packed query rows (num_queries >= 1), so
+    // odd/even row counts and the tie rule are always exercised.
+    o.sign_reduce_q.assign(wpr, 0);
+    longsight::blockSignReduce(all_qwords.data(), wpr, num_queries,
+                               o.sign_reduce_q.data());
+
     // Internal consistency on THIS backend: multi query 0 is the same
     // query the single-query calls used, so its outputs must match.
     g_case.stage = "multi-vs-single";
@@ -311,6 +331,10 @@ compareOutputs(const Outputs &ref, const Outputs &got)
             "multi score-select sizes differ");
     checkEq(ref.multi_survivors, got.multi_survivors,
             "multi survivor counts differ");
+    checkEq(ref.sign_reduce, got.sign_reduce,
+            "block sign-reduce signature differs");
+    checkEq(ref.sign_reduce_q, got.sign_reduce_q,
+            "query-rows sign-reduce signature differs");
     // Multi outputs are contracted per query up to counts[q] /
     // out_sizes[q]; beyond that is scratch (the SIMD backends'
     // branchless store-then-advance emission writes one slot past the

@@ -2,20 +2,19 @@
  * @file
  * Ablation: INT8 Key Objects for NMA scoring (the "any signed data
  * type" capability of in-memory filtering, §4, applied to the scoring
- * stage the way DynaX applies low-bit keys, §3.2). Measures the
- * scoring-phase speedup from halving the per-survivor fetch and the
- * quality cost of selecting top-k from perturbed scores.
+ * stage the way DynaX applies low-bit keys, §3.2), timing-only.
+ *
+ * The quality side of this ablation — selection overlap and retained
+ * mass under INT8-perturbed scores, and where INT8 estimation lands
+ * against the sign-plane scan — lives in bench/pareto_harness now,
+ * which sweeps every FilterBackend on one corpus instead of
+ * duplicating a per-bench scoring loop here.
  */
 
-#include <cmath>
 #include <iostream>
 
 #include "bench/bench_util.hh"
-#include "core/attention.hh"
-#include "core/hybrid_attention.hh"
-#include "core/kv_cache.hh"
 #include "drex/drex_device.hh"
-#include "model/workload.hh"
 #include "util/table.hh"
 
 int
@@ -23,53 +22,6 @@ main()
 {
     using namespace longsight;
     constexpr uint32_t kDim = 128;
-    constexpr size_t kContext = 16384;
-
-    // Quality: retained softmax mass with exact vs INT8 scoring.
-    WorkloadConfig wcfg;
-    wcfg.headDim = kDim;
-    HeadWorkload wl(wcfg, Rng(21));
-    wl.generate(kContext);
-    KvCache full(kDim), quant(kDim);
-    full.appendAll(wl.keys(), wl.values());
-    quant.appendAll(wl.keys(), wl.values());
-    quant.enableKeyQuantization();
-
-    LongSightConfig cfg;
-    cfg.windowSize = 1024;
-    cfg.sinkTokens = 16;
-    cfg.topK = 256;
-    LongSightAttn exact(cfg, 1);
-    cfg.quantizedScoring = true;
-    LongSightAttn int8(cfg, 1);
-
-    const float scale = wl.attentionScale();
-    double mass_exact = 0.0, mass_int8 = 0.0, overlap = 0.0;
-    const int trials = 12;
-    for (int t = 0; t < trials; ++t) {
-        const auto q = wl.drawQuery();
-        const auto dense =
-            denseAttention(q.data(), full.keys(), full.values(), scale);
-        const auto re = exact.computeHead(q, full, 0);
-        const auto rq = int8.computeHead(q, quant, 0);
-        for (uint32_t idx : re.attended)
-            mass_exact += dense.probs[idx];
-        for (uint32_t idx : rq.attended)
-            mass_int8 += dense.probs[idx];
-        size_t common = 0;
-        for (uint32_t idx : rq.attended)
-            common += std::binary_search(re.attended.begin(),
-                                         re.attended.end(), idx);
-        overlap += static_cast<double>(common) / re.attended.size();
-    }
-
-    TextTable q("Ablation: INT8 key scoring quality (" +
-                fmtTokens(kContext) + " ctx, k=256)");
-    q.setHeader({"Scoring", "RetainedMass", "SelectionOverlap"});
-    q.addRow({"BF16 (exact)", TextTable::num(mass_exact / trials, 4), "-"});
-    q.addRow({"INT8", TextTable::num(mass_int8 / trials, 4),
-              TextTable::num(100.0 * overlap / trials, 1) + "%"});
-    q.print(std::cout);
 
     // Timing: where INT8 does and does not help at DReX scale.
     DrexConfig dc;

@@ -6,9 +6,11 @@
  * CXL transfers, softmax, and the dense-attention reference kernel.
  *
  * After the google benchmarks, a scalar-vs-SIMD comparison pass times
- * the batch scan, survivor-scoring, fused scan->score->select, and
+ * the batch scan, survivor-scoring, fused scan->score->select,
  * GQA-group multi-query (batchScanMulti / batchScoreSelectMulti, four
- * queries per pass) kernels on every backend this host supports,
+ * queries per pass), and INT8 quantized-scoring (quant_dot, int8_dot,
+ * fused int8_score_select — scalar / AVX2 maddubs / AVX-512 VNNI)
+ * kernels on every backend this host supports,
  * verifies the results are bit-identical to the scalar backend (the
  * fused kernel against the unfused scan + dot + topkSelect pipeline,
  * and every multi-query output against the scalar single-query result
@@ -40,6 +42,7 @@
 #include "dram/package.hh"
 #include "drex/pfu.hh"
 #include "tensor/kernels.hh"
+#include "tensor/quantized.hh"
 #include "tensor/sign_matrix.hh"
 #include "tensor/softmax.hh"
 #include "util/flags.hh"
@@ -392,8 +395,35 @@ runKernelComparison(size_t keys, int reps, const std::string &out_path)
             ref_msel[g].resize(one[0]);
         }
 
+        // INT8 arena (the KvCache enableKeyQuantization layout) plus
+        // scalar references for the quantized-scoring kernels: the
+        // mixed float x int8 survivor dot, the exact int8 x int8
+        // estimation dot, and the fused estimate -> top-k select.
+        std::vector<int8_t> kq(keys * dim);
+        std::vector<float> kscales(keys);
+        for (size_t i = 0; i < keys; ++i)
+            quantizeInt8Into(key_mat.row(i), dim, kq.data() + i * dim,
+                             &kscales[i]);
+        std::vector<int8_t> q8(dim);
+        float q8_scale = 0.0f;
+        quantizeInt8Into(q.data(), dim, q8.data(), &q8_scale);
+
+        std::vector<float> ref_qdot(ref_survivors.size());
+        batchQuantDotAt(q.data(), kq.data(), kscales.data(), dim,
+                        ref_survivors.data(), ref_survivors.size(),
+                        scale, ref_qdot.data());
+        std::vector<int32_t> ref_idot(keys);
+        batchInt8DotRange(q8.data(), kq.data(), dim, 0, keys,
+                          ref_idot.data());
+        std::vector<ScoredIndex> ref_isel(std::min(k, keys));
+        const size_t ref_isel_n = batchInt8ScoreSelect(
+            q8.data(), q8_scale, kq.data(), kscales.data(), dim, 0,
+            keys, scale, k, ref_isel.data());
+        ref_isel.resize(ref_isel_n);
+
         double scalar_scan = 0.0, scalar_dot = 0.0, scalar_fused = 0.0;
         double scalar_mscan = 0.0, scalar_mfused = 0.0;
+        double scalar_qdot = 0.0, scalar_idot = 0.0, scalar_isel = 0.0;
         for (KernelBackend b : availableBackends()) {
             setKernelBackend(b);
 
@@ -469,15 +499,51 @@ runKernelComparison(size_t keys, int reps, const std::string &out_path)
                 mfused_same = mfused_same && same;
             }
 
+            // INT8 scoring kernels (dispatch-routed: scalar contract
+            // reference, AVX2 maddubs, AVX-512 VNNI where available).
+            std::vector<float> qdot(ref_survivors.size());
+            const double qdot_rate =
+                bestKeysPerSec(ref_survivors.size(), reps, [&] {
+                    batchQuantDotAt(q.data(), kq.data(),
+                                    kscales.data(), dim,
+                                    ref_survivors.data(),
+                                    ref_survivors.size(), scale,
+                                    qdot.data());
+                });
+            const bool qdot_same = qdot == ref_qdot;
+
+            std::vector<int32_t> idot(keys);
+            const double idot_rate = bestKeysPerSec(keys, reps, [&] {
+                batchInt8DotRange(q8.data(), kq.data(), dim, 0, keys,
+                                  idot.data());
+            });
+            const bool idot_same = idot == ref_idot;
+
+            std::vector<ScoredIndex> isel(std::min(k, keys));
+            size_t nisel = 0;
+            const double isel_rate = bestKeysPerSec(keys, reps, [&] {
+                nisel = batchInt8ScoreSelect(
+                    q8.data(), q8_scale, kq.data(), kscales.data(),
+                    dim, 0, keys, scale, k, isel.data());
+            });
+            bool isel_same = nisel == ref_isel.size();
+            for (size_t i = 0; isel_same && i < nisel; ++i)
+                isel_same = isel[i].score == ref_isel[i].score &&
+                    isel[i].index == ref_isel[i].index;
+
             if (b == KernelBackend::Scalar) {
                 scalar_scan = scan_rate;
                 scalar_dot = dot_rate;
                 scalar_fused = fused_rate;
                 scalar_mscan = mscan_rate;
                 scalar_mfused = mfused_rate;
+                scalar_qdot = qdot_rate;
+                scalar_idot = idot_rate;
+                scalar_isel = isel_rate;
             }
             all_identical = all_identical && scan_same && dot_same &&
-                fused_same && mscan_same && mfused_same;
+                fused_same && mscan_same && mfused_same && qdot_same &&
+                idot_same && isel_same;
             rows.push_back({"scan", dim, keys, b, scan_rate,
                             scan_rate / scalar_scan, scan_same});
             rows.push_back({"dot", dim, ref_survivors.size(), b,
@@ -489,6 +555,14 @@ runKernelComparison(size_t keys, int reps, const std::string &out_path)
             rows.push_back({"score_select_multi_q4", dim, keys, b,
                             mfused_rate, mfused_rate / scalar_mfused,
                             mfused_same});
+            rows.push_back({"quant_dot", dim, ref_survivors.size(), b,
+                            qdot_rate, qdot_rate / scalar_qdot,
+                            qdot_same});
+            rows.push_back({"int8_dot", dim, keys, b, idot_rate,
+                            idot_rate / scalar_idot, idot_same});
+            rows.push_back({"int8_score_select", dim, keys, b,
+                            isel_rate, isel_rate / scalar_isel,
+                            isel_same});
             if (!scan_same)
                 std::cerr << "FAIL: " << kernelBackendName(b)
                           << " scan survivors differ from scalar (dim "
@@ -511,6 +585,21 @@ runKernelComparison(size_t keys, int reps, const std::string &out_path)
                 std::cerr << "FAIL: " << kernelBackendName(b)
                           << " grouped score_select differs per query "
                              "from the scalar single-query kernel (dim "
+                          << dim << ")\n";
+            if (!qdot_same)
+                std::cerr << "FAIL: " << kernelBackendName(b)
+                          << " quant_dot differs from the scalar "
+                             "dotQuantized contract (dim "
+                          << dim << ")\n";
+            if (!idot_same)
+                std::cerr << "FAIL: " << kernelBackendName(b)
+                          << " int8_dot differs from the scalar exact "
+                             "integer dot (dim "
+                          << dim << ")\n";
+            if (!isel_same)
+                std::cerr << "FAIL: " << kernelBackendName(b)
+                          << " fused int8_score_select differs from "
+                             "scalar (dim "
                           << dim << ")\n";
         }
     }

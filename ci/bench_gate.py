@@ -120,6 +120,23 @@ POLICIES = {
         "fused.bytes_per_token": EXACT,
         "baseline.allocs_per_token": ("max_ratio", 1.10),
     },
+    # Unified filter-backend Pareto harness: everything gated is in
+    # the count/identity domain — point counts per backend family, the
+    # INT8-vs-SCF frontier booleans, and the DynaX sparsity repro.
+    # simulated tokens/s per point is deterministic too but summarized
+    # by the frontier booleans; no wall clock exists in this artifact.
+    "BENCH_pareto.json": {
+        "context": EXACT,
+        "eval_heads": EXACT,
+        "eval_queries_per_head": EXACT,
+        "gate.points_scf": EXACT,
+        "gate.points_int8": EXACT,
+        "gate.points_centroid": EXACT,
+        "gate.points_anns": EXACT,
+        "gate.int8_beats_scf_quality_per_retrieved_token": TRUE,
+        "gate.int8_on_or_above_scf_throughput_frontier": TRUE,
+        "gate.best_scf_sparsity_at_1pct_ppl": CLOSE,
+    },
     "BENCH_paged.json": {
         "results_identical": TRUE,
         "block_tokens": EXACT,

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Perf-regression gate over the deterministic bench artifacts.
 #
-# The four gated benches (serving_engine, decode_hotpath,
-# paged_cache, sparse_prefill) are run with CANONICAL smoke flags — defined once,
+# The five gated benches (serving_engine, decode_hotpath,
+# paged_cache, sparse_prefill, pareto_harness) are run with CANONICAL
+# smoke flags — defined once,
 # here — and their BENCH_*.json outputs are diffed against the
 # checked-in baselines in bench/baselines/ by ci/bench_gate.py:
 # simulated throughput may not drop >10%, simulated p99 latency may
@@ -29,7 +30,8 @@ BASELINE_DIR=bench/baselines
 run_benches() {
     local build_dir=$1 out_dir=$2
     mkdir -p "$out_dir"
-    for bench in serving_engine decode_hotpath paged_cache sparse_prefill; do
+    for bench in serving_engine decode_hotpath paged_cache sparse_prefill \
+        pareto_harness; do
         [ -x "$build_dir/bench/$bench" ] || {
             echo "error: $build_dir/bench/$bench not built" >&2
             echo "hint: cmake --build $build_dir --target $bench" >&2
@@ -46,6 +48,8 @@ run_benches() {
         --out "$out_dir/BENCH_paged.json"
     "$build_dir/bench/sparse_prefill" --context 32768 --samples 64 \
         --seed 1 --out "$out_dir/BENCH_prefill.json"
+    "$build_dir/bench/pareto_harness" --context 32768 --heads 4 \
+        --queries 16 --out "$out_dir/BENCH_pareto.json"
 }
 
 case "${1:-check}" in
@@ -59,7 +63,8 @@ check)
 refresh)
     build_dir=${2:-build}
     cmake --build "$build_dir" \
-        --target serving_engine decode_hotpath paged_cache sparse_prefill
+        --target serving_engine decode_hotpath paged_cache sparse_prefill \
+        pareto_harness
     run_benches "$build_dir" "$BASELINE_DIR"
     echo "refreshed baselines in $BASELINE_DIR:"
     ls -l "$BASELINE_DIR"

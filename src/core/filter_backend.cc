@@ -1,0 +1,341 @@
+#include "core/filter_backend.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/kernels.hh"
+#include "tensor/quantized.hh"
+#include "util/annotations.hh"
+#include "util/logging.hh"
+
+namespace longsight {
+
+namespace {
+
+/**
+ * Attribute each selected logical token to the span containing it
+ * (spans ascend by logicalBase, so a binary search suffices), so
+ * estimation-style backends — which have no per-span survivor stream —
+ * can still credit the pool's residency counters with where their
+ * winners live.
+ */
+void
+countSelectedPerSpan(const ScanSpan *spans, size_t num_spans,
+                     const FilterSelection &out, uint32_t num_queries,
+                     size_t kcap, size_t *span_selected)
+{
+    for (size_t s = 0; s < num_spans; ++s)
+        span_selected[s] = 0;
+    for (uint32_t g = 0; g < num_queries; ++g) {
+        const ScoredIndex *sel = out.selected + g * kcap;
+        for (size_t j = 0; j < out.numSelected[g]; ++j) {
+            const uint32_t idx = sel[j].index;
+            size_t lo = 0, hi = num_spans;
+            while (hi - lo > 1) {
+                const size_t mid = lo + (hi - lo) / 2;
+                if (spans[mid].logicalBase <= idx)
+                    lo = mid;
+                else
+                    hi = mid;
+            }
+            span_selected[lo] += 1;
+        }
+    }
+}
+
+/**
+ * The paper's pipeline: pack query signs in (ITQ-rotated) filter
+ * space, concordance-scan the sign plane, score survivors
+ * full-precision (or against the INT8 key arena under
+ * quantizedScoring), top-k select. This is a verbatim extraction of
+ * the pre-refactor hybrid-attention filter stage — with one upgrade:
+ * the quantizedScoring branch now runs the fused
+ * batchQuantScoreSelectMultiSpans driver instead of a per-survivor
+ * scoreKey loop. Same rounding expression (float(acc * key_scale) *
+ * scale), same ascending candidate order, same heap — so selections
+ * stay element-identical, just without materializing survivor lists.
+ */
+class ScfFilterBackend final : public FilterBackend
+{
+  public:
+    const char *name() const override { return "scf"; }
+
+    void select(const FilterArgs &a, ScratchFrame &frame,
+                const FilterSelection &out) const override
+    {
+        LS_HOT_PATH();
+        LS_DETERMINISTIC();
+        LS_NO_LOCK();
+        const KvCache &cache = *a.cache;
+        const size_t dim = cache.headDim();
+        const size_t wpr = (dim + 63) / 64;
+        const uint32_t nq = a.numQueries;
+
+        // Filter-space projections and packed signs for the whole
+        // group, in scratch (a SignBits would heap-allocate).
+        float *qf = frame.alloc<float>(dim);
+        uint64_t *q_words = frame.alloc<uint64_t>(nq * wpr);
+        for (uint32_t g = 0; g < nq; ++g) {
+            cache.toFilterSpace(a.queries + g * a.queryStride, qf);
+            packSigns(qf, dim, q_words + g * wpr);
+        }
+
+        // The filter region as physical spans (a paged cache's block
+        // table; the single identity span when flat) — both branches
+        // route through the span drivers, so flat and paged layouts
+        // run the same code and stay element-identical.
+        ScanSpan *spans = frame.alloc<ScanSpan>(cache.maxSpans(a.lo, a.hi));
+        const size_t nspans = cache.collectSpans(a.lo, a.hi, spans);
+        size_t *span_surv = frame.alloc<size_t>(nspans);
+        const SignMatrix &fsigns = cache.filterSignsStorage();
+
+        if (a.quantizedScoring && cache.keysQuantized()) {
+            batchQuantScoreSelectMultiSpans(
+                q_words, nq, fsigns, spans, nspans, a.threshold, a.queries,
+                a.queryStride, cache.quantizedStorage(),
+                cache.quantizedScalesStorage(), dim, a.scale, a.k,
+                out.selected, a.kcap, out.numSelected, out.survivors,
+                span_surv);
+        } else {
+            // Fused SCF → score → select for the whole group: the sign
+            // rows and survivor key tiles are read once and stream
+            // through every query's concordance test and top-k heap.
+            batchScoreSelectMultiSpans(q_words, nq, fsigns, spans, nspans,
+                                       a.threshold, a.queries,
+                                       a.queryStride, cache.keysStorage(),
+                                       a.scale, a.k, out.selected, a.kcap,
+                                       out.numSelected, out.survivors,
+                                       span_surv);
+        }
+
+        // Credit the pass to the pool's SCF residency counters: blocks
+        // whose keys keep surviving the filter earn the HBM window.
+        if (cache.paged())
+            for (size_t si = 0; si < nspans; ++si)
+                cache.recordFilterScan(spans[si],
+                                       uint64_t{nq} * spans[si].count,
+                                       span_surv[si]);
+    }
+};
+
+/**
+ * QSInference-style low-bit estimation: the query is symmetric-INT8
+ * quantized (quantizeInt8Into, same scheme as the key arena) and EVERY
+ * middle token gets the exact integer dot q8 . k8, turned into a float
+ * estimate under the batchInt8ScoreSelectMultiSpans contract. There is
+ * no survivor scan — estimation replaces it — so survivors[g] is the
+ * selection count, and residency credit attributes the selected
+ * winners to their spans.
+ */
+class Int8FilterBackend final : public FilterBackend
+{
+  public:
+    const char *name() const override { return "int8"; }
+
+    void select(const FilterArgs &a, ScratchFrame &frame,
+                const FilterSelection &out) const override
+    {
+        LS_HOT_PATH();
+        LS_DETERMINISTIC();
+        LS_NO_LOCK();
+        const KvCache &cache = *a.cache;
+        LS_ASSERT(cache.keysQuantized(),
+                  "INT8 filter requires KvCache::enableKeyQuantization()");
+        const size_t dim = cache.headDim();
+        const uint32_t nq = a.numQueries;
+
+        // Quantize the RAW queries (not filter space: estimation
+        // approximates the true dot product, which ignores the ITQ
+        // rotation by orthogonality).
+        int8_t *q8s = frame.alloc<int8_t>(nq * dim);
+        float *q_scales = frame.alloc<float>(nq);
+        for (uint32_t g = 0; g < nq; ++g)
+            quantizeInt8Into(a.queries + g * a.queryStride, dim,
+                             q8s + g * dim, &q_scales[g]);
+
+        ScanSpan *spans = frame.alloc<ScanSpan>(cache.maxSpans(a.lo, a.hi));
+        const size_t nspans = cache.collectSpans(a.lo, a.hi, spans);
+
+        batchInt8ScoreSelectMultiSpans(
+            q8s, q_scales, nq, cache.quantizedStorage(),
+            cache.quantizedScalesStorage(), dim, spans, nspans, a.scale,
+            a.k, out.selected, a.kcap, out.numSelected, nullptr);
+
+        for (uint32_t g = 0; g < nq; ++g)
+            out.survivors[g] = out.numSelected[g];
+
+        if (cache.paged()) {
+            size_t *span_sel = frame.alloc<size_t>(nspans);
+            countSelectedPerSpan(spans, nspans, out, nq, a.kcap, span_sel);
+            for (size_t si = 0; si < nspans; ++si)
+                cache.recordFilterScan(spans[si],
+                                       uint64_t{nq} * spans[si].count,
+                                       span_sel[si]);
+        }
+    }
+};
+
+/**
+ * CSAttention-style cluster-first scoring: tile the middle region into
+ * logical blocks of centroidBlockTokens, summarize each by its mean
+ * key (double accumulation in ascending token order — deterministic),
+ * score the centroids per query, descend into the best keepFraction of
+ * blocks, and exact-score only the keys inside the winners. Survivors
+ * are the descended candidates. Centroids are rebuilt per call — this
+ * is the O(n·d) functional reference of the family, not a cached
+ * index; the harness charges its cost model accordingly.
+ */
+class CentroidFilterBackend final : public FilterBackend
+{
+  public:
+    const char *name() const override { return "centroid"; }
+
+    void select(const FilterArgs &a, ScratchFrame &frame,
+                const FilterSelection &out) const override
+    {
+        LS_HOT_PATH();
+        LS_DETERMINISTIC();
+        LS_NO_LOCK();
+        const KvCache &cache = *a.cache;
+        const size_t dim = cache.headDim();
+        const uint32_t nq = a.numQueries;
+        const size_t bt = a.centroidBlockTokens ? a.centroidBlockTokens
+                                                : 128;
+        const size_t region = a.hi - a.lo;
+        const size_t nblocks = (region + bt - 1) / bt;
+
+        float *centroids = frame.alloc<float>(nblocks * dim);
+        double *acc = frame.alloc<double>(dim);
+        for (size_t b = 0; b < nblocks; ++b) {
+            const size_t t0 = a.lo + b * bt;
+            const size_t t1 = std::min(a.hi, t0 + bt);
+            for (size_t d = 0; d < dim; ++d)
+                acc[d] = 0.0;
+            for (size_t t = t0; t < t1; ++t) {
+                const float *key = cache.keyRow(t);
+                for (size_t d = 0; d < dim; ++d)
+                    acc[d] += static_cast<double>(key[d]);
+            }
+            const double inv = 1.0 / static_cast<double>(t1 - t0);
+            float *c = centroids + b * dim;
+            for (size_t d = 0; d < dim; ++d)
+                c[d] = static_cast<float>(acc[d] * inv);
+        }
+
+        const size_t keep = std::min(
+            nblocks,
+            std::max<size_t>(
+                1, static_cast<size_t>(std::ceil(
+                       a.centroidKeepFraction *
+                       static_cast<double>(nblocks)))));
+
+        ScoredIndex *bheap = frame.alloc<ScoredIndex>(keep);
+        uint32_t *bwin = frame.alloc<uint32_t>(keep);
+        // Winning blocks are full size except possibly the region's
+        // last block, so keep * bt bounds the candidate count.
+        uint32_t *cand_log = frame.alloc<uint32_t>(keep * bt);
+        uint32_t *cand_phys = frame.alloc<uint32_t>(keep * bt);
+
+        for (uint32_t g = 0; g < nq; ++g) {
+            const float *q = a.queries + g * a.queryStride;
+
+            // Stage 1: rank blocks by centroid score (same rounding
+            // family as the dot kernels: ascending double sum, one
+            // float cast, one scale multiply).
+            size_t hs = 0;
+            for (size_t b = 0; b < nblocks; ++b) {
+                const float *c = centroids + b * dim;
+                double s = 0.0;
+                for (size_t d = 0; d < dim; ++d)
+                    s += static_cast<double>(q[d]) *
+                         static_cast<double>(c[d]);
+                hs = topk_heap::push(
+                    bheap, hs, keep,
+                    ScoredIndex{static_cast<float>(s) * a.scale,
+                                static_cast<uint32_t>(b)});
+            }
+            topk_heap::sortBestFirst(bheap, hs);
+            for (size_t j = 0; j < hs; ++j)
+                bwin[j] = bheap[j].index;
+            // Ascending block order keeps the candidate stream — and
+            // therefore heap tie-breaks — in logical token order.
+            std::sort(bwin, bwin + hs);
+
+            // Stage 2: exact-score the winners' keys.
+            size_t nc = 0;
+            for (size_t j = 0; j < hs; ++j) {
+                const size_t t0 = a.lo + size_t{bwin[j]} * bt;
+                const size_t t1 = std::min(a.hi, t0 + bt);
+                for (size_t t = t0; t < t1; ++t)
+                    cand_log[nc++] = static_cast<uint32_t>(t);
+            }
+            cache.mapToPhysical(cand_log, nc, cand_phys);
+
+            ScratchFrame qframe(frame.arena());
+            float *scores = qframe.alloc<float>(nc);
+            batchDotScaleAt(q, cache.keysStorage(), cand_phys, nc,
+                            a.scale, scores);
+
+            ScoredIndex *heap = out.selected + g * a.kcap;
+            size_t sel = 0;
+            for (size_t j = 0; j < nc; ++j)
+                sel = topk_heap::push(heap, sel, a.k,
+                                      ScoredIndex{scores[j], cand_log[j]});
+            topk_heap::sortBestFirst(heap, sel);
+            out.numSelected[g] = sel;
+            out.survivors[g] = nc;
+        }
+
+        if (cache.paged()) {
+            ScanSpan *spans =
+                frame.alloc<ScanSpan>(cache.maxSpans(a.lo, a.hi));
+            const size_t nspans = cache.collectSpans(a.lo, a.hi, spans);
+            size_t *span_sel = frame.alloc<size_t>(nspans);
+            countSelectedPerSpan(spans, nspans, out, nq, a.kcap, span_sel);
+            // The centroid pass reads every key row, so the scan charge
+            // covers the whole region like SCF's.
+            for (size_t si = 0; si < nspans; ++si)
+                cache.recordFilterScan(spans[si],
+                                       uint64_t{nq} * spans[si].count,
+                                       span_sel[si]);
+        }
+    }
+};
+
+// Namespace-scope statics (not function-local: a guarded local static
+// would put a guard-variable acquire on the LS_NO_LOCK select path).
+const ScfFilterBackend kScfBackend;
+const Int8FilterBackend kInt8Backend;
+const CentroidFilterBackend kCentroidBackend;
+
+} // namespace
+
+const char *
+filterKindName(FilterKind k)
+{
+    switch (k) {
+    case FilterKind::Scf:
+        return "scf";
+    case FilterKind::Int8:
+        return "int8";
+    case FilterKind::Centroid:
+        return "centroid";
+    }
+    return "?";
+}
+
+const FilterBackend &
+filterBackendFor(FilterKind kind)
+{
+    switch (kind) {
+    case FilterKind::Int8:
+        return kInt8Backend;
+    case FilterKind::Centroid:
+        return kCentroidBackend;
+    case FilterKind::Scf:
+        break;
+    }
+    return kScfBackend;
+}
+
+} // namespace longsight

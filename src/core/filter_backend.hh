@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Pluggable candidate-filter backends for the sparse middle region of
+ * hybrid attention (ROADMAP item 4). A FilterBackend owns the whole
+ * "which middle tokens does this query group attend to" decision —
+ * estimation, scoring, and top-k selection — behind one interface, so
+ * the consumers (core/hybrid_attention, and through it drex/pfu,
+ * core/prefill_attention, and sim/decode_pipeline) stay
+ * filter-agnostic. Three families ship:
+ *
+ *  - **Scf** (the paper's Sign-Concordance Filter): 1-bit packed-sign
+ *    concordance scan gates survivors, which are scored full-precision
+ *    (or against the INT8 key arena when quantizedScoring is on) and
+ *    top-k selected. This backend reproduces the pre-refactor
+ *    hybrid-attention pipeline BIT-EXACTLY — selecting it is the
+ *    degenerate "today's behaviour" knob.
+ *  - **Int8** (QSInference-style low-bit estimation): both query and
+ *    keys are symmetric INT8; EVERY middle token gets an 8-bit score
+ *    estimate through the exact integer-dot kernels (scalar / AVX2
+ *    maddubs / AVX-512 VNNI — bit-identical by construction) and the
+ *    top k estimates are selected. More bits than SCF's sign plane,
+ *    no survivor scan.
+ *  - **Centroid** (CSAttention-style cluster-first scoring): the
+ *    middle region is tiled into logical blocks, each summarized by
+ *    its mean key; queries score centroids first, descend into the
+ *    best keepFraction of blocks, and exact-score only those keys.
+ *
+ * Contract shared by every backend: per query the selected list is
+ * sorted best-first (score descending, index ascending on ties —
+ * topk_heap order), indices are LOGICAL token ids in [lo, hi),
+ * selection is deterministic, identical across kernel backends
+ * (scalar/AVX2/NEON) and across flat vs paged KV layouts, and paged
+ * scans are credited to the pool's residency counters.
+ */
+
+#ifndef LONGSIGHT_CORE_FILTER_BACKEND_HH
+#define LONGSIGHT_CORE_FILTER_BACKEND_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/kv_cache.hh"
+#include "tensor/topk_heap.hh"
+#include "util/scratch_arena.hh"
+
+namespace longsight {
+
+/** The shipped filter families. */
+enum class FilterKind : uint8_t
+{
+    Scf,      //!< 1-bit sign-concordance scan (the paper's SCF)
+    Int8,     //!< INT8 quantized-score estimation over every key
+    Centroid, //!< block-centroid scoring, descend into winners
+};
+
+/** Human-readable kind name ("scf", "int8", "centroid"). */
+const char *filterKindName(FilterKind k);
+
+/** One query group's filter invocation over logical range [lo, hi). */
+struct FilterArgs
+{
+    const float *queries = nullptr; //!< query g at queries + g * stride
+    size_t queryStride = 0;
+    uint32_t numQueries = 0;
+    const KvCache *cache = nullptr;
+    size_t lo = 0;           //!< first sparse token (inclusive)
+    size_t hi = 0;           //!< one past the last sparse token
+    int threshold = 0;       //!< SCF concordance threshold
+    float scale = 1.0f;      //!< attention scale folded into scores
+    size_t k = 0;            //!< selections per query
+    size_t kcap = 0;         //!< heap capacity: min(k, hi - lo)
+    bool quantizedScoring = false; //!< SCF: score survivors on INT8 keys
+    uint32_t centroidBlockTokens = 128;
+    double centroidKeepFraction = 0.25;
+};
+
+/** Caller-owned output spans one select() call fills. */
+struct FilterSelection
+{
+    ScoredIndex *selected = nullptr; //!< numQueries x kcap entries
+    size_t *numSelected = nullptr;   //!< per-query entry counts
+    size_t *survivors = nullptr;     //!< per-query filter-stage counts
+};
+
+/**
+ * One filter family. Implementations are stateless and shared (the
+ * registry below hands out process-wide const instances), so select()
+ * must be reentrant: all working memory comes from the caller's
+ * scratch frame.
+ */
+class FilterBackend
+{
+  public:
+    virtual ~FilterBackend() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Select up to args.k middle tokens per query into out.selected
+     * (sorted best-first per query), filling out.numSelected and
+     * out.survivors. Requires args.hi > args.lo and a non-empty query
+     * group; allocation-free at steady state (scratch-frame memory
+     * only). Paged caches get their residency counters credited.
+     */
+    virtual void select(const FilterArgs &args, ScratchFrame &frame,
+                        const FilterSelection &out) const = 0;
+};
+
+/** The process-wide instance implementing `kind`. */
+const FilterBackend &filterBackendFor(FilterKind kind);
+
+} // namespace longsight
+
+#endif // LONGSIGHT_CORE_FILTER_BACKEND_HH

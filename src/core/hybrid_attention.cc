@@ -115,87 +115,39 @@ LongSightAttn::computeGroupInto(const float *queries, size_t query_stride,
     }
 
     if (sparse_raw > 0) {
-        const int th = thresholds_[kv_head];
-        const size_t wpr = (dim + 63) / 64;
-
-        // Filter-space projections and packed signs for the whole
-        // group, in scratch (a SignBits would heap-allocate).
-        float *qf = frame.alloc<float>(dim);
-        uint64_t *q_words = frame.alloc<uint64_t>(num_queries * wpr);
-        for (uint32_t g = 0; g < num_queries; ++g) {
-            cache.toFilterSpace(queries + g * query_stride, qf);
-            packSigns(qf, dim, q_words + g * wpr);
-        }
-
+        // The whole estimation → score → select decision lives behind
+        // the pluggable FilterBackend (core/filter_backend.hh): this
+        // module only partitions the context, supplies scratch, and
+        // merges the selected ids. FilterKind::Scf reproduces the
+        // pre-pluggable pipeline bit-exactly.
         const size_t kcap = std::min<size_t>(cfg_.topK, sparse_raw);
         ScoredIndex *selected =
             frame.alloc<ScoredIndex>(num_queries * kcap);
         size_t *nsel = frame.alloc<size_t>(num_queries);
+        size_t *nsurv = frame.alloc<size_t>(num_queries);
 
-        // The filter region as physical spans (a paged cache's block
-        // table; the single identity span when flat) — both branches
-        // route through the span drivers, so flat and paged layouts
-        // run the same code and stay element-identical.
-        ScanSpan *spans =
-            frame.alloc<ScanSpan>(cache.maxSpans(sinks, win_start));
-        const size_t nspans = cache.collectSpans(sinks, win_start, spans);
-        size_t *span_surv = frame.alloc<size_t>(nspans);
-        const SignMatrix &fsigns = cache.filterSignsStorage();
+        FilterArgs fa;
+        fa.queries = queries;
+        fa.queryStride = query_stride;
+        fa.numQueries = num_queries;
+        fa.cache = &cache;
+        fa.lo = sinks;
+        fa.hi = win_start;
+        fa.threshold = thresholds_[kv_head];
+        fa.scale = scale;
+        fa.k = cfg_.topK;
+        fa.kcap = kcap;
+        fa.quantizedScoring = cfg_.quantizedScoring;
+        fa.centroidBlockTokens = cfg_.centroidBlockTokens;
+        fa.centroidKeepFraction = cfg_.centroidKeepFraction;
 
-        if (cfg_.quantizedScoring && cache.keysQuantized()) {
-            // INT8 scoring reads keys through the cache's quantized
-            // store, which the fused kernel's dot ops cannot; scan the
-            // whole group's survivors in one pass over the sign rows,
-            // then heap-select per query. Same ordering contract
-            // (topk_heap), same per-query results as the single-query
-            // formulation. Survivors arrive as LOGICAL token ids, so
-            // scoreKey translates through the block table itself.
-            uint32_t *survivors =
-                frame.alloc<uint32_t>(num_queries * sparse_raw);
-            size_t *counts = frame.alloc<size_t>(num_queries);
-            batchScanMultiSpans(q_words, num_queries, fsigns, spans,
-                                nspans, th, survivors, sparse_raw, counts,
-                                span_surv);
-            for (uint32_t g = 0; g < num_queries; ++g) {
-                const float *q = queries + g * query_stride;
-                const uint32_t *surv = survivors + g * sparse_raw;
-                ScoredIndex *heap = selected + g * kcap;
-                size_t hs = 0;
-                rs[g].sparseSurvivors = counts[g];
-                for (size_t j = 0; j < counts[g]; ++j) {
-                    const float s = cache.scoreKey(q, surv[j]) * scale;
-                    hs = topk_heap::push(heap, hs, cfg_.topK,
-                                         ScoredIndex{s, surv[j]});
-                }
-                topk_heap::sortBestFirst(heap, hs);
-                nsel[g] = hs;
-            }
-        } else {
-            // Fused SCF → score → select for the whole group: the sign
-            // rows and survivor key tiles are read once and stream
-            // through every query's concordance test and top-k heap.
-            size_t *nsurv = frame.alloc<size_t>(num_queries);
-            batchScoreSelectMultiSpans(q_words, num_queries, fsigns,
-                                       spans, nspans, th, queries,
-                                       query_stride, cache.keysStorage(),
-                                       scale, cfg_.topK, selected, kcap,
-                                       nsel, nsurv, span_surv);
-            for (uint32_t g = 0; g < num_queries; ++g)
-                rs[g].sparseSurvivors = nsurv[g];
-        }
-
-        // Credit the pass to the pool's SCF residency counters: blocks
-        // whose keys keep surviving the filter earn the HBM window.
-        if (cache.paged())
-            for (size_t si = 0; si < nspans; ++si)
-                cache.recordFilterScan(spans[si],
-                                       uint64_t{num_queries} *
-                                           spans[si].count,
-                                       span_surv[si]);
+        const FilterSelection sel_out{selected, nsel, nsurv};
+        filterBackendFor(cfg_.filter).select(fa, frame, sel_out);
 
         for (uint32_t g = 0; g < num_queries; ++g) {
             HeadAttentionResult &r = rs[g];
             const ScoredIndex *sel = selected + g * kcap;
+            r.sparseSurvivors = nsurv[g];
             r.sparseSelected = nsel[g];
             const size_t mid = r.attended.size();
             for (size_t j = 0; j < nsel[g]; ++j)

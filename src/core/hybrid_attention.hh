@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/filter_backend.hh"
 #include "core/filter_stats.hh"
 #include "core/kv_cache.hh"
 
@@ -46,6 +47,21 @@ struct LongSightConfig
      * full-precision keys. Requires KvCache::enableKeyQuantization().
      */
     bool quantizedScoring = false;
+
+    /**
+     * Candidate filter family for the sparse middle region (see
+     * core/filter_backend.hh). FilterKind::Scf is the paper's
+     * pipeline and reproduces the pre-pluggable behaviour
+     * bit-exactly; Int8 and Centroid are the estimation-family
+     * alternatives the Pareto harness sweeps against it.
+     */
+    FilterKind filter = FilterKind::Scf;
+
+    /** Centroid backend: logical tokens summarized per block. */
+    uint32_t centroidBlockTokens = 128;
+
+    /** Centroid backend: fraction of blocks descended into. */
+    double centroidKeepFraction = 0.25;
 
     /** Maximum k the DReX NMA hardware supports (§7.2). */
     static constexpr uint32_t kMaxHardwareTopK = 1024;

@@ -107,6 +107,12 @@ class KvBlockPool
     const int8_t *quantizedRow(size_t phys_row) const;
     float quantizedScale(size_t phys_row) const;
 
+    /** Arena base pointers for the batch INT8 kernels (row-major,
+     *  headDim() int8s + one scale per physical row); valid once
+     *  quantizedReady(). */
+    const int8_t *quantizedData() const { return quantData_.data(); }
+    const float *quantizedScales() const { return quantScales_.data(); }
+
     // ---- Block lifecycle -------------------------------------------
     /** Pop a free block (refcount 1, Expander tier, counters zeroed);
      *  kInvalidBlock when the pool is exhausted. */

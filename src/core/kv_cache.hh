@@ -233,6 +233,19 @@ class KvCache
      */
     float scoreKey(const float *q, size_t i) const;
 
+    /** Base pointers of the INT8 key arena the batch kernels score
+     *  against (flat: private size() x headDim() arena; paged: the
+     *  pool arena — index with physRow() either way). Valid once
+     *  keysQuantized(). */
+    const int8_t *quantizedStorage() const
+    {
+        return pool_ ? pool_->quantizedData() : quantData_.data();
+    }
+    const float *quantizedScalesStorage() const
+    {
+        return pool_ ? pool_->quantizedScales() : quantScales_.data();
+    }
+
     // ---- Paged-mode sharing ----------------------------------------
     /**
      * Become a copy-on-write fork of `parent` (paged, same pool; this

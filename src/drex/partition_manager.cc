@@ -176,16 +176,41 @@ BlockLedger::blocksFor(uint64_t tokens) const
     return (tokens + blockTokens_ - 1) / blockTokens_ * numKvHeads_;
 }
 
+uint64_t
+BlockLedger::privateBlocksFor(uint64_t tokens,
+                              uint64_t shared_prefix_tokens) const
+{
+    const uint64_t shared = std::min(shared_prefix_tokens, tokens);
+    const uint64_t all = blocksFor(tokens);
+    const uint64_t shared_blocks =
+        shared / blockTokens_ * numKvHeads_;
+    return all > shared_blocks ? all - shared_blocks : 0;
+}
+
 bool
 BlockLedger::canReserve(uint64_t tokens) const
 {
     return inUse_ + blocksFor(tokens) <= budget_;
 }
 
+bool
+BlockLedger::canReserve(uint64_t tokens,
+                        uint64_t shared_prefix_tokens) const
+{
+    return inUse_ + privateBlocksFor(tokens, shared_prefix_tokens) <=
+        budget_;
+}
+
 void
 BlockLedger::reserve(uint64_t tokens)
 {
-    const uint64_t need = blocksFor(tokens);
+    reserve(tokens, 0);
+}
+
+void
+BlockLedger::reserve(uint64_t tokens, uint64_t shared_prefix_tokens)
+{
+    const uint64_t need = privateBlocksFor(tokens, shared_prefix_tokens);
     LS_ASSERT(inUse_ + need <= budget_, "block budget exceeded: ",
               inUse_, " + ", need, " > ", budget_);
     inUse_ += need;
@@ -195,7 +220,13 @@ BlockLedger::reserve(uint64_t tokens)
 void
 BlockLedger::release(uint64_t tokens)
 {
-    const uint64_t need = blocksFor(tokens);
+    release(tokens, 0);
+}
+
+void
+BlockLedger::release(uint64_t tokens, uint64_t shared_prefix_tokens)
+{
+    const uint64_t need = privateBlocksFor(tokens, shared_prefix_tokens);
     LS_ASSERT(need <= inUse_, "releasing more blocks than reserved");
     inUse_ -= need;
 }

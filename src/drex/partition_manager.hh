@@ -155,14 +155,31 @@ class BlockLedger
     /** Blocks a context of this many tokens occupies. */
     uint64_t blocksFor(uint64_t tokens) const;
 
-    /** Whether a context fits beside the currently reserved blocks. */
-    bool canReserve(uint64_t tokens) const;
+    /**
+     * Blocks a context needs BEYOND an adopted shared prefix. Only
+     * full prefix blocks are shared — KvCache::publishPrefix truncates
+     * the published prefix to a block boundary and a partial tail is
+     * re-appended privately — so the private charge is blocksFor(
+     * tokens) minus floor(shared_prefix_tokens / block) whole blocks
+     * (per KV head). shared_prefix_tokens is clamped to tokens.
+     */
+    uint64_t privateBlocksFor(uint64_t tokens,
+                              uint64_t shared_prefix_tokens) const;
 
-    /** Reserve a context's blocks (callers gate with canReserve). */
+    /** Whether a context fits beside the currently reserved blocks;
+     *  the two-argument flavour charges only the private tail. */
+    bool canReserve(uint64_t tokens) const;
+    bool canReserve(uint64_t tokens, uint64_t shared_prefix_tokens) const;
+
+    /** Reserve a context's blocks (callers gate with canReserve).
+     *  Prefix-aware reserve and release must be called with the SAME
+     *  shared_prefix_tokens so the account stays symmetric. */
     void reserve(uint64_t tokens);
+    void reserve(uint64_t tokens, uint64_t shared_prefix_tokens);
 
     /** Return a context's blocks to the budget. */
     void release(uint64_t tokens);
+    void release(uint64_t tokens, uint64_t shared_prefix_tokens);
 
     uint64_t budget() const { return budget_; }
     uint64_t inUse() const { return inUse_; }

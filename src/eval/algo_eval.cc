@@ -7,6 +7,7 @@
 #include "core/itq.hh"
 #include "core/topk.hh"
 #include "tensor/kernels.hh"
+#include "tensor/quantized.hh"
 #include "tensor/linalg.hh"
 #include "tensor/sign_matrix.hh"
 #include "tensor/signbits.hh"
@@ -58,6 +59,31 @@ AlgoEvaluator::AlgoEvaluator(const WorkloadConfig &cfg, uint32_t num_heads,
             }
         }
 
+        // INT8 key arena (symmetric per-row quantization — the same
+        // scheme as KvCache::enableKeyQuantization) and fixed-block
+        // mean-key centroids, for the estimation-family filters.
+        std::vector<int8_t> kq(context * headDim_);
+        std::vector<float> kscale(context);
+        for (size_t i = 0; i < context; ++i)
+            quantizeInt8Into(keys.row(i), headDim_,
+                             kq.data() + i * headDim_, &kscale[i]);
+        const size_t bt = kCentroidBlockTokens;
+        const size_t nblocks = (context + bt - 1) / bt;
+        Matrix centroids(nblocks, headDim_);
+        for (size_t b = 0; b < nblocks; ++b) {
+            const size_t t0 = b * bt;
+            const size_t t1 = std::min(context, t0 + bt);
+            std::vector<double> acc(headDim_, 0.0);
+            for (size_t t = t0; t < t1; ++t)
+                for (size_t d = 0; d < headDim_; ++d)
+                    acc[d] += static_cast<double>(keys.row(t)[d]);
+            std::vector<float> c(headDim_);
+            for (size_t d = 0; d < headDim_; ++d)
+                c[d] = static_cast<float>(
+                    acc[d] / static_cast<double>(t1 - t0));
+            centroids.setRow(b, c.data());
+        }
+
         samples_[h].resize(queries_per_head);
         for (uint32_t qi = 0; qi < queries_per_head; ++qi) {
             Sample &s = samples_[h][qi];
@@ -85,6 +111,32 @@ AlgoEvaluator::AlgoEvaluator(const WorkloadConfig &cfg, uint32_t num_heads,
                 s.concordItq.resize(context);
                 batchConcordance(q_itq, itq_signs, 0, context,
                                  s.concordItq.data());
+            }
+
+            // INT8 score estimates: exact integer dot through the
+            // dispatch layer, float estimate under the shared
+            // batchInt8ScoreSelect contract (one fixed multiply
+            // order), scaled like s.scores so the two are comparable.
+            std::vector<int8_t> q8(headDim_);
+            float q_scale = 0.0f;
+            quantizeInt8Into(q.data(), headDim_, q8.data(), &q_scale);
+            std::vector<int32_t> idot(context);
+            batchInt8DotRange(q8.data(), kq.data(), headDim_, 0, context,
+                              idot.data());
+            s.estInt8.resize(context);
+            const float qp = q_scale * scale;
+            for (size_t i = 0; i < context; ++i)
+                s.estInt8[i] = static_cast<float>(idot[i]) *
+                    (qp * kscale[i]);
+
+            s.blockScore.resize(nblocks);
+            for (size_t b = 0; b < nblocks; ++b) {
+                double acc = 0.0;
+                const float *c = centroids.row(b);
+                for (size_t d = 0; d < headDim_; ++d)
+                    acc += static_cast<double>(q[d]) *
+                        static_cast<double>(c[d]);
+                s.blockScore[b] = static_cast<float>(acc) * scale;
             }
         }
     }
@@ -124,23 +176,68 @@ AlgoEvaluator::evaluate(const EvalConfig &cfg) const
 
             const size_t region = win_start - sinks;
             if (region > 0) {
-                const auto &concord = cfg.useItq && !s.concordItq.empty()
-                    ? s.concordItq
-                    : s.concordRaw;
-                // Survivors + bounded top-k in one pass.
                 TopK ranker(cfg.topK);
                 uint64_t survivors = 0;
-                for (size_t i = sinks; i < win_start; ++i) {
-                    if (concord[i] >= threshold) {
-                        ++survivors;
-                        ranker.push(s.scores[i],
+                if (cfg.filter == FilterKind::Int8) {
+                    // Estimation replaces the survivor scan: every
+                    // region token is ranked by its INT8 estimate, and
+                    // only the selections are retrieved at full
+                    // precision — survivors therefore equals the
+                    // selection count (set after the drain).
+                    for (size_t i = sinks; i < win_start; ++i)
+                        ranker.push(s.estInt8[i],
                                     static_cast<uint32_t>(i));
+                } else if (cfg.filter == FilterKind::Centroid) {
+                    // Rank the fixed 128-token blocks overlapping the
+                    // region, descend into the best keepFraction, and
+                    // exact-score the candidates inside them.
+                    const size_t bt = kCentroidBlockTokens;
+                    const size_t b0 = sinks / bt;
+                    const size_t b1 = (win_start + bt - 1) / bt;
+                    const size_t nb = b1 - b0;
+                    const size_t keep = std::min(
+                        nb, std::max<size_t>(
+                                1, static_cast<size_t>(std::ceil(
+                                       cfg.centroidKeepFraction *
+                                       static_cast<double>(nb)))));
+                    std::vector<ScoredIndex> bh(keep);
+                    size_t hs = 0;
+                    for (size_t b = b0; b < b1; ++b)
+                        hs = topk_heap::push(
+                            bh.data(), hs, keep,
+                            ScoredIndex{s.blockScore[b],
+                                        static_cast<uint32_t>(b)});
+                    for (size_t j = 0; j < hs; ++j) {
+                        const size_t b = bh[j].index;
+                        const size_t t0 = std::max(sinks, b * bt);
+                        const size_t t1 =
+                            std::min(win_start, (b + 1) * bt);
+                        for (size_t t = t0; t < t1; ++t) {
+                            ++survivors;
+                            ranker.push(s.scores[t],
+                                        static_cast<uint32_t>(t));
+                        }
+                    }
+                } else {
+                    const auto &concord =
+                        cfg.useItq && !s.concordItq.empty()
+                        ? s.concordItq
+                        : s.concordRaw;
+                    // Survivors + bounded top-k in one pass.
+                    for (size_t i = sinks; i < win_start; ++i) {
+                        if (concord[i] >= threshold) {
+                            ++survivors;
+                            ranker.push(s.scores[i],
+                                        static_cast<uint32_t>(i));
+                        }
                     }
                 }
                 // Drain in place: heapsort into the reused span
                 // instead of sortedResults' copy + full sort.
                 selected.resize(ranker.size());
                 const size_t nsel = ranker.drainSorted(selected.data());
+                if (cfg.filter == FilterKind::Int8)
+                    survivors = nsel;
                 std::vector<uint32_t> picked;
                 picked.reserve(nsel);
                 for (size_t i = 0; i < nsel; ++i) {

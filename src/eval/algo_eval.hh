@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/filter_backend.hh"
 #include "core/filter_stats.hh"
 #include "model/workload.hh"
 
@@ -37,6 +38,16 @@ struct EvalConfig
     uint32_t sinkTokens = 16;
     std::vector<int> thresholds; //!< per head; empty = all zero
     bool useItq = false;
+
+    /**
+     * Candidate filter family for the sparse region. Scf gates by
+     * sign concordance (thresholds/useItq apply); Int8 ranks every
+     * region token by its INT8-quantized score estimate; Centroid
+     * ranks fixed 128-token blocks (kCentroidBlockTokens) by mean-key
+     * score and exact-scores the best centroidKeepFraction of them.
+     */
+    FilterKind filter = FilterKind::Scf;
+    double centroidKeepFraction = 0.25;
 };
 
 /**
@@ -78,6 +89,10 @@ class AlgoEvaluator
                   size_t context, uint32_t queries_per_head, uint64_t seed,
                   int itq_iterations = 20);
 
+    /** Block granularity of the Centroid filter's precomputed block
+     *  scores (the runtime backend's centroidBlockTokens default). */
+    static constexpr size_t kCentroidBlockTokens = 128;
+
     size_t context() const { return context_; }
     uint32_t numHeads() const { return numHeads_; }
     uint32_t headDim() const { return headDim_; }
@@ -99,6 +114,8 @@ class AlgoEvaluator
         std::vector<int> concordRaw; //!< sign concordance, raw space
         std::vector<int> concordItq; //!< sign concordance, ITQ space
         std::vector<uint32_t> probOrder; //!< indices by prob, desc
+        std::vector<float> estInt8;  //!< INT8 q8 . k8 score estimates
+        std::vector<float> blockScore; //!< per-128-block centroid score
     };
 
     uint32_t numHeads_;

@@ -46,6 +46,16 @@ struct ServingRequest
     uint64_t promptLen = 0;
     uint32_t outputTokens = 1;
     Priority priority = Priority::Batch;
+    /**
+     * Leading prompt tokens whose KV blocks are shared via the paged
+     * pool's prefix registry (KvCache::adoptPrefix) — e.g. a common
+     * system prompt. Admission charges only the private tail: shared
+     * FULL blocks cost nothing (publishPrefix truncates the published
+     * prefix to a block boundary), and the shared tokens need no
+     * prefill compute. 0 = fully private prompt (the default, and
+     * the pre-prefix-cache behaviour).
+     */
+    uint64_t sharedPrefixTokens = 0;
 };
 
 /** Arrival process family. */

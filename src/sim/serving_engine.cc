@@ -36,6 +36,13 @@ struct Resident
         return req.promptLen + req.outputTokens;
     }
 
+    /** Adopted-prefix tokens (clamped): these need no new blocks for
+     *  their full blocks and no prefill compute. */
+    uint64_t sharedPrefix() const
+    {
+        return std::min(req.sharedPrefixTokens, req.promptLen);
+    }
+
     bool runnable() const
     {
         return prefilled >= req.promptLen && !needsRestore;
@@ -126,7 +133,9 @@ ServingEngine::run(std::vector<ServingRequest> trace)
         LS_ASSERT(r.outputTokens > 0, "request ", r.id,
                   " has no output budget");
         LS_ASSERT(!ledger_ ||
-                      ledger_->blocksFor(r.promptLen + r.outputTokens) <=
+                      ledger_->privateBlocksFor(
+                          r.promptLen + r.outputTokens,
+                          std::min(r.sharedPrefixTokens, r.promptLen)) <=
                           ledger_->budget(),
                   "request ", r.id, " cannot fit the block budget even "
                   "alone; the budget is misconfigured");
@@ -158,6 +167,9 @@ ServingEngine::run(std::vector<ServingRequest> trace)
                trace[next_arrival].arrival <= now) {
             Resident r;
             r.req = trace[next_arrival++];
+            // An adopted prefix arrives with resident KV: its tokens
+            // skip prefill compute entirely.
+            r.prefilled = r.sharedPrefix();
             waiting[r.req.priority == Priority::Interactive ? 1 : 0]
                 .push_back(r);
         }
@@ -171,11 +183,16 @@ ServingEngine::run(std::vector<ServingRequest> trace)
             return false;
         Resident &head = waiting[cls].front();
         if (ledger_) {
-            if (!ledger_->canReserve(head.reservedTokens())) {
+            if (!ledger_->canReserve(head.reservedTokens(),
+                                     head.sharedPrefix())) {
                 ++result.gateHolds;
                 return false;
             }
-            ledger_->reserve(head.reservedTokens());
+            ledger_->reserve(head.reservedTokens(), head.sharedPrefix());
+            result.prefixBlocksSaved +=
+                ledger_->blocksFor(head.reservedTokens()) -
+                ledger_->privateBlocksFor(head.reservedTokens(),
+                                          head.sharedPrefix());
             result.peakBlocks =
                 std::max(result.peakBlocks, ledger_->inUse());
         }
@@ -206,8 +223,11 @@ ServingEngine::run(std::vector<ServingRequest> trace)
         active.erase(active.begin() +
                      static_cast<ptrdiff_t>(victim));
         if (ledger_)
-            ledger_->release(job.reservedTokens());
-        job.needsRestore = job.prefilled > 0 || job.generated > 0;
+            ledger_->release(job.reservedTokens(), job.sharedPrefix());
+        // The adopted prefix stays published in the pool; only private
+        // progress beyond it needs a restore transfer on resumption.
+        job.needsRestore = job.prefilled > job.sharedPrefix() ||
+            job.generated > 0;
         ++job.preemptions;
         ++result.preemptions;
         waiting[0].push_front(job);
@@ -216,7 +236,8 @@ ServingEngine::run(std::vector<ServingRequest> trace)
 
     const auto admissible = [&](const Resident &head) {
         return active.size() < cfg_.maxBatch &&
-            (!ledger_ || ledger_->canReserve(head.reservedTokens()));
+            (!ledger_ || ledger_->canReserve(head.reservedTokens(),
+                                             head.sharedPrefix()));
     };
 
     while (next_arrival < trace.size() || !waiting_empty() ||
@@ -322,7 +343,8 @@ ServingEngine::run(std::vector<ServingRequest> trace)
         for (auto it = active.begin(); it != active.end();) {
             if (it->generated >= it->req.outputTokens) {
                 if (ledger_)
-                    ledger_->release(it->reservedTokens());
+                    ledger_->release(it->reservedTokens(),
+                                     it->sharedPrefix());
                 RequestMetrics m;
                 m.id = it->req.id;
                 m.priority = it->req.priority;

@@ -181,6 +181,9 @@ struct ServingEngineResult
     uint32_t peakActive = 0;
     uint64_t peakBlocks = 0;
     uint64_t blockBudget = 0;
+    /** Blocks NOT charged at admission because requests adopted a
+     *  published prefix (summed over admissions, re-admissions too). */
+    uint64_t prefixBlocksSaved = 0;
 
     /** Fill throughput/goodput/quantiles once the loop finishes. */
     void finalize(const SloTargets &slo);

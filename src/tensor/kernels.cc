@@ -155,9 +155,51 @@ scalarSignReduce(const uint64_t *signs, size_t wpr, size_t rows,
     }
 }
 
+void
+scalarQuantDotAt(const float *q, const int8_t *keys, const float *scales,
+                 size_t stride, size_t dim, const uint32_t *idx,
+                 size_t first, size_t count, float post_scale, float *out)
+{
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
+    // The dotQuantized rounding contract — double accumulation in
+    // ascending dimension order, ONE double multiply by the row scale,
+    // one cast to float — followed by one float multiply by
+    // post_scale (the attention scale the unfused path applied after
+    // scoreKey). Every backend reproduces this order exactly.
+    for (size_t j = 0; j < count; ++j) {
+        const size_t row = idx ? idx[j] : first + j;
+        const int8_t *k = keys + row * stride;
+        double acc = 0.0;
+        for (size_t i = 0; i < dim; ++i)
+            acc += static_cast<double>(k[i]) * q[i];
+        out[j] = static_cast<float>(acc * scales[row]) * post_scale;
+    }
+}
+
+void
+scalarInt8DotAt(const int8_t *q, const int8_t *keys, size_t stride,
+                size_t dim, const uint32_t *idx, size_t first,
+                size_t count, int32_t *out)
+{
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
+    for (size_t j = 0; j < count; ++j) {
+        const size_t row = idx ? idx[j] : first + j;
+        const int8_t *k = keys + row * stride;
+        int32_t acc = 0;
+        for (size_t i = 0; i < dim; ++i)
+            acc += static_cast<int32_t>(q[i]) * static_cast<int32_t>(k[i]);
+        out[j] = acc;
+    }
+}
+
 const KernelOps kScalarOps = {scalarConcordance, scalarScan, scalarBitmap,
                               scalarDotAt, scalarScanMulti,
-                              scalarBitmapMulti, scalarSignReduce};
+                              scalarBitmapMulti, scalarSignReduce,
+                              scalarQuantDotAt, scalarInt8DotAt};
 
 } // namespace
 
@@ -820,6 +862,307 @@ batchScoreSelectMultiSpans(const uint64_t *query_words, size_t num_queries,
     }
     for (size_t q = 0; q < num_queries; ++q)
         topk_heap::sortBestFirst(out + q * out_stride, out_sizes[q]);
+}
+
+void
+batchQuantDotAt(const float *q, const int8_t *keys, const float *scales,
+                size_t dim, const uint32_t *indices, size_t count,
+                float post_scale, float *out)
+{
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
+    if (count == 0)
+        return;
+    ops().quantDotAt(q, keys, scales, dim, dim, indices, 0, count,
+                     post_scale, out);
+}
+
+void
+batchQuantDotRange(const float *q, const int8_t *keys, const float *scales,
+                   size_t dim, size_t begin, size_t end, float post_scale,
+                   float *out)
+{
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
+    LS_ASSERT(begin <= end, "quant score range [", begin, ",", end, ")");
+    if (begin == end)
+        return;
+    ops().quantDotAt(q, keys, scales, dim, dim, nullptr, begin,
+                     end - begin, post_scale, out);
+}
+
+void
+batchInt8DotAt(const int8_t *q, const int8_t *keys, size_t dim,
+               const uint32_t *indices, size_t count, int32_t *out)
+{
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
+    if (count == 0)
+        return;
+    ops().int8DotAt(q, keys, dim, dim, indices, 0, count, out);
+}
+
+void
+batchInt8DotRange(const int8_t *q, const int8_t *keys, size_t dim,
+                  size_t begin, size_t end, int32_t *out)
+{
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
+    LS_ASSERT(begin <= end, "int8 dot range [", begin, ",", end, ")");
+    if (begin == end)
+        return;
+    ops().int8DotAt(q, keys, dim, dim, nullptr, begin, end - begin, out);
+}
+
+size_t
+batchQuantScoreSelect(const uint64_t *query_words, const SignMatrix &signs,
+                      size_t begin, size_t end, int threshold,
+                      const float *q, const int8_t *keys,
+                      const float *scales, size_t dim, float post_scale,
+                      size_t k, ScoredIndex *out, size_t *survivor_count)
+{
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
+    LS_ASSERT(begin <= end && end <= signs.rows(),
+              "batchQuantScoreSelect range [", begin, ",", end,
+              ") out of ", signs.rows());
+    LS_ASSERT(k > 0, "batchQuantScoreSelect k must be positive");
+
+    // Identical tile structure to batchScoreSelect; only the scoring
+    // op differs (INT8 arena rows + per-row scales instead of the
+    // float key matrix).
+    constexpr size_t kTile = 512;
+    uint32_t idx[kTile];
+    float score[kTile];
+
+    const detail::KernelOps &o = ops();
+    const size_t wpr = signs.wordsPerRow();
+    const int sdim = static_cast<int>(signs.dim());
+
+    size_t heap_size = 0;
+    size_t survivors = 0;
+    for (size_t at = begin; at < end; at += kTile) {
+        const size_t rows = std::min(kTile, end - at);
+        const size_t n =
+            o.scan(query_words, signs.data() + at * wpr, wpr, rows, sdim,
+                   threshold, static_cast<uint32_t>(at), idx);
+        if (n == 0)
+            continue;
+        survivors += n;
+        o.quantDotAt(q, keys, scales, dim, dim, idx, 0, n, post_scale,
+                     score);
+        for (size_t j = 0; j < n; ++j)
+            heap_size = topk_heap::push(out, heap_size, k,
+                                        ScoredIndex{score[j], idx[j]});
+    }
+    topk_heap::sortBestFirst(out, heap_size);
+    if (survivor_count)
+        *survivor_count = survivors;
+    return heap_size;
+}
+
+void
+batchQuantScoreSelectMultiSpans(
+    const uint64_t *query_words, size_t num_queries,
+    const SignMatrix &signs, const ScanSpan *spans, size_t num_spans,
+    int threshold, const float *queries, size_t query_stride,
+    const int8_t *keys, const float *scales, size_t dim,
+    float post_scale, size_t k, ScoredIndex *out, size_t out_stride,
+    size_t *out_sizes, size_t *survivor_counts, size_t *span_survivors)
+{
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
+    const size_t total = checkSpans(spans, num_spans, signs.rows());
+    LS_ASSERT(k > 0, "batchQuantScoreSelectMultiSpans k must be positive");
+    LS_ASSERT(out_stride >= std::min(k, total),
+              "batchQuantScoreSelectMultiSpans out_stride ", out_stride,
+              " < heap capacity ", std::min(k, total));
+
+    for (size_t q = 0; q < num_queries; ++q) {
+        out_sizes[q] = 0;
+        if (survivor_counts)
+            survivor_counts[q] = 0;
+    }
+    for (size_t s = 0; s < num_spans; ++s)
+        if (span_survivors)
+            span_survivors[s] = 0;
+    if (total == 0 || num_queries == 0)
+        return;
+
+    // batchScoreSelectMultiSpans with the quantized scoring op: the
+    // scan and INT8 dot kernels see physical rows, heaps get logical
+    // token ids via the per-span delta remap.
+    constexpr size_t kTile = 512;
+    uint32_t idx[kMaxScanQueries * kTile];
+    float score[kTile];
+    size_t tile_counts[kMaxScanQueries];
+
+    const detail::KernelOps &o = ops();
+    const size_t wpr = signs.wordsPerRow();
+    const int sdim = static_cast<int>(signs.dim());
+
+    for (size_t q0 = 0; q0 < num_queries; q0 += kMaxScanQueries) {
+        const size_t nq = std::min(kMaxScanQueries, num_queries - q0);
+        for (size_t s = 0; s < num_spans; ++s) {
+            const ScanSpan &sp = spans[s];
+            const int64_t delta =
+                static_cast<int64_t>(sp.logicalBase) -
+                static_cast<int64_t>(sp.physBegin);
+            for (size_t at = 0; at < sp.count; at += kTile) {
+                const size_t rows = std::min(kTile, sp.count - at);
+                for (size_t qi = 0; qi < nq; ++qi)
+                    tile_counts[qi] = 0;
+                o.scanMulti(
+                    query_words + q0 * wpr, nq,
+                    signs.data() + (sp.physBegin + at) * wpr, wpr, rows,
+                    sdim, threshold,
+                    static_cast<uint32_t>(sp.physBegin + at), idx, kTile,
+                    tile_counts);
+                for (size_t qi = 0; qi < nq; ++qi) {
+                    const size_t n = tile_counts[qi];
+                    if (n == 0)
+                        continue;
+                    const size_t q = q0 + qi;
+                    if (survivor_counts)
+                        survivor_counts[q] += n;
+                    if (span_survivors)
+                        span_survivors[s] += n;
+                    const uint32_t *qidx = idx + qi * kTile;
+                    o.quantDotAt(queries + q * query_stride, keys, scales,
+                                 dim, dim, qidx, 0, n, post_scale, score);
+                    ScoredIndex *heap = out + q * out_stride;
+                    size_t hs = out_sizes[q];
+                    for (size_t j = 0; j < n; ++j)
+                        hs = topk_heap::push(
+                            heap, hs, k,
+                            ScoredIndex{score[j],
+                                        static_cast<uint32_t>(
+                                            static_cast<int64_t>(qidx[j]) +
+                                            delta)});
+                    out_sizes[q] = hs;
+                }
+            }
+        }
+    }
+    for (size_t q = 0; q < num_queries; ++q)
+        topk_heap::sortBestFirst(out + q * out_stride, out_sizes[q]);
+}
+
+size_t
+batchInt8ScoreSelect(const int8_t *q8, float q_scale, const int8_t *keys,
+                     const float *scales, size_t dim, size_t begin,
+                     size_t end, float post_scale, size_t k,
+                     ScoredIndex *out)
+{
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
+    LS_ASSERT(begin <= end, "batchInt8ScoreSelect range [", begin, ",",
+              end, ")");
+    LS_ASSERT(k > 0, "batchInt8ScoreSelect k must be positive");
+
+    // Every row in range is a candidate: the estimation cost is the
+    // exact integer dot, so there is no cheap pre-filter to scan with.
+    // The float estimate is derived HERE, once, in driver code — the
+    // backends only supply the exact integer dots — so the
+    // multiplication order (qp * scales[row], then one multiply by the
+    // converted dot) is a single shared contract.
+    constexpr size_t kTile = 512;
+    int32_t idot[kTile];
+
+    const detail::KernelOps &o = ops();
+    const float qp = q_scale * post_scale;
+
+    size_t heap_size = 0;
+    for (size_t at = begin; at < end; at += kTile) {
+        const size_t rows = std::min(kTile, end - at);
+        o.int8DotAt(q8, keys, dim, dim, nullptr, at, rows, idot);
+        for (size_t j = 0; j < rows; ++j) {
+            const float est = static_cast<float>(idot[j]) *
+                (qp * scales[at + j]);
+            heap_size = topk_heap::push(
+                out, heap_size, k,
+                ScoredIndex{est, static_cast<uint32_t>(at + j)});
+        }
+    }
+    topk_heap::sortBestFirst(out, heap_size);
+    return heap_size;
+}
+
+void
+batchInt8ScoreSelectMultiSpans(
+    const int8_t *q8s, const float *q_scales, size_t num_queries,
+    const int8_t *keys, const float *scales, size_t dim,
+    const ScanSpan *spans, size_t num_spans, float post_scale, size_t k,
+    ScoredIndex *out, size_t out_stride, size_t *out_sizes,
+    size_t *span_candidates)
+{
+    LS_HOT_PATH();
+    LS_DETERMINISTIC();
+    LS_NO_LOCK();
+    size_t total = 0;
+    size_t next_logical = 0;
+    for (size_t s = 0; s < num_spans; ++s) {
+        LS_ASSERT(s == 0 || spans[s].logicalBase >= next_logical,
+                  "int8 span ", s, " logical base ", spans[s].logicalBase,
+                  " overlaps previous span end ", next_logical);
+        next_logical = spans[s].logicalBase + spans[s].count;
+        total += spans[s].count;
+    }
+    LS_ASSERT(k > 0, "batchInt8ScoreSelectMultiSpans k must be positive");
+    LS_ASSERT(out_stride >= std::min(k, total),
+              "batchInt8ScoreSelectMultiSpans out_stride ", out_stride,
+              " < heap capacity ", std::min(k, total));
+
+    for (size_t q = 0; q < num_queries; ++q)
+        out_sizes[q] = 0;
+    for (size_t s = 0; s < num_spans; ++s)
+        if (span_candidates)
+            span_candidates[s] = num_queries * spans[s].count;
+    if (total == 0 || num_queries == 0)
+        return;
+
+    constexpr size_t kTile = 512;
+    int32_t idot[kTile];
+
+    const detail::KernelOps &o = ops();
+
+    for (size_t q = 0; q < num_queries; ++q) {
+        const int8_t *q8 = q8s + q * dim;
+        const float qp = q_scales[q] * post_scale;
+        ScoredIndex *heap = out + q * out_stride;
+        size_t hs = 0;
+        for (size_t s = 0; s < num_spans; ++s) {
+            const ScanSpan &sp = spans[s];
+            const int64_t delta =
+                static_cast<int64_t>(sp.logicalBase) -
+                static_cast<int64_t>(sp.physBegin);
+            for (size_t at = 0; at < sp.count; at += kTile) {
+                const size_t rows = std::min(kTile, sp.count - at);
+                const size_t phys = sp.physBegin + at;
+                o.int8DotAt(q8, keys, dim, dim, nullptr, phys, rows,
+                            idot);
+                for (size_t j = 0; j < rows; ++j) {
+                    const float est = static_cast<float>(idot[j]) *
+                        (qp * scales[phys + j]);
+                    hs = topk_heap::push(
+                        heap, hs, k,
+                        ScoredIndex{est,
+                                    static_cast<uint32_t>(
+                                        static_cast<int64_t>(phys + j) +
+                                        delta)});
+                }
+            }
+        }
+        out_sizes[q] = hs;
+        topk_heap::sortBestFirst(heap, hs);
+    }
 }
 
 } // namespace longsight

@@ -2,8 +2,11 @@
  * @file
  * Runtime-dispatched batch kernels for the SCF hot path: sign
  * concordance over whole SignMatrix bursts (the software twin of the
- * PFU's 128-key popcount sweep) and batched survivor scoring
- * (query . key dot products with a fused scale).
+ * PFU's 128-key popcount sweep), batched survivor scoring
+ * (query . key dot products with a fused scale), and INT8 scoring
+ * over the quantized key arenas — mixed float x int8 survivor scoring
+ * (the dotQuantized contract) and exact int8 x int8 estimation dots
+ * (scalar reference, AVX2 maddubs, AVX-512 VNNI vpdpbusd fast paths).
  *
  * Three backends share one contract and are selected once at startup:
  *
@@ -299,6 +302,117 @@ void batchScoreSelectMultiSpans(
     size_t out_stride, size_t *out_sizes,
     size_t *survivor_counts = nullptr, size_t *span_survivors = nullptr);
 
+/**
+ * Mixed-precision survivor scoring over an INT8 key arena: out[j] =
+ * float(acc * scales[row]) * post_scale, where acc is the ascending
+ * double-precision sum of q[d] * int8 key row d (the dotQuantized
+ * contract) and row is indices[j]. `keys` is a row-major arena of dim
+ * int8s per row with one float scale per row — exactly the layout
+ * KvCache::enableKeyQuantization / KvBlockPool::ensureQuantized
+ * maintain. post_scale folds the attention scale into the same float
+ * multiply the unfused scoreKey path performs; pass 1.0f for the bare
+ * dotQuantized result (x * 1.0f is exact). Bit-identical across
+ * backends.
+ */
+void batchQuantDotAt(const float *q, const int8_t *keys,
+                     const float *scales, size_t dim,
+                     const uint32_t *indices, size_t count,
+                     float post_scale, float *out);
+
+/** Range flavour: out[i - begin] over arena rows [begin, end). */
+void batchQuantDotRange(const float *q, const int8_t *keys,
+                        const float *scales, size_t dim, size_t begin,
+                        size_t end, float post_scale, float *out);
+
+/**
+ * Exact INT8 x INT8 batch dot: out[j] = sum_d q[d] * key_row[d] in
+ * int32, row = indices[j] (or first + j when indices is null). Pure
+ * integer math — overflow-free for dim <= 2^17 at the +-127 range
+ * quantizeInt8Into produces — so every backend (scalar, AVX2
+ * maddubs, AVX-512 VNNI) is bit-identical by construction. This is
+ * the INT8 filter's estimation primitive: both query and key are
+ * quantized, and the float estimate float(out[j]) * (q_scale *
+ * key_scale) is derived by the callers under one shared contract.
+ */
+void batchInt8DotAt(const int8_t *q, const int8_t *keys, size_t dim,
+                    const uint32_t *indices, size_t count, int32_t *out);
+
+/** Range flavour of batchInt8DotAt over arena rows [begin, end). */
+void batchInt8DotRange(const int8_t *q, const int8_t *keys, size_t dim,
+                       size_t begin, size_t end, int32_t *out);
+
+/**
+ * Fused quantized scan -> score -> select, mirroring batchScoreSelect:
+ * rows in [begin, end) passing the sign-concordance threshold are
+ * scored against the INT8 key arena (batchQuantDotAt contract:
+ * float(acc * scales[row]) * post_scale) and offered to a bounded
+ * top-k heap in `out` (capacity >= min(k, end - begin)). Returns the
+ * entry count, sorted best-first; survivor_count receives the SCF
+ * survivor total when non-null. Element-identical on every backend to
+ * scan + per-survivor scoreKey * post_scale.
+ */
+size_t batchQuantScoreSelect(const uint64_t *query_words,
+                             const SignMatrix &signs, size_t begin,
+                             size_t end, int threshold, const float *q,
+                             const int8_t *keys, const float *scales,
+                             size_t dim, float post_scale, size_t k,
+                             ScoredIndex *out,
+                             size_t *survivor_count = nullptr);
+
+/**
+ * Span-list, multi-query flavour of batchQuantScoreSelect — the
+ * paged-KV fused driver for quantized scoring, structured exactly like
+ * batchScoreSelectMultiSpans: the scan and INT8 dot kernels see each
+ * span's contiguous physical rows (sign rows, arena rows, and scales
+ * share the physical layout) while the indices offered to the
+ * per-query heaps are remapped to logical token ids. Per query the
+ * selection is element-identical to scanning and scoring the
+ * equivalent flat layout, on every backend.
+ */
+void batchQuantScoreSelectMultiSpans(
+    const uint64_t *query_words, size_t num_queries,
+    const SignMatrix &signs, const ScanSpan *spans, size_t num_spans,
+    int threshold, const float *queries, size_t query_stride,
+    const int8_t *keys, const float *scales, size_t dim,
+    float post_scale, size_t k, ScoredIndex *out, size_t out_stride,
+    size_t *out_sizes, size_t *survivor_counts = nullptr,
+    size_t *span_survivors = nullptr);
+
+/**
+ * Fused INT8-estimation score -> select over arena rows [begin, end):
+ * EVERY row is scored with the exact integer dot (batchInt8DotAt) and
+ * the float estimate float(idot) * ((q_scale * post_scale) *
+ * scales[row]) — one fixed multiplication order, so selections are
+ * deterministic and backend-independent — then offered to a bounded
+ * top-k heap in `out` (capacity >= min(k, end - begin)). Returns the
+ * entry count, sorted best-first. This is the INT8 FilterBackend's
+ * candidate selector: where SCF scans 1-bit signatures and scores
+ * survivors, this estimates 8-bit scores for the whole range and
+ * keeps the top k.
+ */
+size_t batchInt8ScoreSelect(const int8_t *q8, float q_scale,
+                            const int8_t *keys, const float *scales,
+                            size_t dim, size_t begin, size_t end,
+                            float post_scale, size_t k, ScoredIndex *out);
+
+/**
+ * Span-list, multi-query flavour of batchInt8ScoreSelect: query q's
+ * int8 vector lives at q8s + q * dim with scale q_scales[q]; its heap
+ * at out + q * out_stride (capacity >= min(k, total span tokens)) and
+ * out_sizes[q] receives the entry count (sorted best-first). Heap
+ * indices are logical token ids; estimation reads the spans' physical
+ * arena rows. When span_candidates is non-null, span_candidates[s]
+ * receives num_queries * spans[s].count — every row is a candidate
+ * under estimation, the analogue of the SCF span survivor counter for
+ * residency accounting.
+ */
+void batchInt8ScoreSelectMultiSpans(
+    const int8_t *q8s, const float *q_scales, size_t num_queries,
+    const int8_t *keys, const float *scales, size_t dim,
+    const ScanSpan *spans, size_t num_spans, float post_scale, size_t k,
+    ScoredIndex *out, size_t out_stride, size_t *out_sizes,
+    size_t *span_candidates = nullptr);
+
 namespace detail {
 
 /** Raw-pointer kernel table one backend fills in. */
@@ -344,6 +458,23 @@ struct KernelOps
      *  words_per_row words, fully overwritten. rows >= 1. */
     void (*signReduce)(const uint64_t *signs, size_t words_per_row,
                        size_t rows, uint64_t *out);
+    /** Mixed float-query x INT8-key scoring: out[j] = float(acc *
+     *  scales[row]) * post_scale with acc the ascending double sum of
+     *  q[d] * key_row[d]; row is keys + idx[j]*stride when idx,
+     *  keys + (first+j)*stride else (scales indexed the same way).
+     *  Exactly dotQuantized's rounding followed by one float multiply
+     *  — every backend preserves this order bit-for-bit. */
+    void (*quantDotAt)(const float *q, const int8_t *keys,
+                       const float *scales, size_t stride, size_t dim,
+                       const uint32_t *idx, size_t first, size_t count,
+                       float post_scale, float *out);
+    /** Exact int32 dot of an int8 query against int8 key rows; same
+     *  idx/first row addressing as dotAt. Integer math — backends are
+     *  free to reassociate (maddubs / vpdpbusd) because the result is
+     *  exact either way. */
+    void (*int8DotAt)(const int8_t *q, const int8_t *keys, size_t stride,
+                      size_t dim, const uint32_t *idx, size_t first,
+                      size_t count, int32_t *out);
 };
 
 /**

@@ -650,6 +650,137 @@ avx2DotAt(const float *q, const float *keys, size_t stride, size_t dim,
 }
 
 LS_AVX2 void
+avx2QuantDotAt(const float *q, const int8_t *keys, const float *scales,
+               size_t stride, size_t dim, const uint32_t *idx,
+               size_t first, size_t count, float post_scale, float *out)
+{
+    // Deliberately the scalar double-accumulation loop: the
+    // dotQuantized contract pins ascending-order double accumulation
+    // per row, and at head dims 64/128 the int8->double widening
+    // sequence AVX2 would need (cvtepi8_epi32 + cvtepi32_pd per
+    // quarter-vector) buys nothing over the compiler's scalar
+    // pipeline — mirroring neonDotAt's reasoning. The INT8 win on
+    // this backend is int8DotAt below, where integer math permits
+    // real vectorization.
+    for (size_t j = 0; j < count; ++j) {
+        const size_t row = idx ? idx[j] : first + j;
+        const int8_t *k = keys + row * stride;
+        double acc = 0.0;
+        for (size_t i = 0; i < dim; ++i)
+            acc += static_cast<double>(k[i]) * q[i];
+        out[j] = static_cast<float>(acc * scales[row]) * post_scale;
+    }
+}
+
+#define LS_AVXVNNI \
+    __attribute__((target("avx512f,avx512bw,avx512vl,avx512vnni")))
+
+/**
+ * AVX-512 VNNI int8 dot: vpdpbusd takes UNSIGNED x SIGNED bytes, so
+ * the signed query is carried as |q| (vpabsb) and the key's sign is
+ * folded in with a masked byte negate (sign(q) applied to k) — the
+ * same abs/sign factoring as the AVX2 maddubs path below, but with
+ * the multiply-accumulate collapsing to one instruction per 64
+ * elements. Exact integer math, so bit-identity is free.
+ */
+LS_AVXVNNI inline int32_t
+int8Dot1Vnni(const int8_t *q, const int8_t *k, size_t dim)
+{
+    __m512i acc = _mm512_setzero_si512();
+    size_t i = 0;
+    for (; i + 64 <= dim; i += 64) {
+        const __m512i qv = _mm512_loadu_si512(q + i);
+        const __m512i kv = _mm512_loadu_si512(k + i);
+        const __m512i ua = _mm512_abs_epi8(qv);
+        const __mmask64 neg = _mm512_movepi8_mask(qv);
+        const __m512i sb =
+            _mm512_mask_sub_epi8(kv, neg, _mm512_setzero_si512(), kv);
+        acc = _mm512_dpbusd_epi32(acc, ua, sb);
+    }
+    int32_t sum = _mm512_reduce_add_epi32(acc);
+    for (; i < dim; ++i)
+        sum += static_cast<int32_t>(q[i]) * static_cast<int32_t>(k[i]);
+    return sum;
+}
+
+LS_AVXVNNI void
+vnniInt8DotAt(const int8_t *q, const int8_t *keys, size_t stride,
+              size_t dim, const uint32_t *idx, size_t first,
+              size_t count, int32_t *out)
+{
+    for (size_t j = 0; j < count; ++j) {
+        const size_t row = idx ? idx[j] : first + j;
+        out[j] = int8Dot1Vnni(q, keys + row * stride, dim);
+    }
+}
+
+bool
+cpuHasAvxVnni()
+{
+    return __builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512bw") &&
+        __builtin_cpu_supports("avx512vl") &&
+        __builtin_cpu_supports("avx512vnni");
+}
+
+bool
+avxVnniAvailable()
+{
+    static const bool supported = cpuHasAvxVnni();
+    return supported;
+}
+
+/** One int8 x int8 row dot via vpmaddubsw: |q| (unsigned) times
+ *  sign(q)-adjusted k (signed) multiplies to q*k per element; the
+ *  pairwise i16 sums peak at 2 * 127 * 127 = 32258 < 32767, so the
+ *  saturating madd never saturates, and vpmaddwd widens to exact
+ *  int32 lanes. */
+LS_AVX2 inline int32_t
+int8Dot1(const int8_t *q, const int8_t *k, size_t dim)
+{
+    __m256i acc = _mm256_setzero_si256();
+    const __m256i ones = _mm256_set1_epi16(1);
+    size_t i = 0;
+    for (; i + 32 <= dim; i += 32) {
+        const __m256i qv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(q + i));
+        const __m256i kv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(k + i));
+        const __m256i ua = _mm256_abs_epi8(qv);
+        const __m256i sb = _mm256_sign_epi8(kv, qv);
+        const __m256i p16 = _mm256_maddubs_epi16(ua, sb);
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(p16, ones));
+    }
+    __m128i s = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                              _mm256_extracti128_si256(acc, 1));
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+    int32_t sum = _mm_cvtsi128_si32(s);
+    for (; i < dim; ++i)
+        sum += static_cast<int32_t>(q[i]) * static_cast<int32_t>(k[i]);
+    return sum;
+}
+
+LS_AVX2 void
+avx2Int8DotAt(const int8_t *q, const int8_t *keys, size_t stride,
+              size_t dim, const uint32_t *idx, size_t first,
+              size_t count, int32_t *out)
+{
+    // The VNNI kernel needs >= 64-element rows to beat maddubs;
+    // splitting by dim (not per call site) keeps the decision
+    // data-independent. Both paths are exact, so the choice cannot
+    // change a result.
+    if (dim >= 64 && avxVnniAvailable()) {
+        vnniInt8DotAt(q, keys, stride, dim, idx, first, count, out);
+        return;
+    }
+    for (size_t j = 0; j < count; ++j) {
+        const size_t row = idx ? idx[j] : first + j;
+        out[j] = int8Dot1(q, keys + row * stride, dim);
+    }
+}
+
+LS_AVX2 void
 avx2SignReduce(const uint64_t *signs, size_t wpr, size_t rows,
                uint64_t *out)
 {
@@ -694,7 +825,8 @@ avx2SignReduce(const uint64_t *signs, size_t wpr, size_t rows,
 
 const KernelOps kAvx2Ops = {avx2Concordance, avx2Scan, avx2Bitmap,
                             avx2DotAt, avx2ScanMulti, avx2BitmapMulti,
-                            avx2SignReduce};
+                            avx2SignReduce, avx2QuantDotAt,
+                            avx2Int8DotAt};
 
 bool
 cpuHasAvx2()

@@ -171,9 +171,58 @@ neonSignReduce(const uint64_t *signs, size_t wpr, size_t rows,
         out[w] = signReduceColumnCsa(signs, wpr, rows, w);
 }
 
+void
+neonQuantDotAt(const float *q, const int8_t *keys, const float *scales,
+               size_t stride, size_t dim, const uint32_t *idx,
+               size_t first, size_t count, float post_scale, float *out)
+{
+    // Scalar ascending double accumulation — the dotQuantized rounding
+    // contract; same reasoning as neonDotAt.
+    for (size_t j = 0; j < count; ++j) {
+        const size_t row = idx ? idx[j] : first + j;
+        const int8_t *k = keys + row * stride;
+        double acc = 0.0;
+        for (size_t i = 0; i < dim; ++i)
+            acc += static_cast<double>(k[i]) * q[i];
+        out[j] = static_cast<float>(acc * scales[row]) * post_scale;
+    }
+}
+
+void
+neonInt8DotAt(const int8_t *q, const int8_t *keys, size_t stride,
+              size_t dim, const uint32_t *idx, size_t first,
+              size_t count, int32_t *out)
+{
+    // vmull_s8 widens 8 products to i16 (max |p| = 16129, sums of two
+    // fit easily), vpadalq_s16 accumulates pairs into i32 lanes.
+    // Integer math — exact, so bit-identical to scalar by
+    // construction.
+    for (size_t j = 0; j < count; ++j) {
+        const size_t row = idx ? idx[j] : first + j;
+        const int8_t *k = keys + row * stride;
+        int32x4_t acc = vdupq_n_s32(0);
+        size_t i = 0;
+        for (; i + 16 <= dim; i += 16) {
+            const int8x16_t qv = vld1q_s8(q + i);
+            const int8x16_t kv = vld1q_s8(k + i);
+            const int16x8_t lo =
+                vmull_s8(vget_low_s8(qv), vget_low_s8(kv));
+            const int16x8_t hi =
+                vmull_s8(vget_high_s8(qv), vget_high_s8(kv));
+            acc = vpadalq_s16(acc, lo);
+            acc = vpadalq_s16(acc, hi);
+        }
+        int32_t sum = vaddvq_s32(acc);
+        for (; i < dim; ++i)
+            sum += static_cast<int32_t>(q[i]) * static_cast<int32_t>(k[i]);
+        out[j] = sum;
+    }
+}
+
 const KernelOps kNeonOps = {neonConcordance, neonScan, neonBitmap,
                             neonDotAt, neonScanMulti, neonBitmapMulti,
-                            neonSignReduce};
+                            neonSignReduce, neonQuantDotAt,
+                            neonInt8DotAt};
 
 } // namespace
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/kernels.hh"
 #include "util/annotations.hh"
 #include "util/logging.hh"
 
@@ -65,10 +66,15 @@ dotQuantized(const int8_t *data, float scale, const float *b, size_t n)
     LS_HOT_PATH();
     LS_DETERMINISTIC();
     LS_NO_LOCK();
-    double acc = 0.0;
-    for (size_t i = 0; i < n; ++i)
-        acc += static_cast<double>(data[i]) * b[i];
-    return static_cast<float>(acc * scale);
+    // Routed through the kernel-dispatch layer (the quantDotAt op) so
+    // backend selection applies here like everywhere else; the
+    // single-row call is the degenerate range [0, 1) with a unit
+    // post-scale (x * 1.0f is exact). Every backend reproduces the
+    // historical rounding: ascending double accumulation, one double
+    // multiply by scale, one cast to float.
+    float out = 0.0f;
+    batchQuantDotRange(b, data, &scale, n, 0, 1, 1.0f, &out);
+    return out;
 }
 
 double

@@ -312,5 +312,90 @@ TEST(ServingEngine, HistogramsSizedFromSloWithOverflowReported)
     EXPECT_DOUBLE_EQ(res.sloAttainment, 0.0);
 }
 
+TEST(ServingEngine, LedgerChargesOnlyPrivateTailForSharedPrefix)
+{
+    BlockLedger ledger(69, kBlockTokens, /*num_kv_heads=*/2);
+
+    // 4096-token prompt + 64 output = 4160 tokens = 33 blocks x 2
+    // heads. A 3968-token shared prefix covers 31 FULL blocks, so the
+    // private charge is (33 - 31) x 2 = 4.
+    EXPECT_EQ(ledger.blocksFor(4160), 66u);
+    EXPECT_EQ(ledger.privateBlocksFor(4160, 3968), 4u);
+    // A ragged shared prefix only discounts its whole blocks.
+    EXPECT_EQ(ledger.privateBlocksFor(4160, 3968 + 100), 4u);
+    // Shared prefix clamps to the context; never negative.
+    EXPECT_EQ(ledger.privateBlocksFor(256, 100000), 0u);
+    // Zero shared prefix degenerates to the plain charge.
+    EXPECT_EQ(ledger.privateBlocksFor(4160, 0), ledger.blocksFor(4160));
+
+    // Reserve/release with the same shared arg stays symmetric.
+    ASSERT_TRUE(ledger.canReserve(4160, 3968));
+    ledger.reserve(4160, 3968);
+    EXPECT_EQ(ledger.inUse(), 4u);
+    // The full-charge flavour no longer fits beside the reservation
+    // (4 + 66 > 69); the prefix-aware one has room for many more.
+    EXPECT_FALSE(ledger.canReserve(4160));
+    EXPECT_TRUE(ledger.canReserve(4160, 3968));
+    ledger.release(4160, 3968);
+    EXPECT_EQ(ledger.inUse(), 0u);
+}
+
+TEST(ServingEngine, SharedPrefixAdmitsMoreContextUnderOneBudget)
+{
+    // Sixteen identical 4K-prompt requests against a budget that fits
+    // only TWO private prompts at a time. With a published 3968-token
+    // system prefix (31 full blocks shared), each request charges 2
+    // blocks instead of 33, so the whole fleet becomes concurrently
+    // admissible and the shared tokens skip prefill compute.
+    std::vector<ServingRequest> trace;
+    for (uint32_t i = 0; i < 16; ++i)
+        trace.push_back(request(i, 0, 4096, 64));
+
+    ServingEngineConfig cfg;
+    cfg.maxBatch = 32;
+
+    BlockLedger private_ledger(66, kBlockTokens);
+    const auto base =
+        ServingEngine(cfg, affineCosts(), &private_ledger).run(trace);
+    EXPECT_EQ(private_ledger.inUse(), 0u);
+    EXPECT_LE(base.peakActive, 2u);
+    EXPECT_GT(base.gateHolds, 0u);
+    EXPECT_EQ(base.prefixBlocksSaved, 0u);
+
+    for (auto &r : trace)
+        r.sharedPrefixTokens = 3968;
+    BlockLedger shared_ledger(66, kBlockTokens);
+    const auto shared =
+        ServingEngine(cfg, affineCosts(), &shared_ledger).run(trace);
+    EXPECT_EQ(shared_ledger.inUse(), 0u);
+
+    // The admitted-context gain: every request resident at once under
+    // the SAME 66-block budget (16 x 2 = 32 blocks), peak context
+    // 16 x 4160 tokens vs 2 x 4160 before.
+    EXPECT_EQ(shared.peakActive, 16u);
+    EXPECT_EQ(shared.peakBlocks, 32u);
+    EXPECT_EQ(shared.prefixBlocksSaved, 16u * 31u);
+    // Shared tokens are not re-prefilled: only the 128-token private
+    // tails pay chunks, and the fleet finishes much sooner.
+    EXPECT_LT(shared.prefillChunks, base.prefillChunks);
+    EXPECT_LT(shared.makespan, base.makespan);
+    EXPECT_EQ(shared.totalTokens, base.totalTokens);
+}
+
+TEST(ServingEngine, FullySharedPromptSkipsPrefillEntirely)
+{
+    ServingEngineConfig cfg;
+    std::vector<ServingRequest> trace = {request(0, 0, 4096, 8)};
+    trace[0].sharedPrefixTokens = 4096;
+    BlockLedger ledger(64, kBlockTokens);
+    const auto res = ServingEngine(cfg, affineCosts(), &ledger).run(trace);
+    EXPECT_EQ(res.prefillChunks, 0u);
+    EXPECT_EQ(res.totalTokens, 8u);
+    // Only the output tail is charged: ceil(4160/128)=33 minus 32
+    // whole shared blocks.
+    EXPECT_EQ(res.peakBlocks, 1u);
+    EXPECT_EQ(ledger.inUse(), 0u);
+}
+
 } // namespace
 } // namespace longsight

@@ -4,8 +4,10 @@
  * thresholds, strides, and value patterns through EVERY compiled-in
  * kernel backend (scalar, AVX2, NEON) and asserts per-element bit
  * identity of the outputs — concordance counts, survivor sets, PFU
- * bitmaps, scaled dot products, fused score-select top-k results, and
- * all *Multi variants against their single-query counterparts. This is
+ * bitmaps, scaled dot products, fused score-select top-k results,
+ * quantized-arena scoring (batchQuantDot*, batchInt8Dot*, and the
+ * fused quant/INT8 score-selects, flat and span-list), and all *Multi
+ * variants against their single-query counterparts. This is
  * the mechanized form of the SCF bit-exactness contract documented in
  * tensor/kernels.hh: survivor sets and scores must not depend on which
  * backend serves them.
@@ -34,6 +36,7 @@
 #include <vector>
 
 #include "tensor/kernels.hh"
+#include "tensor/quantized.hh"
 #include "tensor/sign_matrix.hh"
 #include "tensor/signbits.hh"
 #include "tensor/tensor.hh"
@@ -156,15 +159,42 @@ struct Outputs
     std::vector<size_t> multi_survivors;
     std::vector<uint64_t> sign_reduce;   // majority over rows [begin,end)
     std::vector<uint64_t> sign_reduce_q; // majority over the query rows
+    std::vector<float> quant_at;         // batchQuantDotAt over survivors
+    std::vector<float> quant_range;      // batchQuantDotRange [begin,end)
+    std::vector<int32_t> int8_at;        // batchInt8DotAt over survivors
+    std::vector<int32_t> int8_range;     // batchInt8DotRange [begin,end)
+    std::vector<ScoredIndex> quant_select;
+    size_t quant_select_n = 0;
+    size_t quant_select_survivors = 0;
+    std::vector<ScoredIndex> int8_select;
+    size_t int8_select_n = 0;
+    std::vector<ScoredIndex> quant_mspan; // span-list quant select
+    std::vector<size_t> quant_mspan_n;
+    std::vector<size_t> quant_mspan_surv;
+    std::vector<ScoredIndex> int8_mspan;  // span-list INT8 select
+    std::vector<size_t> int8_mspan_n;
+    std::vector<size_t> int8_mspan_cand;
 };
+
+bool
+scoredEq(const ScoredIndex &a, const ScoredIndex &b)
+{
+    return a.index == b.index &&
+           std::memcmp(&a.score, &b.score, sizeof(float)) == 0;
+}
 
 /** Run the full public kernel surface on the active backend. */
 Outputs
 runKernels(const SignBits &query, const std::vector<uint64_t> &qwords,
            const std::vector<uint64_t> &all_qwords,
            const std::vector<float> &all_queries, const SignMatrix &signs,
-           const Matrix &keys, size_t begin, size_t end, int threshold,
-           float scale, size_t k, size_t num_queries)
+           const Matrix &keys, const std::vector<int8_t> &kq,
+           const std::vector<float> &kscales,
+           const std::vector<int8_t> &q8s,
+           const std::vector<float> &q8_scales,
+           const std::vector<longsight::ScanSpan> &spans, size_t begin,
+           size_t end, int threshold, float scale, size_t k,
+           size_t num_queries)
 {
     const size_t span = end - begin;
     const size_t dim = signs.dim();
@@ -271,6 +301,98 @@ runKernels(const SignBits &query, const std::vector<uint64_t> &qwords,
     longsight::blockSignReduce(all_qwords.data(), wpr, num_queries,
                                o.sign_reduce_q.data());
 
+    g_case.stage = "batchQuantDotAt";
+    o.quant_at.assign(o.scan_ptr.size() ? o.scan_ptr.size() : 1, 0.0f);
+    if (!o.scan_ptr.empty())
+        longsight::batchQuantDotAt(all_queries.data(), kq.data(),
+                                   kscales.data(), dim, o.scan_ptr.data(),
+                                   o.scan_ptr.size(), scale,
+                                   o.quant_at.data());
+    o.quant_at.resize(o.scan_ptr.size());
+
+    g_case.stage = "batchQuantDotRange";
+    o.quant_range.assign(span ? span : 1, 0.0f);
+    if (span)
+        longsight::batchQuantDotRange(all_queries.data(), kq.data(),
+                                      kscales.data(), dim, begin, end,
+                                      scale, o.quant_range.data());
+    o.quant_range.resize(span);
+
+    g_case.stage = "batchInt8DotRange";
+    o.int8_range.assign(span ? span : 1, 0);
+    if (span)
+        longsight::batchInt8DotRange(q8s.data(), kq.data(), dim, begin,
+                                     end, o.int8_range.data());
+    o.int8_range.resize(span);
+
+    g_case.stage = "batchInt8DotAt";
+    o.int8_at.assign(o.scan_ptr.size() ? o.scan_ptr.size() : 1, 0);
+    if (!o.scan_ptr.empty())
+        longsight::batchInt8DotAt(q8s.data(), kq.data(), dim,
+                                  o.scan_ptr.data(), o.scan_ptr.size(),
+                                  o.int8_at.data());
+    o.int8_at.resize(o.scan_ptr.size());
+    // The integer dot is exact, so the indexed and range flavours must
+    // agree bit-for-bit on THIS backend, not just across backends.
+    for (size_t j = 0; j < o.int8_at.size(); ++j)
+        check(o.int8_at[j] == o.int8_range[o.scan_ptr[j] - begin],
+              "int8 dot at/range flavours disagree");
+
+    g_case.stage = "batchQuantScoreSelect";
+    size_t qcap = cap ? cap : 1;
+    o.quant_select.assign(qcap, ScoredIndex{0.0f, 0});
+    o.quant_select_n = longsight::batchQuantScoreSelect(
+        qwords.data(), signs, begin, end, threshold, all_queries.data(),
+        kq.data(), kscales.data(), dim, scale, k, o.quant_select.data(),
+        &o.quant_select_survivors);
+    o.quant_select.resize(o.quant_select_n);
+    check(o.quant_select_survivors == o.select_survivors,
+          "quant select survivors != scan survivors");
+
+    g_case.stage = "batchInt8ScoreSelect";
+    o.int8_select.assign(qcap, ScoredIndex{0.0f, 0});
+    o.int8_select_n = longsight::batchInt8ScoreSelect(
+        q8s.data(), q8_scales[0], kq.data(), kscales.data(), dim, begin,
+        end, scale, k, o.int8_select.data());
+    o.int8_select.resize(o.int8_select_n);
+
+    // Span-list flavours over an identity-mapped split of [begin, end):
+    // per query they must reproduce the flat drivers exactly.
+    g_case.stage = "batchQuantScoreSelectMultiSpans";
+    o.quant_mspan.assign(num_queries * out_stride, ScoredIndex{0.0f, 0});
+    o.quant_mspan_n.assign(num_queries, 0);
+    o.quant_mspan_surv.assign(num_queries, 0);
+    longsight::batchQuantScoreSelectMultiSpans(
+        all_qwords.data(), num_queries, signs, spans.data(), spans.size(),
+        threshold, all_queries.data(), dim, kq.data(), kscales.data(),
+        dim, scale, k, o.quant_mspan.data(), out_stride,
+        o.quant_mspan_n.data(), o.quant_mspan_surv.data(), nullptr);
+    check(o.quant_mspan_n[0] == o.quant_select_n &&
+              o.quant_mspan_surv[0] == o.quant_select_survivors,
+          "span-list quant select sizes != flat sizes (query 0)");
+    check(std::equal(o.quant_select.begin(), o.quant_select.end(),
+                     o.quant_mspan.begin(), scoredEq),
+          "span-list quant select entries != flat entries (query 0)");
+
+    g_case.stage = "batchInt8ScoreSelectMultiSpans";
+    o.int8_mspan.assign(num_queries * out_stride, ScoredIndex{0.0f, 0});
+    o.int8_mspan_n.assign(num_queries, 0);
+    o.int8_mspan_cand.assign(spans.size() ? spans.size() : 1, 0);
+    longsight::batchInt8ScoreSelectMultiSpans(
+        q8s.data(), q8_scales.data(), num_queries, kq.data(),
+        kscales.data(), dim, spans.data(), spans.size(), scale, k,
+        o.int8_mspan.data(), out_stride, o.int8_mspan_n.data(),
+        o.int8_mspan_cand.data());
+    o.int8_mspan_cand.resize(spans.size());
+    check(o.int8_mspan_n[0] == o.int8_select_n,
+          "span-list INT8 select size != flat size (query 0)");
+    check(std::equal(o.int8_select.begin(), o.int8_select.end(),
+                     o.int8_mspan.begin(), scoredEq),
+          "span-list INT8 select entries != flat entries (query 0)");
+    for (size_t si = 0; si < spans.size(); ++si)
+        check(o.int8_mspan_cand[si] == num_queries * spans[si].count,
+              "INT8 span candidate count != queries * span length");
+
     // Internal consistency on THIS backend: multi query 0 is the same
     // query the single-query calls used, so its outputs must match.
     g_case.stage = "multi-vs-single";
@@ -335,6 +457,28 @@ compareOutputs(const Outputs &ref, const Outputs &got)
             "block sign-reduce signature differs");
     checkEq(ref.sign_reduce_q, got.sign_reduce_q,
             "query-rows sign-reduce signature differs");
+    checkEq(ref.quant_at, got.quant_at, "quant dotAt scores differ");
+    checkEq(ref.quant_range, got.quant_range,
+            "quant dotRange scores differ");
+    checkEq(ref.int8_at, got.int8_at, "int8 dotAt values differ");
+    checkEq(ref.int8_range, got.int8_range, "int8 dotRange values differ");
+    check(ref.quant_select_n == got.quant_select_n &&
+              ref.quant_select_survivors == got.quant_select_survivors,
+          "quant score-select sizes differ");
+    checkEq(ref.quant_select, got.quant_select,
+            "quant score-select entries differ");
+    check(ref.int8_select_n == got.int8_select_n,
+          "int8 score-select sizes differ");
+    checkEq(ref.int8_select, got.int8_select,
+            "int8 score-select entries differ");
+    checkEq(ref.quant_mspan_n, got.quant_mspan_n,
+            "span-list quant select sizes differ");
+    checkEq(ref.quant_mspan_surv, got.quant_mspan_surv,
+            "span-list quant survivor counts differ");
+    checkEq(ref.int8_mspan_n, got.int8_mspan_n,
+            "span-list int8 select sizes differ");
+    checkEq(ref.int8_mspan_cand, got.int8_mspan_cand,
+            "span-list int8 candidate counts differ");
     // Multi outputs are contracted per query up to counts[q] /
     // out_sizes[q]; beyond that is scratch (the SIMD backends'
     // branchless store-then-advance emission writes one slot past the
@@ -353,12 +497,20 @@ compareOutputs(const Outputs &ref, const Outputs &got)
                   ref.multi_select.begin() + q * out_stride +
                       ref.multi_select_n[q],
                   got.multi_select.begin() + q * out_stride,
-                  [](const ScoredIndex &a, const ScoredIndex &b) {
-                      return a.index == b.index &&
-                             std::memcmp(&a.score, &b.score,
-                                         sizeof(float)) == 0;
-                  }),
+                  scoredEq),
               "multi score-select entries differ");
+        check(std::equal(ref.quant_mspan.begin() + q * out_stride,
+                         ref.quant_mspan.begin() + q * out_stride +
+                             ref.quant_mspan_n[q],
+                         got.quant_mspan.begin() + q * out_stride,
+                         scoredEq),
+              "span-list quant select entries differ");
+        check(std::equal(ref.int8_mspan.begin() + q * out_stride,
+                         ref.int8_mspan.begin() + q * out_stride +
+                             ref.int8_mspan_n[q],
+                         got.int8_mspan.begin() + q * out_stride,
+                         scoredEq),
+              "span-list int8 select entries differ");
     }
 }
 
@@ -407,6 +559,36 @@ runCase(const uint8_t *data, size_t size)
     std::vector<uint64_t> qwords(all_qwords.begin(),
                                  all_qwords.begin() + wpr);
 
+    // INT8 arenas for the quantized-scoring stages: per-row symmetric
+    // key quantization (the KvCache::enableKeyQuantization scheme) and
+    // per-query quantization for the estimation kernels.
+    std::vector<int8_t> kq(rows * dim);
+    std::vector<float> kscales(rows ? rows : 1, 1.0f);
+    for (size_t r = 0; r < rows; ++r)
+        longsight::quantizeInt8Into(keys.row(r), dim, kq.data() + r * dim,
+                                    &kscales[r]);
+    std::vector<int8_t> q8s(num_queries * dim);
+    std::vector<float> q8_scales(num_queries, 1.0f);
+    for (size_t q = 0; q < num_queries; ++q)
+        longsight::quantizeInt8Into(all_queries.data() + q * dim, dim,
+                                    q8s.data() + q * dim, &q8_scales[q]);
+
+    // Identity-mapped span split of [begin, end) — up to three uneven
+    // pieces, so the span-list drivers' stitching is exercised while
+    // staying comparable to the flat drivers.
+    std::vector<longsight::ScanSpan> spans;
+    {
+        size_t at = begin;
+        while (at < end) {
+            const size_t left = end - at;
+            size_t take = spans.size() >= 2
+                ? left
+                : std::min(left, in.range(1, left));
+            spans.push_back(longsight::ScanSpan{at, take, at});
+            at += take;
+        }
+    }
+
     const KernelBackend prev = longsight::activeKernelBackend();
     Outputs ref;
     bool have_ref = false;
@@ -414,7 +596,8 @@ runCase(const uint8_t *data, size_t size)
         g_case.backend = longsight::kernelBackendName(b);
         longsight::setKernelBackend(b);
         Outputs got = runKernels(query, qwords, all_qwords, all_queries,
-                                 signs, keys, begin, end, threshold,
+                                 signs, keys, kq, kscales, q8s,
+                                 q8_scales, spans, begin, end, threshold,
                                  scale, k, num_queries);
         if (!have_ref) {
             ref = std::move(got);

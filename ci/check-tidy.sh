@@ -1,29 +1,40 @@
 #!/usr/bin/env bash
-# Advisory clang-tidy gate (non-blocking in CI).
+# clang-tidy gate, two profiles:
 #
-# Runs the checked-in .clang-tidy profile over the project sources
-# using the compilation database the build exports unconditionally
-# (CMAKE_EXPORT_COMPILE_COMMANDS is ON in CMakeLists.txt). The gate is
-# advisory: findings are reported and uploaded as a CI artifact, but
-# the exit status is always 0 when clang-tidy ran — tidy versions skew
-# across distros and a blocking gate would make CI green depend on the
-# runner image. The BLOCKING contract checks are tools/lint/ (see
-# `cmake --build build --target lint`).
+#   ci/check-tidy.sh [build-dir] [file...]             advisory (full profile)
+#   ci/check-tidy.sh --blocking [build-dir] [file...]  blocking (curated subset)
 #
-# When clang-tidy is not installed (e.g. a gcc-only container), the
-# script prints a notice and exits 0 so local pipelines do not break.
+# Advisory mode runs the checked-in .clang-tidy profile over the
+# project sources using the compilation database the build exports
+# unconditionally (CMAKE_EXPORT_COMPILE_COMMANDS is ON). Findings are
+# reported and uploaded as a CI artifact, but the exit status is
+# always 0 when clang-tidy ran — tidy output skews across versions
+# and a blocking full profile would make CI green depend on the
+# runner image.
 #
-# Usage: ci/check-tidy.sh [build-dir] [file...]
-#   build-dir defaults to ./build; files default to all tracked .cc
-#   under src/ and tools/.
+# Blocking mode restricts to a curated subset whose findings are
+# stable across tidy versions and map to real defects:
+#   bugprone-*, concurrency-*
+# Unwaived findings fail the run. Waivers live in ci/tidy-waivers.txt
+# (committed, reviewed); see that file for the grammar. Unused waivers
+# are reported so stale entries get pruned.
+#
+# When clang-tidy is not installed (e.g. a gcc-only container), both
+# modes print a notice and exit 0 so local pipelines do not break.
 set -u
 cd "$(dirname "$0")/.."
+
+blocking=0
+if [ "${1:-}" = "--blocking" ]; then
+    blocking=1
+    shift
+fi
 
 build_dir="${1:-build}"
 shift || true
 
 if ! command -v clang-tidy > /dev/null 2>&1; then
-    echo "check-tidy: clang-tidy not installed; skipping (advisory gate)"
+    echo "check-tidy: clang-tidy not installed; skipping"
     exit 0
 fi
 
@@ -41,18 +52,75 @@ else
 fi
 
 echo "check-tidy: $(clang-tidy --version | head -n 2 | tail -n 1)"
-warnings=0
+
+if [ "$blocking" -eq 0 ]; then
+    warnings=0
+    for f in "${files[@]}"; do
+        out=$(clang-tidy -p "$build_dir" --quiet "$f" 2> /dev/null)
+        if [ -n "$out" ]; then
+            printf '%s\n' "$out"
+            warnings=$((warnings + 1))
+        fi
+    done
+    if [ "$warnings" -ne 0 ]; then
+        echo "check-tidy: findings in $warnings file(s)" \
+            "(advisory, not blocking)"
+    else
+        echo "check-tidy: clean (${#files[@]} files)"
+    fi
+    exit 0
+fi
+
+# ---- blocking mode ---------------------------------------------------------
+
+subset='-*,bugprone-*,concurrency-*'
+waivers_file="ci/tidy-waivers.txt"
+declare -A waivers used
+if [ -f "$waivers_file" ]; then
+    while IFS= read -r line; do
+        line="${line%%#*}"
+        line="$(printf '%s' "$line" | tr -d '[:space:]')"
+        [ -n "$line" ] && waivers["$line"]=1
+    done < "$waivers_file"
+fi
+
+fail=0
 for f in "${files[@]}"; do
-    out=$(clang-tidy -p "$build_dir" --quiet "$f" 2> /dev/null)
-    if [ -n "$out" ]; then
-        printf '%s\n' "$out"
-        warnings=$((warnings + 1))
+    out=$(clang-tidy -p "$build_dir" --quiet \
+        --checks="$subset" --warnings-as-errors='' "$f" 2> /dev/null)
+    [ -z "$out" ] && continue
+    # Finding lines look like: path:LINE:COL: warning: msg [check-name]
+    while IFS= read -r line; do
+        case "$line" in
+            *" warning: "*"["*"]")
+                check="${line##*\[}"
+                check="${check%]}"
+                file="${line%%:*}"
+                rel="${file#"$PWD"/}"
+                if [ -n "${waivers[$check]:-}" ]; then
+                    used["$check"]=1
+                elif [ -n "${waivers[$rel:$check]:-}" ]; then
+                    used["$rel:$check"]=1
+                else
+                    printf '%s\n' "$line"
+                    fail=$((fail + 1))
+                fi
+                ;;
+        esac
+    done <<< "$out"
+done
+
+for w in "${!waivers[@]}"; do
+    if [ -z "${used[$w]:-}" ]; then
+        echo "check-tidy: note: unused waiver '$w' (prune it?)"
     fi
 done
 
-if [ "$warnings" -ne 0 ]; then
-    echo "check-tidy: findings in $warnings file(s) (advisory, not blocking)"
-else
-    echo "check-tidy: clean (${#files[@]} files)"
+if [ "$fail" -ne 0 ]; then
+    echo "check-tidy: $fail unwaived blocking finding(s)" \
+        "(subset: bugprone-*, concurrency-*)." \
+        "Fix them or add a reviewed waiver to $waivers_file" >&2
+    exit 1
 fi
+echo "check-tidy: blocking subset clean (${#files[@]} files)"
 exit 0

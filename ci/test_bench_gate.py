@@ -1,0 +1,245 @@
+#!/usr/bin/env python3
+"""Self-test for the perf-regression gate (ci/bench_gate.py).
+
+The gate itself guards every other perf contract in CI, so its own
+failure modes are pinned here with synthetic baseline/fresh JSON
+pairs: the >10% throughput-drop band, the >15% tail-latency band,
+counter drift under `exact`, identity booleans under `true`, the
+1e-4 `close` tolerance, and both missing-metric directions. Boundary
+values sit exactly ON the band edges so a silent tolerance change
+fails this suite before it waves a real regression through.
+
+Runs as the tier-1 ctest entry `ci_bench_gate_selftest`.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.realpath(__file__)))
+import bench_gate  # noqa: E402
+
+
+def metric(policy, base, fresh, path="m"):
+    return bench_gate.check_metric(path, policy, {"m": base}, {"m": fresh})
+
+
+class ThroughputBandTest(unittest.TestCase):
+    """min_ratio 0.90: fail on a >10% drop, pass anything milder."""
+
+    P = bench_gate.THROUGHPUT
+
+    def test_equal_passes(self):
+        self.assertIsNone(metric(self.P, 100.0, 100.0))
+
+    def test_improvement_passes(self):
+        self.assertIsNone(metric(self.P, 100.0, 140.0))
+
+    def test_nine_percent_drop_passes(self):
+        self.assertIsNone(metric(self.P, 100.0, 91.0))
+
+    def test_exactly_ten_percent_drop_passes(self):
+        # The band edge is inclusive: fresh == 0.90 * baseline holds.
+        self.assertIsNone(metric(self.P, 100.0, 90.0))
+
+    def test_eleven_percent_drop_fails(self):
+        err = metric(self.P, 100.0, 89.0)
+        self.assertIsNotNone(err)
+        self.assertIn("drop", err)
+
+    def test_non_numeric_fails(self):
+        self.assertIsNotNone(metric(self.P, "fast", 90.0))
+
+
+class TailLatencyBandTest(unittest.TestCase):
+    """max_ratio 1.15: fail on a >15% regression."""
+
+    P = bench_gate.TAIL_LATENCY
+
+    def test_equal_passes(self):
+        self.assertIsNone(metric(self.P, 20.0, 20.0))
+
+    def test_improvement_passes(self):
+        self.assertIsNone(metric(self.P, 20.0, 12.0))
+
+    def test_fourteen_percent_regression_passes(self):
+        self.assertIsNone(metric(self.P, 100.0, 114.0))
+
+    def test_nominal_band_edge_is_conservative(self):
+        # 1.15 * 100.0 rounds DOWN in binary floating point, so an
+        # exactly-15% regression fails. Conservative is the right
+        # side to land on; this pins it so a "fix" that widens the
+        # band past 15% shows up here.
+        self.assertIsNotNone(metric(self.P, 100.0, 115.0))
+
+    def test_sixteen_percent_regression_fails(self):
+        err = metric(self.P, 100.0, 116.0)
+        self.assertIsNotNone(err)
+        self.assertIn("regression", err)
+
+
+class ExactAndTruePolicyTest(unittest.TestCase):
+    def test_counter_match_passes(self):
+        self.assertIsNone(metric(bench_gate.EXACT, 4242, 4242))
+
+    def test_counter_drift_fails(self):
+        err = metric(bench_gate.EXACT, 4242, 4243)
+        self.assertIsNotNone(err)
+        self.assertIn("!= baseline", err)
+
+    def test_string_echo_drift_fails(self):
+        self.assertIsNotNone(metric(bench_gate.EXACT, "scf", "int8"))
+
+    def test_identity_true_passes(self):
+        self.assertIsNone(metric(bench_gate.TRUE, None, True))
+
+    def test_identity_false_fails(self):
+        self.assertIsNotNone(metric(bench_gate.TRUE, None, False))
+
+    def test_identity_truthy_nonbool_fails(self):
+        # 1 == True in Python; the gate must demand the literal.
+        self.assertIsNotNone(metric(bench_gate.TRUE, None, "true"))
+
+
+class ClosePolicyTest(unittest.TestCase):
+    def test_print_wobble_passes(self):
+        self.assertIsNone(metric(bench_gate.CLOSE, 0.731, 0.73100004))
+
+    def test_real_drift_fails(self):
+        self.assertIsNotNone(metric(bench_gate.CLOSE, 0.731, 0.733))
+
+    def test_zero_baseline_uses_absolute_floor(self):
+        self.assertIsNotNone(metric(bench_gate.CLOSE, 0.0, 0.5))
+        self.assertIsNone(metric(bench_gate.CLOSE, 0.0, 0.0))
+
+
+class MissingMetricTest(unittest.TestCase):
+    def test_missing_from_fresh_fails(self):
+        err = bench_gate.check_metric("a.b", bench_gate.EXACT,
+                                      {"a": {"b": 1}}, {"a": {}})
+        self.assertIsNotNone(err)
+        self.assertIn("missing from fresh", err)
+
+    def test_missing_from_baseline_fails(self):
+        err = bench_gate.check_metric("a.b", bench_gate.EXACT,
+                                      {"a": {}}, {"a": {"b": 1}})
+        self.assertIsNotNone(err)
+        self.assertIn("missing from baseline", err)
+
+    def test_true_policy_needs_no_baseline(self):
+        err = bench_gate.check_metric("a.b", bench_gate.TRUE,
+                                      {}, {"a": {"b": True}})
+        self.assertIsNone(err)
+
+    def test_dotted_path_through_non_dict_fails(self):
+        err = bench_gate.check_metric("a.b.c", bench_gate.EXACT,
+                                      {"a": {"b": {"c": 1}}},
+                                      {"a": {"b": 7}})
+        self.assertIsNotNone(err)
+        self.assertIn("missing from fresh", err)
+
+
+class CheckFileTest(unittest.TestCase):
+    """End-to-end over real files with a synthetic policy entry."""
+
+    NAME = "BENCH_selftest.json"
+    POLICY = {
+        "tokens_per_s": bench_gate.THROUGHPUT,
+        "p99_ms": bench_gate.TAIL_LATENCY,
+        "preemptions": bench_gate.EXACT,
+        "deterministic": bench_gate.TRUE,
+    }
+    GOOD = {"tokens_per_s": 1000.0, "p99_ms": 40.0,
+            "preemptions": 17, "deterministic": True}
+
+    def setUp(self):
+        self._saved = dict(bench_gate.POLICIES)
+        bench_gate.POLICIES[self.NAME] = self.POLICY
+        self.tmp = tempfile.TemporaryDirectory()
+        self.base_dir = os.path.join(self.tmp.name, "baseline")
+        self.fresh_dir = os.path.join(self.tmp.name, "fresh")
+        os.makedirs(self.base_dir)
+        os.makedirs(self.fresh_dir)
+
+    def tearDown(self):
+        bench_gate.POLICIES.clear()
+        bench_gate.POLICIES.update(self._saved)
+        self.tmp.cleanup()
+
+    def write(self, directory, payload):
+        with open(os.path.join(directory, self.NAME), "w") as fp:
+            json.dump(payload, fp)
+
+    def run_gate(self, fresh):
+        self.write(self.base_dir, self.GOOD)
+        self.write(self.fresh_dir, fresh)
+        return bench_gate.check_file(self.NAME, self.base_dir,
+                                     self.fresh_dir)
+
+    def test_identical_run_passes(self):
+        self.assertEqual(self.run_gate(dict(self.GOOD)), [])
+
+    def test_throughput_collapse_fails(self):
+        errs = self.run_gate({**self.GOOD, "tokens_per_s": 500.0})
+        self.assertEqual(len(errs), 1)
+        self.assertIn("tokens_per_s", errs[0])
+
+    def test_tail_blowup_fails(self):
+        errs = self.run_gate({**self.GOOD, "p99_ms": 80.0})
+        self.assertEqual(len(errs), 1)
+        self.assertIn("p99_ms", errs[0])
+
+    def test_counter_drift_fails(self):
+        errs = self.run_gate({**self.GOOD, "preemptions": 18})
+        self.assertEqual(len(errs), 1)
+        self.assertIn("preemptions", errs[0])
+
+    def test_determinism_break_fails(self):
+        errs = self.run_gate({**self.GOOD, "deterministic": False})
+        self.assertEqual(len(errs), 1)
+        self.assertIn("deterministic", errs[0])
+
+    def test_multiple_failures_all_reported(self):
+        errs = self.run_gate({"tokens_per_s": 1.0, "p99_ms": 999.0,
+                              "preemptions": 0, "deterministic": False})
+        self.assertEqual(len(errs), 4)
+
+    def test_missing_baseline_file_fails(self):
+        self.write(self.fresh_dir, self.GOOD)
+        errs = bench_gate.check_file(self.NAME, self.base_dir,
+                                     self.fresh_dir)
+        self.assertEqual(len(errs), 1)
+        self.assertIn("no baseline", errs[0])
+
+    def test_missing_fresh_file_fails(self):
+        self.write(self.base_dir, self.GOOD)
+        errs = bench_gate.check_file(self.NAME, self.base_dir,
+                                     self.fresh_dir)
+        self.assertEqual(len(errs), 1)
+        self.assertIn("no fresh output", errs[0])
+
+
+class ManifestSanityTest(unittest.TestCase):
+    """The committed policy manifest itself stays wall-clock-free."""
+
+    WALL_CLOCK_SUFFIXES = ("_s", "flat_s", "paged_s")
+    BANNED = {"tokens_per_s_host", "scan_keys_per_s"}
+
+    def test_policies_are_known_kinds(self):
+        kinds = {"exact", "true", "close", "min_ratio", "max_ratio"}
+        for name, policy in bench_gate.POLICIES.items():
+            for path, p in policy.items():
+                self.assertIn(p[0], kinds, f"{name}:{path}")
+
+    def test_ratio_policies_carry_a_band(self):
+        for name, policy in bench_gate.POLICIES.items():
+            for path, p in policy.items():
+                if p[0] in ("min_ratio", "max_ratio"):
+                    self.assertEqual(len(p), 2, f"{name}:{path}")
+                    self.assertGreater(p[1], 0.0, f"{name}:{path}")
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

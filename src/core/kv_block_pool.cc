@@ -8,19 +8,6 @@
 
 namespace longsight {
 
-/** Tiny scoped spinlock: block alloc/release critical sections are a
- *  handful of vector ops, far shorter than a futex round trip. */
-struct KvBlockPool::SpinGuard
-{
-    explicit SpinGuard(std::atomic_flag &f) : flag(f)
-    {
-        while (flag.test_and_set(std::memory_order_acquire)) {
-        }
-    }
-    ~SpinGuard() { flag.clear(std::memory_order_release); }
-    std::atomic_flag &flag;
-};
-
 KvBlockPool::KvBlockPool(uint32_t head_dim, uint32_t block_tokens,
                          uint32_t num_blocks, uint32_t hbm_budget_blocks)
     : headDim_(head_dim), blockTokens_(block_tokens),
@@ -222,12 +209,14 @@ Tier
 KvBlockPool::tier(uint32_t block) const
 {
     LS_ASSERT(block < numBlocks_, "tier block out of range");
+    SpinGuard g(lock_);
     return static_cast<Tier>(tier_[block]);
 }
 
 uint32_t
 KvBlockPool::hbmResident() const
 {
+    SpinGuard g(lock_);
     uint32_t n = 0;
     for (uint32_t b = 0; b < numBlocks_; ++b)
         if (tier_[b] == static_cast<uint8_t>(Tier::Hbm))
@@ -262,26 +251,34 @@ KvBlockPool::rebalance()
                   return a.block < b.block;
               });
 
+    // Reacquire to apply: tier_, the promotion/eviction counters, and
+    // hbmBudget_ are all guarded state, and concurrent readers
+    // (tier(), hbmResident(), the counter accessors) must never see a
+    // half-applied re-ranking.
     uint32_t changes = 0;
-    for (size_t i = 0; i < used.size(); ++i) {
-        const uint32_t b = used[i].block;
-        const uint8_t want = i < hbmBudget_
-                                 ? static_cast<uint8_t>(Tier::Hbm)
-                                 : static_cast<uint8_t>(Tier::Expander);
-        if (tier_[b] != want) {
-            ++changes;
-            if (want == static_cast<uint8_t>(Tier::Hbm))
-                ++promotions_;
-            else
-                ++evictions_;
-            tier_[b] = want;
+    {
+        SpinGuard g(lock_);
+        for (size_t i = 0; i < used.size(); ++i) {
+            const uint32_t b = used[i].block;
+            const uint8_t want = i < hbmBudget_
+                                     ? static_cast<uint8_t>(Tier::Hbm)
+                                     : static_cast<uint8_t>(Tier::Expander);
+            if (tier_[b] != want) {
+                ++changes;
+                if (want == static_cast<uint8_t>(Tier::Hbm))
+                    ++promotions_;
+                else
+                    ++evictions_;
+                tier_[b] = want;
+            }
+            // Age the popularity signal so a block must keep surviving
+            // scans to keep its HBM slot.
+            survivors_[b].store(used[i].survivors / 2,
+                                std::memory_order_relaxed);
+            scanned_[b].store(
+                scanned_[b].load(std::memory_order_relaxed) / 2,
+                std::memory_order_relaxed);
         }
-        // Age the popularity signal so a block must keep surviving
-        // scans to keep its HBM slot.
-        survivors_[b].store(used[i].survivors / 2,
-                            std::memory_order_relaxed);
-        scanned_[b].store(scanned_[b].load(std::memory_order_relaxed) / 2,
-                          std::memory_order_relaxed);
     }
     return changes;
 }

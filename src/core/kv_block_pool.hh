@@ -17,12 +17,13 @@
  * blocks whose keys keep surviving the concordance filter are the
  * ones the NMA keeps fetching, so they earn the HBM window.
  *
- * Thread safety: block allocation / release / refcounts are guarded
- * by a short spinlock (decode lanes append concurrently); scan
- * counters are relaxed atomics. Placement (which physical block a
- * lane draws) may vary run to run under concurrency, but every
- * consumer indexes through block tables, so logical outputs never
- * depend on placement.
+ * Thread safety: block allocation / release / refcounts, residency
+ * state, and the prefix registry are guarded by lock_ (an annotated
+ * SpinLock; the LS_GUARDED_BY declarations below are enforced by the
+ * clang -Wthread-safety CI rows); scan counters are relaxed atomics.
+ * Placement (which physical block a lane draws) may vary run to run
+ * under concurrency, but every consumer indexes through block tables,
+ * so logical outputs never depend on placement.
  */
 
 #ifndef LONGSIGHT_CORE_KV_BLOCK_POOL_HH
@@ -36,6 +37,8 @@
 
 #include "tensor/sign_matrix.hh"
 #include "tensor/tensor.hh"
+#include "util/annotations.hh"
+#include "util/sync.hh"
 
 namespace longsight {
 
@@ -136,8 +139,16 @@ class KvBlockPool
                     uint64_t survivors);
 
     Tier tier(uint32_t block) const;
-    uint32_t hbmBudget() const { return hbmBudget_; }
-    void setHbmBudget(uint32_t blocks) { hbmBudget_ = blocks; }
+    uint32_t hbmBudget() const
+    {
+        SpinGuard g(lock_);
+        return hbmBudget_;
+    }
+    void setHbmBudget(uint32_t blocks)
+    {
+        SpinGuard g(lock_);
+        hbmBudget_ = blocks;
+    }
     uint32_t hbmResident() const;
 
     /**
@@ -149,8 +160,16 @@ class KvBlockPool
      */
     uint32_t rebalance();
 
-    uint64_t promotions() const { return promotions_; }
-    uint64_t evictions() const { return evictions_; }
+    uint64_t promotions() const
+    {
+        SpinGuard g(lock_);
+        return promotions_;
+    }
+    uint64_t evictions() const
+    {
+        SpinGuard g(lock_);
+        return evictions_;
+    }
     uint64_t survivorRows(uint32_t block) const;
     uint64_t scannedRows(uint32_t block) const;
 
@@ -175,18 +194,30 @@ class KvBlockPool
     /** Drop a published prefix's registry pins. */
     void unpublishPrefix(uint64_t hash);
 
-    uint64_t prefixHits() const { return prefixHits_; }
-    uint64_t prefixMisses() const { return prefixMisses_; }
+    uint64_t prefixHits() const
+    {
+        SpinGuard g(lock_);
+        return prefixHits_;
+    }
+    uint64_t prefixMisses() const
+    {
+        SpinGuard g(lock_);
+        return prefixMisses_;
+    }
     /** Tokens served from shared pages instead of recomputed. */
-    uint64_t prefixSharedTokens() const { return prefixSharedTokens_; }
+    uint64_t prefixSharedTokens() const
+    {
+        SpinGuard g(lock_);
+        return prefixSharedTokens_;
+    }
 
   private:
-    struct SpinGuard;
-
     uint32_t headDim_;
     uint32_t blockTokens_;
     uint32_t numBlocks_;
-    uint32_t hbmBudget_;
+    // guarded_by is late-parsed, so the forward reference to lock_ is
+    // fine; the declaration stays here to match the ctor init order.
+    uint32_t hbmBudget_ LS_GUARDED_BY(lock_);
 
     Matrix keys_;
     Matrix values_;
@@ -195,20 +226,23 @@ class KvBlockPool
     std::vector<int8_t> quantData_;
     std::vector<float> quantScales_;
 
-    mutable std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
-    std::vector<uint32_t> free_; //!< LIFO free list (guarded by lock_)
-    std::vector<uint32_t> refs_; //!< per-block refcount (guarded)
-    std::vector<uint8_t> tier_;  //!< per-block Tier
+    mutable SpinLock lock_;
+    //!< LIFO free list
+    std::vector<uint32_t> free_ LS_GUARDED_BY(lock_);
+    //!< per-block refcount
+    std::vector<uint32_t> refs_ LS_GUARDED_BY(lock_);
+    //!< per-block Tier
+    std::vector<uint8_t> tier_ LS_GUARDED_BY(lock_);
 
     std::unique_ptr<std::atomic<uint64_t>[]> scanned_;
     std::unique_ptr<std::atomic<uint64_t>[]> survivors_;
-    uint64_t promotions_ = 0;
-    uint64_t evictions_ = 0;
+    uint64_t promotions_ LS_GUARDED_BY(lock_) = 0;
+    uint64_t evictions_ LS_GUARDED_BY(lock_) = 0;
 
-    std::map<uint64_t, std::vector<uint32_t>> prefixes_;
-    uint64_t prefixHits_ = 0;
-    uint64_t prefixMisses_ = 0;
-    uint64_t prefixSharedTokens_ = 0;
+    std::map<uint64_t, std::vector<uint32_t>> prefixes_ LS_GUARDED_BY(lock_);
+    uint64_t prefixHits_ LS_GUARDED_BY(lock_) = 0;
+    uint64_t prefixMisses_ LS_GUARDED_BY(lock_) = 0;
+    uint64_t prefixSharedTokens_ LS_GUARDED_BY(lock_) = 0;
 };
 
 } // namespace longsight

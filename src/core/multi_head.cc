@@ -57,6 +57,7 @@ MultiHeadLongSight::computeInto(const Matrix &queries,
     // result is bit-identical for any thread count.
     ThreadPool::global().parallelForEach(0, numKvHeads(), [&](size_t h) {
         // Annotated directly: pool dispatch is opaque to the lint walk.
+        LS_PARALLEL_BODY();
         LS_HOT_PATH();
         LS_DETERMINISTIC();
         LS_NO_LOCK();

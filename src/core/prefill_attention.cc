@@ -265,6 +265,7 @@ BlockSparsePrefill::advance(const Matrix &queries, const Matrix &keys,
         0, tasks_.size(), [&](size_t ti) {
             // Annotated directly: thread-pool dispatch is opaque to
             // the call-graph walk, so the body is its own root.
+            LS_PARALLEL_BODY();
             LS_HOT_PATH();
             LS_DETERMINISTIC();
             LS_NO_LOCK();
@@ -311,6 +312,7 @@ densePrefillReference(const Matrix &queries, const Matrix &keys,
     LS_ASSERT(out.rows() >= upTo && out.cols() == values.cols(),
               "densePrefillReference output too small");
     ThreadPool::global().parallelForEach(0, upTo, [&](size_t i) {
+        LS_PARALLEL_BODY();
         LS_HOT_PATH();
         LS_DETERMINISTIC();
         LS_NO_LOCK();

@@ -98,6 +98,7 @@ Dcc::processNext()
         if (!by_package[pkg].empty())
             active.push_back(pkg);
     ThreadPool::global().parallelFor(0, active.size(), [&](size_t pi) {
+        LS_PARALLEL_BODY();
         const uint32_t pkg = active[pi];
         for (size_t i : by_package[pkg])
             results[i] = nmas_[pkg].process(dispatch,

@@ -190,15 +190,16 @@ BlockLedger::privateBlocksFor(uint64_t tokens,
 bool
 BlockLedger::canReserve(uint64_t tokens) const
 {
-    return inUse_ + blocksFor(tokens) <= budget_;
+    return canReserve(tokens, 0);
 }
 
 bool
 BlockLedger::canReserve(uint64_t tokens,
                         uint64_t shared_prefix_tokens) const
 {
-    return inUse_ + privateBlocksFor(tokens, shared_prefix_tokens) <=
-        budget_;
+    const uint64_t need = privateBlocksFor(tokens, shared_prefix_tokens);
+    MutexLock lock(mu_);
+    return inUse_ + need <= budget_;
 }
 
 void
@@ -211,6 +212,7 @@ void
 BlockLedger::reserve(uint64_t tokens, uint64_t shared_prefix_tokens)
 {
     const uint64_t need = privateBlocksFor(tokens, shared_prefix_tokens);
+    MutexLock lock(mu_);
     LS_ASSERT(inUse_ + need <= budget_, "block budget exceeded: ",
               inUse_, " + ", need, " > ", budget_);
     inUse_ += need;
@@ -227,6 +229,7 @@ void
 BlockLedger::release(uint64_t tokens, uint64_t shared_prefix_tokens)
 {
     const uint64_t need = privateBlocksFor(tokens, shared_prefix_tokens);
+    MutexLock lock(mu_);
     LS_ASSERT(need <= inUse_, "releasing more blocks than reserved");
     inUse_ -= need;
 }

@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "drex/layout.hh"
+#include "util/annotations.hh"
+#include "util/sync.hh"
 
 namespace longsight {
 
@@ -141,6 +143,12 @@ class PartitionManager
  * budget was never exceeded. Construct from a PartitionManager to use
  * the device's real row budget and per-head paging, or standalone for
  * unit tests.
+ *
+ * Thread safety: the running account (inUse_, peak_) is guarded by an
+ * internal mutex, so concurrent serving lanes can reserve/release
+ * against one ledger. Note canReserve() followed by reserve() is not
+ * atomic across the pair — admission paths that race must re-check via
+ * reserve()'s budget assertion or serialize admissions externally.
  */
 class BlockLedger
 {
@@ -182,17 +190,30 @@ class BlockLedger
     void release(uint64_t tokens, uint64_t shared_prefix_tokens);
 
     uint64_t budget() const { return budget_; }
-    uint64_t inUse() const { return inUse_; }
-    uint64_t peakInUse() const { return peak_; }
-    uint64_t freeBlocks() const { return budget_ - inUse_; }
+    uint64_t inUse() const
+    {
+        MutexLock lock(mu_);
+        return inUse_;
+    }
+    uint64_t peakInUse() const
+    {
+        MutexLock lock(mu_);
+        return peak_;
+    }
+    uint64_t freeBlocks() const
+    {
+        MutexLock lock(mu_);
+        return budget_ - inUse_;
+    }
 
   private:
     const PartitionManager *pm_ = nullptr; //!< null when standalone
     uint32_t blockTokens_;
     uint32_t numKvHeads_;
     uint64_t budget_;
-    uint64_t inUse_ = 0;
-    uint64_t peak_ = 0;
+    mutable Mutex mu_;
+    uint64_t inUse_ LS_GUARDED_BY(mu_) = 0;
+    uint64_t peak_ LS_GUARDED_BY(mu_) = 0;
 };
 
 } // namespace longsight

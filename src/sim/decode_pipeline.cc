@@ -92,6 +92,7 @@ DecodePipeline::prefill(size_t n)
     // and its KvCache, so groups generate independently.
     ThreadPool::global().parallelFor(
         0, workloads_.size(), [&](size_t idx) {
+            LS_PARALLEL_BODY();
             HeadWorkload &wl = workloads_[idx];
             wl.generate(n);
             gpuCaches_[idx]->appendAll(wl.keys(), wl.values());
@@ -115,6 +116,7 @@ DecodePipeline::prefillChunk(size_t n)
     // monolithic prefill build identical contexts.
     ThreadPool::global().parallelFor(
         0, workloads_.size(), [&](size_t idx) {
+            LS_PARALLEL_BODY();
             HeadWorkload &wl = workloads_[idx];
             for (size_t t = 0; t < n; ++t) {
                 wl.appendToken();
@@ -138,6 +140,7 @@ DecodePipeline::advancePrefillAttention(bool flush)
     // serially), writing only its own output matrix.
     ThreadPool::global().parallelFor(
         0, workloads_.size(), [&](size_t idx) {
+            LS_PARALLEL_BODY();
             HeadWorkload &wl = workloads_[idx];
             const size_t n = wl.keys().rows();
             Matrix &out = prefillOut_[idx];
@@ -201,6 +204,7 @@ DecodePipeline::maybeTrainItq()
     // seed derived only from (layer, head), so groups are independent.
     ThreadPool::global().parallelFor(
         0, workloads_.size(), [&](size_t idx) {
+            LS_PARALLEL_BODY();
             const uint32_t l =
                 static_cast<uint32_t>(idx) / cfg_.numKvHeads;
             const uint32_t h =
@@ -236,6 +240,7 @@ DecodePipeline::flushEligibleGroups()
     // serializes only the store lookup, so the copies overlap.
     ThreadPool::global().parallelFor(
         0, workloads_.size(), [&](size_t idx) {
+            LS_PARALLEL_BODY();
             const uint32_t l =
                 static_cast<uint32_t>(idx) / cfg_.numKvHeads;
             const uint32_t h =
@@ -327,6 +332,7 @@ DecodePipeline::decodeStepBatch(const std::vector<DecodePipeline *> &batch,
             0, nreq * shape.numKvHeads, [&](size_t item) {
                 // Annotated directly: thread-pool dispatch is opaque
                 // to the call-graph walk, so the body is its own root.
+                LS_PARALLEL_BODY();
                 LS_HOT_PATH();
                 LS_DETERMINISTIC();
                 LS_NO_LOCK();
@@ -353,6 +359,7 @@ DecodePipeline::stepAppendAndFlush(PipelineStepResult &result)
     // 1. New token: every (layer, head) appends one KV pair.
     ThreadPool::global().parallelForEach(
         0, workloads_.size(), [&](size_t idx) {
+            LS_PARALLEL_BODY();
             LS_HOT_PATH();
             LS_DETERMINISTIC();
             HeadWorkload &wl = workloads_[idx];
@@ -391,6 +398,7 @@ DecodePipeline::stepOffloadLayer(uint32_t l, PipelineStepResult &result,
     // a serial loop would produce.
     ThreadPool::global().parallelForEach(
         0, cfg_.numKvHeads, [&](size_t hi) {
+            LS_PARALLEL_BODY();
             const auto h = static_cast<uint32_t>(hi);
             HeadWorkload &wl = workloads_[l * cfg_.numKvHeads + h];
             const KvCache &cache = gpuCache(l, h);

@@ -43,6 +43,31 @@
  * Annotating a new hot path: put the macro first in the body, run
  * `cmake --build build --target lint`, and fix or waive what it
  * reports. See DESIGN.md "Static analysis & contract enforcement".
+ *
+ * Parallel-safety layer (tools/lint/ls_race_lint.py):
+ *
+ *  - LS_PARALLEL_BODY() declares a parallelFor/parallelForEach body:
+ *                       the race lint BFSes from it and rejects
+ *                       reachable plain writes to globals, statics, or
+ *                       by-reference captures. Every parallel body must
+ *                       carry it (the lint's parallel-root check
+ *                       enforces coverage textually).
+ *  - LS_LANE_LOCAL(name) declares that `name` (a global/static array
+ *                       indexed by lane, or a thread_local) is
+ *                       lane-partitioned by construction; the race
+ *                       lint stops flagging writes to it. Analysis-
+ *                       only: expands to nothing and is grepped from
+ *                       source.
+ *  - // LS_LINT_ALLOW(race|lockorder|parallel-root): reason
+ *                       single-site waiver, same grammar and placement
+ *                       as the contract waivers above.
+ *
+ * Clang thread-safety layer: the LS_CAPABILITY / LS_GUARDED_BY /
+ * LS_REQUIRES family below maps to clang's -Wthread-safety attributes
+ * (a no-op under GCC). src/util/sync.hh provides the annotated Mutex /
+ * MutexLock / CondVar / SpinLock / SpinGuard wrappers; KvBlockPool,
+ * ThreadPool, and BlockLedger declare their guarded state with these,
+ * and the clang CI rows compile with -Wthread-safety -Werror.
  */
 
 #ifndef LONGSIGHT_UTIL_ANNOTATIONS_HH
@@ -51,12 +76,14 @@
 namespace longsight {
 namespace contract {
 
-// Empty markers; the names are the ABI the lint tool keys on — do not
-// rename without updating tools/lint/ls_contract_lint.py.
+// Empty markers; the names are the ABI the lint tools key on — do not
+// rename without updating tools/lint/ls_contract_lint.py and
+// tools/lint/callgraph.py.
 inline void ls_hot_path_marker() {}
 inline void ls_deterministic_marker() {}
 inline void ls_no_lock_marker() {}
 inline void ls_contract_exempt_marker() {}
+inline void ls_parallel_body_marker() {}
 
 } // namespace contract
 } // namespace longsight
@@ -65,5 +92,47 @@ inline void ls_contract_exempt_marker() {}
 #define LS_DETERMINISTIC() ::longsight::contract::ls_deterministic_marker()
 #define LS_NO_LOCK() ::longsight::contract::ls_no_lock_marker()
 #define LS_CONTRACT_EXEMPT() ::longsight::contract::ls_contract_exempt_marker()
+#define LS_PARALLEL_BODY() ::longsight::contract::ls_parallel_body_marker()
+
+// Analysis-only: declares a name lane-partitioned for the race lint.
+// Expands to nothing; usable at namespace, class, or block scope
+// (the trailing `;` is an empty declaration).
+#define LS_LANE_LOCAL(name) static_assert(true, "LS_LANE_LOCAL")
+
+// ---- clang Thread Safety Analysis attribute family ------------------
+// No-ops everywhere except clang; see
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#if defined(__clang__) && !defined(SWIG)
+#define LS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define LS_THREAD_ANNOTATION(x)
+#endif
+
+// On a class: instances are lockable capabilities.
+#define LS_CAPABILITY(x) LS_THREAD_ANNOTATION(capability(x))
+// On a class: RAII object that acquires in ctor, releases in dtor.
+#define LS_SCOPED_CAPABILITY LS_THREAD_ANNOTATION(scoped_lockable)
+// On a data member: only accessible while holding the capability.
+#define LS_GUARDED_BY(x) LS_THREAD_ANNOTATION(guarded_by(x))
+// On a pointer member: the pointee is guarded.
+#define LS_PT_GUARDED_BY(x) LS_THREAD_ANNOTATION(pt_guarded_by(x))
+// On a function: caller must already hold the capability.
+#define LS_REQUIRES(...) \
+    LS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+// On a function: acquires the capability (held on return).
+#define LS_ACQUIRE(...) \
+    LS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+// On a function: releases the capability (not held on return).
+#define LS_RELEASE(...) \
+    LS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+// On a function: acquires only when returning `b`.
+#define LS_TRY_ACQUIRE(b, ...) \
+    LS_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+// On a function: caller must NOT hold the capability (deadlock guard).
+#define LS_EXCLUDES(...) LS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+// On a function: returns a reference to the given capability.
+#define LS_RETURN_CAPABILITY(x) LS_THREAD_ANNOTATION(lock_returned(x))
+// Escape hatch: disables the analysis inside one function.
+#define LS_NO_TSA LS_THREAD_ANNOTATION(no_thread_safety_analysis)
 
 #endif // LONGSIGHT_UTIL_ANNOTATIONS_HH

@@ -28,14 +28,13 @@
 #ifndef LONGSIGHT_UTIL_THREAD_POOL_HH
 #define LONGSIGHT_UTIL_THREAD_POOL_HH
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/annotations.hh"
+#include "util/sync.hh"
 
 namespace longsight {
 
@@ -113,15 +112,15 @@ class ThreadPool
     static void runIndices(Job &job);
 
     std::vector<std::thread> workers_;
-    std::mutex mu_;
-    std::condition_variable cv_;
+    Mutex mu_;
+    CondVar cv_;
     // FIFO of outstanding jobs. A vector, not a deque: the queue depth
     // is the nesting level of concurrent parallelFor calls (almost
     // always 1), erase-from-front is O(depth), and a vector's capacity
     // persists so steady-state queue traffic performs no heap
     // allocations (deque node churn would).
-    std::vector<Job *> queue_;
-    bool stop_ = false;
+    std::vector<Job *> queue_ LS_GUARDED_BY(mu_);
+    bool stop_ LS_GUARDED_BY(mu_) = false;
 };
 
 } // namespace longsight

@@ -1,0 +1,27 @@
+// Two mutexes taken in opposite orders on two paths: a classic ABBA
+// deadlock. Both edges lie on the cycle, so both acquisition sites
+// are reported.
+#include <mutex>
+
+namespace fixture {
+
+std::mutex mu_a;
+std::mutex mu_b;
+
+int
+forward()
+{
+    std::lock_guard<std::mutex> la(mu_a);
+    std::lock_guard<std::mutex> lb(mu_b); // EXPECT(lockorder)
+    return 1;
+}
+
+int
+reverse()
+{
+    std::lock_guard<std::mutex> lb(mu_b);
+    std::lock_guard<std::mutex> la(mu_a); // EXPECT(lockorder)
+    return 2;
+}
+
+} // namespace fixture

@@ -1,0 +1,29 @@
+// A parallelFor body without LS_PARALLEL_BODY() as its opening
+// statement: the coverage check rejects the unannotated root, since
+// an unmarked body silently escapes the shared-write analysis.
+#include <cstddef>
+
+#include "util/annotations.hh"
+
+namespace fixture {
+
+struct Pool
+{
+    template <class Fn>
+    void parallelFor(size_t begin, size_t end, Fn &&fn)
+    {
+        for (size_t i = begin; i < end; ++i)
+            fn(i);
+    }
+};
+
+void
+run(long *out)
+{
+    Pool pool;
+    pool.parallelFor(0, 8, [&](size_t i) { // EXPECT(parallel-root)
+        out[i] = static_cast<long>(i);
+    });
+}
+
+} // namespace fixture

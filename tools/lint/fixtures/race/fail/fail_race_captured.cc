@@ -1,0 +1,22 @@
+// The parallel body's own closure captures a stack variable by
+// reference and accumulates into it: every lane shares that one slot.
+#include <cstddef>
+
+#include "util/annotations.hh"
+
+namespace fixture {
+
+long
+sumBroken(size_t n)
+{
+    long sum = 0;
+    auto body = [&](size_t i) {
+        LS_PARALLEL_BODY();
+        sum += static_cast<long>(i); // EXPECT(race)
+    };
+    for (size_t i = 0; i < n; ++i)
+        body(i);
+    return sum;
+}
+
+} // namespace fixture

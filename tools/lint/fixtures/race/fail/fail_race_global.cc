@@ -1,0 +1,18 @@
+// A parallel body writing a namespace-scope global: the canonical
+// shared-write race the lint exists to catch.
+#include <cstddef>
+
+#include "util/annotations.hh"
+
+namespace fixture {
+
+long g_total = 0;
+
+void
+body(size_t i)
+{
+    LS_PARALLEL_BODY();
+    g_total += static_cast<long>(i); // EXPECT(race)
+}
+
+} // namespace fixture

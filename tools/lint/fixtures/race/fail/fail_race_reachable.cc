@@ -1,0 +1,31 @@
+// The racing write is NOT in the body itself but in a helper two
+// calls away: the BFS over the compiler's call graph must reach it.
+#include <cstddef>
+
+#include "util/annotations.hh"
+
+namespace fixture {
+
+long g_hits = 0;
+
+void
+record(long v)
+{
+    g_hits += v; // EXPECT(race)
+}
+
+void
+classify(size_t i)
+{
+    if (i % 2 == 0)
+        record(1);
+}
+
+void
+body(size_t i)
+{
+    LS_PARALLEL_BODY();
+    classify(i);
+}
+
+} // namespace fixture

@@ -1,0 +1,24 @@
+// Function-local static state is shared across lanes exactly like a
+// global; the body bumping a static call counter must be flagged.
+#include <cstddef>
+
+#include "util/annotations.hh"
+
+namespace fixture {
+
+size_t
+nextTicket()
+{
+    static size_t counter = 0;
+    counter += 1; // EXPECT(race)
+    return counter;
+}
+
+void
+body(size_t)
+{
+    LS_PARALLEL_BODY();
+    nextTicket();
+}
+
+} // namespace fixture

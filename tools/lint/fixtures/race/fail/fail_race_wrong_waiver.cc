@@ -1,0 +1,19 @@
+// A waiver of the WRONG category must not suppress: the lockorder
+// waiver below does nothing for a shared-write finding.
+#include <cstddef>
+
+#include "util/annotations.hh"
+
+namespace fixture {
+
+long g_count = 0;
+
+void
+body(size_t)
+{
+    LS_PARALLEL_BODY();
+    // LS_LINT_ALLOW(lockorder): wrong category, must not waive race
+    g_count += 1; // EXPECT(race)
+}
+
+} // namespace fixture

@@ -1,0 +1,19 @@
+// Atomic read-modify-write lowers to __atomic_* builtins, which the
+// lint treats as safe: a shared atomic counter must not be flagged.
+#include <atomic>
+#include <cstddef>
+
+#include "util/annotations.hh"
+
+namespace fixture {
+
+std::atomic<long> g_total{0};
+
+void
+body(size_t i)
+{
+    LS_PARALLEL_BODY();
+    g_total.fetch_add(static_cast<long>(i), std::memory_order_relaxed);
+}
+
+} // namespace fixture

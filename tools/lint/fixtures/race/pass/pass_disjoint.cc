@@ -1,0 +1,22 @@
+// The idiomatic safe parallel body: each lane writes only its own
+// slot through a parameter pointer, and a NESTED serial lambda may
+// freely capture locals by reference (its captures are lane-local,
+// unlike the root body's).
+#include <cstddef>
+
+#include "util/annotations.hh"
+
+namespace fixture {
+
+void
+fill(long *out, size_t i)
+{
+    LS_PARALLEL_BODY();
+    long acc = 0;
+    auto add = [&](long v) { acc += v; };
+    add(static_cast<long>(i));
+    add(1);
+    out[i] = acc;
+}
+
+} // namespace fixture

@@ -1,0 +1,24 @@
+// Lane-partitioned global state (one slot per lane, declared
+// LS_LANE_LOCAL) and thread_local scratch are both race-free by
+// construction and must stay silent.
+#include <cstddef>
+
+#include "util/annotations.hh"
+
+namespace fixture {
+
+long g_laneSums[64];
+LS_LANE_LOCAL(g_laneSums);
+
+thread_local long t_scratch = 0;
+LS_LANE_LOCAL(t_scratch);
+
+void
+body(size_t i)
+{
+    LS_PARALLEL_BODY();
+    g_laneSums[i % 64] += static_cast<long>(i);
+    t_scratch += 1;
+}
+
+} // namespace fixture

@@ -1,0 +1,32 @@
+// Two mutexes always acquired in the same order (including via a
+// nested helper call) form an acyclic acquisition graph: no finding.
+#include <mutex>
+
+namespace fixture {
+
+std::mutex mu_a;
+std::mutex mu_b;
+
+int
+inner()
+{
+    std::lock_guard<std::mutex> lb(mu_b);
+    return 1;
+}
+
+int
+direct()
+{
+    std::lock_guard<std::mutex> la(mu_a);
+    std::lock_guard<std::mutex> lb(mu_b);
+    return 2;
+}
+
+int
+nested()
+{
+    std::lock_guard<std::mutex> la(mu_a);
+    return inner();
+}
+
+} // namespace fixture

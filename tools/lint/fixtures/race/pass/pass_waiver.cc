@@ -1,0 +1,40 @@
+// Correct-category waivers suppress both a shared write (race) and a
+// deliberate cross-order acquisition (lockorder).
+#include <cstddef>
+#include <mutex>
+
+#include "util/annotations.hh"
+
+namespace fixture {
+
+long g_debugCounter = 0;
+
+std::mutex mu_a;
+std::mutex mu_b;
+
+void
+body(size_t)
+{
+    LS_PARALLEL_BODY();
+    // LS_LINT_ALLOW(race): debug-only counter, torn writes acceptable
+    g_debugCounter += 1;
+}
+
+int
+forward()
+{
+    std::lock_guard<std::mutex> la(mu_a);
+    std::lock_guard<std::mutex> lb(mu_b);
+    return 1;
+}
+
+int
+reverse()
+{
+    std::lock_guard<std::mutex> lb(mu_b);
+    // LS_LINT_ALLOW(lockorder): drain path, forward() cannot run concurrently
+    std::lock_guard<std::mutex> la(mu_a);
+    return 2;
+}
+
+} // namespace fixture

@@ -29,6 +29,9 @@ opaque placeholders and are not traversed; hot lambda bodies dispatched
 through the thread pool are therefore annotated directly (the
 "parallelFor bodies" roots).
 
+The compile/cache/graph-merge machinery is shared with the
+parallel-safety race lint (ls_race_lint.py) and lives in callgraph.py.
+
 Violations are reported at the deepest project-source call site on the
 offending path, which is where a waiver comment can be placed:
 
@@ -38,7 +41,9 @@ on the call's own line or the line directly above suppresses that one
 edge for that one category (alloc | determinism | lock).
 
 Compiles are cached under <build>/lint-cache keyed on a hash of the
-preprocessed TU, so incremental runs only recompile what changed.
+preprocessed TU, so incremental runs only recompile what changed; the
+cache is pruned of entries for deleted or changed TUs after every
+build-tree run, and -v reports hit/miss counts.
 
 Usage:
   ls_contract_lint.py --build-dir BUILD [--json OUT] [--jobs N] [-v]
@@ -46,14 +51,13 @@ Usage:
 """
 
 import argparse
-import concurrent.futures
-import hashlib
 import json
 import os
 import re
-import shlex
-import subprocess
 import sys
+
+import callgraph
+from callgraph import BUILTIN_PRUNE_MANGLED, EXEMPT_MARKER
 
 # --------------------------------------------------------------------------
 # Contract definitions
@@ -66,14 +70,6 @@ MARKERS = {
     "_ZN9longsight8contract23ls_deterministic_markerEv": "determinism",
     "_ZN9longsight8contract17ls_no_lock_markerEv": "lock",
 }
-EXEMPT_MARKER = "_ZN9longsight8contract25ls_contract_exempt_markerEv"
-
-# [[noreturn]] failure handlers: reachable from everywhere via
-# LS_ASSERT, cold by definition (the process is about to die), so the
-# IO/allocation they perform is never steady-state behaviour. Matched
-# by mangled prefix: GCC truncates the pretty label of long template
-# instantiations, so the label cannot be relied on here.
-BUILTIN_PRUNE_MANGLED = ("_ZN9longsight5panicI", "_ZN9longsight5fatalI")
 
 # GCC's call-graph labels carry the return type before the function
 # name ("void std::mutex::lock()"); sink patterns therefore match at a
@@ -166,7 +162,12 @@ LOCK_CXX = re.compile(
     r"std::scoped_lock<.*>::scoped_lock\(|"
     r"std::shared_lock<.*>::shared_lock\(|"
     r"std::condition_variable(_any)?::wait|"
-    r"std::this_thread::sleep_)")
+    r"std::this_thread::sleep_|"
+    r"longsight::Mutex::lock\(|"
+    r"longsight::MutexLock::MutexLock\(|"
+    r"longsight::CondVar::wait|"
+    r"longsight::SpinLock::lock\(|"
+    r"longsight::SpinGuard::SpinGuard\()")
 IO_C = {
     "printf", "fprintf", "vfprintf", "sprintf", "snprintf",
     "puts", "fputs", "putc", "fputc", "putchar", "fwrite", "fread",
@@ -186,7 +187,7 @@ CATEGORY_WHY = {
     "lock": "blocking/IO",
 }
 
-WAIVER_RE = re.compile(r"//\s*LS_LINT_ALLOW\((alloc|determinism|lock)\)")
+CATEGORIES = ("alloc", "determinism", "lock")
 
 
 def base_name(pretty):
@@ -225,233 +226,14 @@ def sink_category(mangled, pretty):
 
 
 # --------------------------------------------------------------------------
-# VCG call-graph parsing
-# --------------------------------------------------------------------------
-
-NODE_RE = re.compile(r'^node: \{ title: "((?:[^"\\]|\\.)*)" '
-                     r'label: "((?:[^"\\]|\\.)*)"')
-EDGE_RE = re.compile(r'^edge: \{ sourcename: "((?:[^"\\]|\\.)*)" '
-                     r'targetname: "((?:[^"\\]|\\.)*)"'
-                     r'(?: label: "((?:[^"\\]|\\.)*)")?')
-
-SYMBOL_RE = re.compile(r"^[A-Za-z_$.][A-Za-z0-9_$.]*$")
-
-
-class Node:
-    __slots__ = ("key", "mangled", "pretty", "loc", "edges", "defined")
-
-    def __init__(self, key, mangled, pretty, loc, defined):
-        self.key = key
-        self.mangled = mangled
-        self.pretty = pretty
-        self.loc = loc          # "file:line" of the definition, or ""
-        self.edges = []         # list of (target_key, callsite "f:l:c")
-        self.defined = defined
-
-
-def split_title(title, tu_tag):
-    """Return (canonical key, mangled) for a VCG node title.
-
-    Titles are either a plain symbol (external / global) or
-    "<aux>:<symbol>" for symbols local to the TU. TU-local statics
-    (_ZL..., or unmangled C names behind the aux prefix) must stay
-    TU-scoped to avoid cross-TU collisions; everything else merges on
-    the bare mangled name so cross-TU calls resolve.
-    """
-    mangled = title
-    local = False
-    if ":" in title:
-        head, tail = title.rsplit(":", 1)
-        if SYMBOL_RE.match(tail):
-            mangled = tail
-            local = True
-    if local and (mangled.startswith("_ZL") or mangled.startswith("_ZZ")
-                  or not mangled.startswith("_Z")):
-        return (tu_tag + ":" + mangled, mangled)
-    return (mangled, mangled)
-
-
-def unescape(s):
-    return s.replace('\\"', '"').replace("\\\\", "\\")
-
-
-def parse_ci(path, tu_tag, graph):
-    """Merge one .ci file into `graph` (dict key -> Node)."""
-    with open(path, "r", errors="replace") as f:
-        for line in f:
-            m = NODE_RE.match(line)
-            if m:
-                key, mangled = split_title(m.group(1), tu_tag)
-                label = unescape(m.group(2)).split("\\n")
-                pretty = label[0]
-                loc = label[1] if len(label) > 1 else ""
-                node = graph.get(key)
-                if node is None:
-                    graph[key] = Node(key, mangled, pretty, loc, True)
-                elif not node.defined:
-                    node.pretty = pretty
-                    node.loc = loc
-                    node.defined = True
-                continue
-            m = EDGE_RE.match(line)
-            if m:
-                src, _ = split_title(m.group(1), tu_tag)
-                dst, dmangled = split_title(m.group(2), tu_tag)
-                callsite = unescape(m.group(3) or "")
-                if src not in graph:
-                    graph[src] = Node(src, src, src, "", False)
-                if dst not in graph:
-                    graph[dst] = Node(dst, dmangled, dmangled, "", False)
-                graph[src].edges.append((dst, callsite))
-
-
-def demangle_graph(graph):
-    """Replace label prettys with c++filt demanglings where available.
-
-    GCC's .ci labels truncate long template signatures (a variadic
-    instantiation can render as ") [with Args = ...]"), and nodes that
-    are only referenced, never defined, carry no label at all. The
-    mangled name is always intact, so one batch c++filt run recovers a
-    canonical signature for every C++ node; sink patterns then match a
-    single, stable format.
-    """
-    nodes = [n for n in graph.values() if n.mangled.startswith("_Z")]
-    if not nodes:
-        return
-    try:
-        proc = subprocess.run(
-            ["c++filt"], input="\n".join(n.mangled for n in nodes) + "\n",
-            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
-    except OSError:
-        return  # no binutils: fall back to the raw labels
-    if proc.returncode != 0:
-        return
-    out = proc.stdout.splitlines()
-    if len(out) != len(nodes):
-        return
-    for node, dem in zip(nodes, out):
-        if dem and dem != node.mangled:
-            node.pretty = dem
-
-
-def resolve_ctor_aliases(graph):
-    """Redirect complete-object ctor/dtor references to the defined body.
-
-    GCC emits one definition for a constructor (the base-object C2
-    symbol) and aliases the complete-object C1 symbol to it; call
-    edges, however, target C1. Without redirection the walk dead-ends
-    in an undefined node and never sees the constructor body. Only
-    verified aliases are installed: the candidate must exist, be
-    defined, and demangle to the same signature.
-    """
-    alias = {}
-    for key, node in graph.items():
-        if node.defined:
-            continue
-        for a, b in (("C1", "C2"), ("D1", "D2"), ("D0", "D2")):
-            if a not in key:
-                continue
-            cand = key.replace(a, b, 1)
-            target = graph.get(cand)
-            if (target is not None and target.defined
-                    and target.pretty == node.pretty):
-                alias[key] = cand
-                break
-    if not alias:
-        return
-    for node in graph.values():
-        node.edges = [(alias.get(dst, dst), cs) for dst, cs in node.edges]
-
-
-def finalize_graph(graph):
-    demangle_graph(graph)
-    resolve_ctor_aliases(graph)
-
-
-# --------------------------------------------------------------------------
-# Compilation of TUs to .ci call graphs
-# --------------------------------------------------------------------------
-
-STRIP_ARGS = {"-c", "-S", "-E"}
-STRIP_NEXT = {"-o", "-MF", "-MT", "-MQ"}
-
-
-def base_command(entry):
-    """Compiler argv from a compile_commands entry, minus output args."""
-    if "arguments" in entry:
-        args = list(entry["arguments"])
-    else:
-        args = shlex.split(entry["command"])
-    out = []
-    skip = False
-    for a in args:
-        if skip:
-            skip = False
-            continue
-        if a in STRIP_NEXT:
-            skip = True
-            continue
-        if a in STRIP_ARGS or a.startswith("-fcallgraph-info"):
-            continue
-        out.append(a)
-    return out
-
-
-def compile_ci(args, directory, cache_dir, verbose):
-    """Compile one TU with -fcallgraph-info; returns the .ci path.
-
-    The compile is cached on a hash of the preprocessed TU (so edits to
-    any transitively included header invalidate it) plus the command.
-    """
-    # The contract walk needs every call edge to survive: -O0 disables
-    # inlining, -fno-inline guards against flags in the original
-    # command re-enabling it.
-    lint_args = args + ["-O0", "-fno-inline", "-w"]
-    pre = subprocess.run(lint_args + ["-E", "-o", "-"],
-                         cwd=directory, stdout=subprocess.PIPE,
-                         stderr=subprocess.PIPE)
-    if pre.returncode != 0:
-        raise RuntimeError("preprocess failed: %s\n%s" %
-                           (" ".join(lint_args),
-                            pre.stderr.decode(errors="replace")))
-    h = hashlib.sha256()
-    h.update(" ".join(lint_args).encode())
-    h.update(pre.stdout)
-    key = h.hexdigest()[:24]
-    ci = os.path.join(cache_dir, key + ".ci")
-    if os.path.exists(ci):
-        return ci
-    asm = os.path.join(cache_dir, key + ".s")
-    cc = subprocess.run(lint_args +
-                        ["-fcallgraph-info=su,da", "-S", "-o", asm],
-                        cwd=directory, stdout=subprocess.PIPE,
-                        stderr=subprocess.PIPE)
-    if cc.returncode != 0:
-        raise RuntimeError("lint compile failed: %s\n%s" %
-                           (" ".join(lint_args),
-                            cc.stderr.decode(errors="replace")))
-    produced = os.path.splitext(asm)[0] + ".ci"
-    if not os.path.exists(produced):
-        raise RuntimeError("no .ci produced for " + " ".join(lint_args))
-    try:
-        os.remove(asm)
-    except OSError:
-        pass
-    if verbose:
-        print("  compiled %s" % args[-1], file=sys.stderr)
-    return produced
-
-
-# --------------------------------------------------------------------------
 # Contract walk
 # --------------------------------------------------------------------------
 
 class Checker:
     def __init__(self, graph, project_root, verbose=False):
         self.graph = graph
-        self.root = os.path.realpath(project_root)
+        self.src = callgraph.SourceIndex(project_root, CATEGORIES)
         self.verbose = verbose
-        self.file_lines = {}
         self.diagnostics = []
         self.indirect_edges = 0
         # Classify marker / exempt nodes once.
@@ -473,50 +255,6 @@ class Checker:
                     self.roots.setdefault(key, set()).add(cat)
                 if dst in self.exempt_keys:
                     self.exempt.add(key)
-
-    # -- waivers ----------------------------------------------------------
-
-    def lines_of(self, path):
-        if path not in self.file_lines:
-            try:
-                with open(path, "r", errors="replace") as f:
-                    self.file_lines[path] = f.readlines()
-            except OSError:
-                self.file_lines[path] = []
-        return self.file_lines[path]
-
-    def waived(self, callsite, directory, category):
-        parts = callsite.split(":")
-        if len(parts) < 2:
-            return False
-        file_part = ":".join(parts[:-2]) if len(parts) >= 3 else parts[0]
-        try:
-            lineno = int(parts[-2])
-        except ValueError:
-            return False
-        path = file_part
-        if not os.path.isabs(path):
-            path = os.path.join(directory, path)
-        path = os.path.realpath(path)
-        if not path.startswith(self.root):
-            return False
-        lines = self.lines_of(path)
-        for cand in (lineno, lineno - 1):
-            if 1 <= cand <= len(lines):
-                m = WAIVER_RE.search(lines[cand - 1])
-                if m and m.group(1) == category:
-                    return True
-        return False
-
-    def in_project(self, callsite, directory):
-        file_part = callsite.rsplit(":", 2)[0] if callsite.count(":") >= 2 \
-            else callsite
-        if not file_part:
-            return False
-        path = file_part
-        if not os.path.isabs(path):
-            path = os.path.join(directory, path)
-        return os.path.realpath(path).startswith(self.root)
 
     # -- traversal --------------------------------------------------------
 
@@ -544,7 +282,7 @@ class Checker:
                     continue
                 cats = sink_category(target.mangled, target.pretty)
                 if category in cats:
-                    if not self.waived(callsite, directory, category):
+                    if not self.src.waived(callsite, directory, category):
                         self.report(root_key, category, key, dst,
                                     callsite, path, directory)
                     continue  # never descend into a sink
@@ -610,50 +348,16 @@ def lint_build(build_dir, project_root, jobs, verbose, only=None):
     # Compiles run from each entry's own directory; every path this
     # function hands them must therefore be absolute.
     build_dir = os.path.realpath(build_dir)
-    ccj = os.path.join(build_dir, "compile_commands.json")
-    if not os.path.exists(ccj):
-        raise SystemExit("error: %s not found (configure with "
-                         "CMAKE_EXPORT_COMPILE_COMMANDS=ON)" % ccj)
-    with open(ccj) as f:
-        entries = json.load(f)
     root = os.path.realpath(project_root)
-    src_root = os.path.join(root, "src") + os.sep
-    tus = []
-    for e in entries:
-        path = os.path.realpath(os.path.join(e["directory"], e["file"]))
-        if not path.startswith(src_root) or not path.endswith(".cc"):
-            continue
-        if only and not any(sub in path for sub in only):
-            continue
-        tus.append((base_command(e), e["directory"], path))
-    if not tus:
-        raise SystemExit("error: no src/ TUs in compile_commands.json")
+    tus = callgraph.project_tus(build_dir, root, only)
     cache_dir = os.path.join(build_dir, "lint-cache")
-    os.makedirs(cache_dir, exist_ok=True)
+    artifacts, _stats = callgraph.compile_all(tus, cache_dir, jobs, verbose)
 
     graph = {}
-    errors = []
+    for path, art in artifacts.items():
+        callgraph.parse_ci(art["ci"], os.path.basename(path), graph)
 
-    def one(tu):
-        args, directory, path = tu
-        return path, compile_ci(args, directory, cache_dir, verbose)
-
-    with concurrent.futures.ThreadPoolExecutor(max_workers=jobs) as ex:
-        for fut in concurrent.futures.as_completed(
-                [ex.submit(one, tu) for tu in tus]):
-            try:
-                path, ci = fut.result()
-            except RuntimeError as err:
-                errors.append(str(err))
-                continue
-            parse_ci(ci, os.path.basename(path), graph)
-    if errors:
-        for err in errors:
-            print(err, file=sys.stderr)
-        raise SystemExit("error: %d TU(s) failed to compile for lint"
-                         % len(errors))
-
-    finalize_graph(graph)
+    callgraph.finalize_graph(graph)
     checker = Checker(graph, root, verbose)
     if verbose:
         names = sorted(checker.graph[k].pretty for k in checker.roots)
@@ -673,9 +377,9 @@ def lint_fixture(path, project_root, verbose):
     cache_dir = os.path.join(directory, ".lint-cache")
     os.makedirs(cache_dir, exist_ok=True)
     graph = {}
-    ci = compile_ci(args, directory, cache_dir, verbose)
-    parse_ci(ci, os.path.basename(path), graph)
-    finalize_graph(graph)
+    art = callgraph.compile_tu(args, directory, cache_dir, verbose)
+    callgraph.parse_ci(art["ci"], os.path.basename(path), graph)
+    callgraph.finalize_graph(graph)
     # Fixtures may reference project sources; their own graph is enough
     # because fixtures are single self-contained TUs.
     checker = Checker(graph, os.path.dirname(path), verbose)

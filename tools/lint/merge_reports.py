@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Merge per-pass lint reports into one lint-report.json artifact.
+
+Each lint pass (contract lint, race lint) writes its own JSON with a
+`diagnostics` array; clang's -Wthread-safety output arrives as plain
+compiler text. CI uploads ONE artifact per lint job, so this script
+folds them together:
+
+  merge_reports.py --out lint-report.json \\
+      --pass contract=contract-lint.json \\
+      --pass race=race-lint.json \\
+      --text thread-safety=tsa-warnings.txt
+
+Output shape:
+  {
+    "passes": {name: {"diagnostics": N, ...pass-level keys...}},
+    "diagnostics": [ {..., "pass": name}, ... ],
+    "attachments": {name: "<raw text>"},
+    "total": N
+  }
+
+Missing --pass files are an error (the pass did not run — that is a
+pipeline bug, not a clean result); missing --text files merge as an
+empty attachment since the TSA capture is best-effort on non-clang
+rows. Exit status is 0 even when diagnostics are present: each pass
+already gated the job with its own exit code, the merged report is
+the human-facing artifact.
+"""
+
+import argparse
+import json
+import sys
+
+
+def parse_kv(arg, flag):
+    if "=" not in arg:
+        raise SystemExit("%s expects NAME=PATH, got %r" % (flag, arg))
+    return arg.split("=", 1)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--out", required=True)
+    ap.add_argument("--pass", dest="passes", action="append", default=[],
+                    metavar="NAME=REPORT.json")
+    ap.add_argument("--text", dest="texts", action="append", default=[],
+                    metavar="NAME=FILE.txt")
+    opts = ap.parse_args()
+
+    merged = {"passes": {}, "diagnostics": [], "attachments": {}}
+    for arg in opts.passes:
+        name, path = parse_kv(arg, "--pass")
+        try:
+            with open(path) as f:
+                report = json.load(f)
+        except (OSError, ValueError) as exc:
+            print("merge-reports: cannot read pass %r (%s): %s"
+                  % (name, path, exc), file=sys.stderr)
+            return 1
+        diags = report.pop("diagnostics", [])
+        for d in diags:
+            d = dict(d)
+            d["pass"] = name
+            merged["diagnostics"].append(d)
+        summary = {"diagnostics": len(diags)}
+        summary.update(report)
+        merged["passes"][name] = summary
+
+    for arg in opts.texts:
+        name, path = parse_kv(arg, "--text")
+        try:
+            with open(path) as f:
+                merged["attachments"][name] = f.read()
+        except OSError:
+            merged["attachments"][name] = ""
+
+    merged["total"] = len(merged["diagnostics"])
+    with open(opts.out, "w") as f:
+        json.dump(merged, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print("merge-reports: %d pass(es), %d diagnostic(s) -> %s"
+          % (len(merged["passes"]), merged["total"], opts.out))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,13 +1,18 @@
 #!/usr/bin/env python3
-"""Self-test for the contract lint over its fixture corpus.
+"""Self-test for the lint passes over their fixture corpora.
 
-Every fixtures/pass/*.cc must lint clean (exit 0, no diagnostics).
-Every fixtures/fail/*.cc must produce EXACTLY the diagnostics its
+Two suites share one protocol, selected with --suite:
+
+  contract  ls_contract_lint.py over fixtures/{pass,fail}
+  race      ls_race_lint.py     over fixtures/race/{pass,fail}
+
+Every pass fixture must lint clean (exit 0, no diagnostics).
+Every fail fixture must produce EXACTLY the diagnostics its
 `// EXPECT(category)` comments declare: one diagnostic of that
 category anchored at that line, no extras, no misses — so both false
 negatives AND false positives (and wrong locations) fail the suite.
 
-Usage: run_fixture_tests.py [--project-root DIR]
+Usage: run_fixture_tests.py [--suite contract|race] [--project-root DIR]
 """
 
 import argparse
@@ -19,16 +24,27 @@ import sys
 import tempfile
 
 HERE = os.path.dirname(os.path.realpath(__file__))
-LINT = os.path.join(HERE, "ls_contract_lint.py")
-EXPECT_RE = re.compile(r"//\s*EXPECT\((alloc|determinism|lock)\)")
+
+SUITES = {
+    "contract": {
+        "lint": os.path.join(HERE, "ls_contract_lint.py"),
+        "fixtures": os.path.join(HERE, "fixtures"),
+        "categories": ("alloc", "determinism", "lock"),
+    },
+    "race": {
+        "lint": os.path.join(HERE, "ls_race_lint.py"),
+        "fixtures": os.path.join(HERE, "fixtures", "race"),
+        "categories": ("race", "lockorder", "parallel-root"),
+    },
+}
 
 
-def run_lint(fixture, project_root):
+def run_lint(lint, fixture, project_root):
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tf:
         out = tf.name
     try:
         proc = subprocess.run(
-            [sys.executable, LINT, "--fixture", fixture,
+            [sys.executable, lint, "--fixture", fixture,
              "--project-root", project_root, "--json", out],
             stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
         with open(out) as f:
@@ -38,11 +54,11 @@ def run_lint(fixture, project_root):
     return proc, diags
 
 
-def expected_of(fixture):
+def expected_of(fixture, expect_re):
     expected = set()
     with open(fixture) as f:
         for lineno, line in enumerate(f, 1):
-            m = EXPECT_RE.search(line)
+            m = expect_re.search(line)
             if m:
                 expected.add((lineno, m.group(1)))
     return expected
@@ -50,23 +66,30 @@ def expected_of(fixture):
 
 def main():
     ap = argparse.ArgumentParser()
+    ap.add_argument("--suite", choices=sorted(SUITES), default="contract")
     ap.add_argument("--project-root",
                     default=os.path.realpath(
                         os.path.join(HERE, os.pardir, os.pardir)))
     opts = ap.parse_args()
 
+    suite = SUITES[opts.suite]
+    expect_re = re.compile(r"//\s*EXPECT\((%s)\)"
+                           % "|".join(re.escape(c)
+                                      for c in suite["categories"]))
+
     failures = []
     checked = 0
 
     for kind in ("pass", "fail"):
-        d = os.path.join(HERE, "fixtures", kind)
+        d = os.path.join(suite["fixtures"], kind)
         files = sorted(f for f in os.listdir(d) if f.endswith(".cc"))
         if not files:
             failures.append("%s corpus is empty" % kind)
         for name in files:
             fixture = os.path.join(d, name)
             checked += 1
-            proc, diags = run_lint(fixture, opts.project_root)
+            proc, diags = run_lint(suite["lint"], fixture,
+                                   opts.project_root)
             got = {(dg["line"], dg["category"]) for dg in diags}
             # Diagnostics must also point into the fixture itself.
             stray = [dg for dg in diags
@@ -79,9 +102,9 @@ def main():
                     failures.append(
                         "%s: expected clean, exit=%d, diagnostics=%s\n%s"
                         % (name, proc.returncode, sorted(got),
-                           proc.stdout))
+                           proc.stdout + proc.stderr))
             else:
-                expected = expected_of(fixture)
+                expected = expected_of(fixture, expect_re)
                 if not expected:
                     failures.append("%s: fail fixture with no EXPECT "
                                     "comments" % name)
@@ -92,7 +115,7 @@ def main():
                         "%s: diagnostic mismatch\n  expected: %s\n"
                         "  got:      %s\n%s"
                         % (name, sorted(expected), sorted(got),
-                           proc.stdout))
+                           proc.stdout + proc.stderr))
                 for dg in diags:
                     if dg["col"] <= 0:
                         failures.append("%s: diagnostic without a "
@@ -104,7 +127,7 @@ def main():
         print("%d fixture check(s) failed" % len(failures),
               file=sys.stderr)
         return 1
-    print("lint fixtures OK (%d files)" % checked)
+    print("%s lint fixtures OK (%d files)" % (opts.suite, checked))
     return 0
 
 
